@@ -1,0 +1,1 @@
+bench/abl.ml: Apps Array Bytes Catenet Engine Internet Ip List Netsim Printf Routing Stdext Tcp Util

@@ -1,0 +1,1 @@
+bench/e01.ml: Apps Array Bytes Catenet Engine Internet List Netsim Printf Routing Util Vc

@@ -1,0 +1,1 @@
+bench/e02.ml: Apps Bytes Catenet Engine Internet List Netsim Printf Tcp Util Vc

@@ -1,0 +1,1 @@
+bench/e03.ml: Apps Buffer Bytes Catenet Engine Int32 Internet Netsim Packet Printf Stdext String Tcp Util

@@ -1,0 +1,1 @@
+bench/e04.ml: Catenet Internet Ip List Netsim Printf Stdext Tcp Util

@@ -1,0 +1,1 @@
+bench/e05.ml: Array Bytes Catenet Engine Internet List Netsim Printf Util Vc

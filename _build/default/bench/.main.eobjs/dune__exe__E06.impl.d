@@ -1,0 +1,1 @@
+bench/e06.ml: Bytes Catenet Engine Internet List Netsim Printf Tcp Udp Util

@@ -1,0 +1,1 @@
+bench/e07.ml: Apps Catenet Format Internet Ip List Netsim Printf Util

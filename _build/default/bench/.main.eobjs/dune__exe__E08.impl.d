@@ -1,0 +1,1 @@
+bench/e08.ml: Bytes Catenet Engine Hashtbl Ip List Netsim Packet Printf Routing Udp Util

@@ -1,0 +1,1 @@
+bench/e09.ml: Apps Catenet Format Internet List Netsim Printf Tcp Util

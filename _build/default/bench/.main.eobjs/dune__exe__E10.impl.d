@@ -1,0 +1,1 @@
+bench/e10.ml: Bytes Catenet Internet Ip Netsim Packet Printf Tcp Udp Util

@@ -1,0 +1,1 @@
+bench/e11.ml: Bytes Catenet Engine Int32 Internet Ip List Netsim Packet Printf Stdext Udp Util

@@ -1,0 +1,1 @@
+bench/e12.ml: Analyze Bechamel Benchmark Bytes Catenet Hashtbl Instance Ip List Measure Packet Printf Staged Stdext Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/main.ml: Abl Array E01 E02 E03 E04 E05 E06 E07 E08 E09 E10 E11 E12 List Printf String Sys

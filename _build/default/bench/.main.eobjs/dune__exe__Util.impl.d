@@ -1,0 +1,1 @@
+bench/util.ml: Apps Bytes Catenet Engine Internet List Printf String Vc

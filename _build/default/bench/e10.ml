@@ -1,0 +1,102 @@
+(* E10 — Host attachment (Clark §7, goal 6).
+
+   "The architecture required that a host implement TCP if reliable
+   service was desired — which some machines resented" — but attaching at
+   all demands very little: IP encode/decode plus, for datagram service,
+   UDP's ports and checksum.  A hand-rolled minimal host (no TCP, no
+   routing daemon, one static default route) talks to a full host through
+   a gateway; the full transport service remains strictly optional. *)
+
+open Catenet
+
+module Addr = Packet.Addr
+
+let run () =
+  Util.banner "E10" "Host attachment with a low level of effort"
+    "a minimal (IP+UDP only) host interoperates; TCP is the optional price \
+     of reliable service";
+  let t = Internet.create () in
+  let full = Internet.add_host t "full" in
+  let g = Internet.add_gateway t "g" in
+  let p = Netsim.profile "lan" in
+  ignore (Internet.connect t p full.Internet.h_node g.Internet.g_node);
+  (* The minimal host, wired below the builder. *)
+  let mini_node = Netsim.add_node (Internet.net t) "mini" in
+  ignore (Netsim.add_link (Internet.net t) p mini_node g.Internet.g_node);
+  let mini_ip = Ip.Stack.create (Internet.net t) mini_node in
+  Ip.Stack.configure_iface mini_ip 0 ~addr:(Addr.v 172 16 0 1) ~prefix_len:24;
+  let _, g_iface = Netsim.peer (Internet.net t) mini_node 0 in
+  Ip.Stack.configure_iface g.Internet.g_ip g_iface ~addr:(Addr.v 172 16 0 2)
+    ~prefix_len:24;
+  Ip.Route_table.add (Ip.Stack.table mini_ip)
+    {
+      Ip.Route_table.prefix = Addr.Prefix.default;
+      iface = 0;
+      next_hop = Some (Addr.v 172 16 0 2);
+      metric = 1;
+    };
+  let mini_udp = Udp.create mini_ip in
+  Internet.start t;
+
+  (* Capability probes. *)
+  let full_addr = Internet.addr_of t full.Internet.h_node in
+
+  (* 1. ICMP echo from the full host to the minimal one (the echo
+     responder is part of the base IP stack). *)
+  let ping_ok = ref false in
+  Ip.Stack.set_echo_reply_handler full.Internet.h_ip
+    (fun ~id:_ ~seq:_ ~payload:_ -> ping_ok := true);
+  Ip.Stack.send_echo_request full.Internet.h_ip ~dst:(Addr.v 172 16 0 1) ~id:1
+    ~seq:0 ~payload:(Bytes.make 8 'p');
+
+  (* 2. UDP round trip initiated by the minimal host. *)
+  let udp_ok = ref false in
+  ignore
+    (Udp.bind full.Internet.h_udp ~port:7
+       ~recv:(fun ~src ~src_port payload ->
+         let s =
+           Udp.bind full.Internet.h_udp ~recv:(fun ~src:_ ~src_port:_ _ -> ()) ()
+         in
+         ignore (Udp.sendto s ~dst:src ~dst_port:src_port payload))
+       ());
+  let sock =
+    Udp.bind mini_udp
+      ~recv:(fun ~src:_ ~src_port:_ _ -> udp_ok := true)
+      ()
+  in
+  ignore (Udp.sendto sock ~dst:full_addr ~dst_port:7 (Bytes.of_string "hi"));
+
+  (* 3. TCP toward the minimal host: correctly signalled as unavailable
+     (protocol-unreachable), not a silent black hole. *)
+  let tcp_conn =
+    Tcp.connect full.Internet.h_tcp ~dst:(Addr.v 172 16 0 1) ~dst_port:80 ()
+  in
+
+  Internet.run_for t 10.0;
+  Util.table
+    [ "capability"; "minimal host (IP+UDP)"; "full host" ]
+    [
+      [ "ICMP echo responder"; (if !ping_ok then "yes" else "NO"); "yes" ];
+      [ "UDP datagram service"; (if !udp_ok then "yes" else "NO"); "yes" ];
+      [
+        "TCP reliable stream";
+        (match Tcp.state tcp_conn with
+        | Tcp.Syn_sent -> "absent (SYNs unanswered)"
+        | Tcp.Closed -> "absent (refused)"
+        | _ -> "?!");
+        "yes";
+      ];
+    ];
+  Printf.printf "\n  mechanism inventory (what each attachment level must implement):\n";
+  Util.table
+    [ "layer"; "mechanisms"; "minimal"; "full" ]
+    [
+      [ "wire formats"; "IPv4 header, checksum, addressing"; "required"; "required" ];
+      [ "internet"; "send/receive, reassembly, ICMP"; "required"; "required" ];
+      [ "datagram transport"; "UDP ports + pseudo-header checksum"; "required"; "required" ];
+      [ "reliable transport"; "TCP: 11-state machine, windows, RTT, CC"; "-"; "required" ];
+      [ "routing protocol"; "DV or LS daemon"; "-"; "-" ];
+    ];
+  Util.note
+    "the minimal host's entire obligation is parsing 20+8 byte headers and \
+     one static route — goal 6 delivered; gateways carry the routing burden"

@@ -1,0 +1,85 @@
+(* Shared plumbing for the experiment harness: table rendering and a few
+   topology/workload helpers reused across experiments. *)
+
+open Catenet
+
+(* --- output -------------------------------------------------------------- *)
+
+let banner id title claim =
+  Printf.printf "\n";
+  Printf.printf "==========================================================================\n";
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "   claim: %s\n" claim;
+  Printf.printf "==========================================================================\n"
+
+(* Render a table: header row + data rows, columns auto-sized. *)
+let table headers rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let line cells =
+    let padded =
+      List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths cells
+    in
+    Printf.printf "  %s\n" (String.concat "  " padded)
+  in
+  line headers;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter line rows
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  note: %s\n" s) fmt
+
+let fkb bps = Printf.sprintf "%.1f" (bps /. 1e3)
+let fms s = Printf.sprintf "%.1f" (s *. 1e3)
+let fpct x = Printf.sprintf "%.1f%%" (x *. 100.0)
+
+(* --- workload helpers ------------------------------------------------------ *)
+
+(* Run one bulk TCP transfer between two hosts already wired into [t];
+   returns (goodput_bps option, conn, intact). *)
+let run_bulk t (src : Internet.host) (dst : Internet.host) ~port ~total
+    ~seconds =
+  let seed = 17 in
+  let server = Apps.Bulk.serve dst.Internet.h_tcp ~port ~seed in
+  let sender =
+    Apps.Bulk.start src.Internet.h_tcp
+      ~dst:(Internet.addr_of t dst.Internet.h_node)
+      ~dst_port:port ~seed ~total ()
+  in
+  Internet.run_for t seconds;
+  let intact =
+    match Apps.Bulk.transfers server with
+    | [ tr ] -> tr.Apps.Bulk.intact && tr.Apps.Bulk.received = total
+    | _ -> false
+  in
+  (Apps.Bulk.goodput_bps sender, Apps.Bulk.conn sender, intact)
+
+(* A reliable-ish bulk transfer over a VC circuit: pushes [count] cells of
+   [size] bytes, respecting backpressure; the receiver counts bytes.
+   Returns a function to query (delivered_bytes, finished, cleared). *)
+let vc_bulk fabric eng ~src ~dst ~cell_size ~count =
+  let delivered = ref 0 in
+  let cleared = ref false in
+  Vc.listen fabric dst (fun circuit ->
+      Vc.on_data circuit (fun d -> delivered := !delivered + Bytes.length d));
+  let sent = ref 0 in
+  let finished = ref false in
+  let circuit =
+    Vc.call fabric ~src ~dst ~on_clear:(fun _ -> cleared := true) ()
+  in
+  let payload = Bytes.make cell_size 'v' in
+  let rec pump () =
+    if Vc.is_open circuit && !sent < count then begin
+      if Vc.send circuit payload then incr sent;
+      (* Cell pacing: try again immediately if accepted, else back off. *)
+      Engine.after eng (if !sent < count then 500 else 1) pump
+    end
+    else if !sent >= count then finished := true
+  in
+  Engine.after eng 100_000 pump;
+  fun () -> (!delivered, !finished, !cleared)

@@ -1,0 +1,225 @@
+(* catenet — a command-line playground for the simulated internet.
+
+   Builds a linear catenet of [--hops] gateway hops (per-link parameters
+   configurable), then runs one of the classic tools across it:
+
+     catenet ping       ICMP echo round trips
+     catenet trace      TTL-sweep traceroute
+     catenet transfer   bulk TCP transfer with live congestion stats
+     catenet voice      CBR datagram stream quality report *)
+
+open Catenet
+open Cmdliner
+
+type shape = {
+  sh_hops : int;
+  sh_bandwidth : int;
+  sh_delay_ms : float;
+  sh_loss : float;
+  sh_mtu : int;
+}
+
+let build shape =
+  let t = Internet.create ~routing:Internet.Static () in
+  let src = Internet.add_host t "src" in
+  let dst = Internet.add_host t "dst" in
+  let gws =
+    List.init (max 1 shape.sh_hops - 1) (fun i ->
+        Internet.add_gateway t (Printf.sprintf "g%d" (i + 1)))
+  in
+  let profile =
+    Netsim.profile "leg" ~bandwidth_bps:shape.sh_bandwidth
+      ~delay_us:(int_of_float (shape.sh_delay_ms *. 1e3))
+      ~loss:shape.sh_loss ~mtu:shape.sh_mtu
+  in
+  let nodes =
+    [ src.Internet.h_node ]
+    @ List.map (fun g -> g.Internet.g_node) gws
+    @ [ dst.Internet.h_node ]
+  in
+  let rec wire = function
+    | a :: (b :: _ as rest) ->
+        ignore (Internet.connect t profile a b);
+        wire rest
+    | _ -> ()
+  in
+  wire nodes;
+  Internet.start t;
+  Printf.printf
+    "catenet: src -[%d x (%.1f kb/s, %.1f ms, mtu %d, loss %.1f%%)]- dst\n\n"
+    shape.sh_hops
+    (float_of_int shape.sh_bandwidth /. 1e3)
+    shape.sh_delay_ms shape.sh_mtu (shape.sh_loss *. 100.0);
+  (t, src, dst)
+
+(* --- commands -------------------------------------------------------------- *)
+
+let do_ping shape count =
+  let t, src, dst = build shape in
+  let samples =
+    Internet.ping t ~from:src
+      (Internet.addr_of t dst.Internet.h_node)
+      ~count ~interval_us:250_000
+  in
+  Internet.run_for t (float_of_int count *. 0.25 +. 5.0);
+  let n = Stdext.Stats.Samples.count samples in
+  Printf.printf "%d/%d replies" n count;
+  if n > 0 then
+    Printf.printf "; rtt min/median/p95 = %.1f / %.1f / %.1f ms"
+      (Stdext.Stats.Samples.min samples *. 1e3)
+      (Stdext.Stats.Samples.median samples *. 1e3)
+      (Stdext.Stats.Samples.percentile samples 95.0 *. 1e3);
+  print_newline ()
+
+let do_trace shape =
+  let t, src, dst = build shape in
+  let reports =
+    Internet.traceroute t ~from:src
+      (Internet.addr_of t dst.Internet.h_node)
+      ~max_ttl:(shape.sh_hops + 3) ()
+  in
+  Internet.run_for t 30.0;
+  List.iter
+    (fun (r : Internet.hop_report) ->
+      Printf.printf "%2d  %-16s %s%s\n" r.Internet.hop_ttl
+        (match r.Internet.hop_addr with
+        | Some a -> Packet.Addr.to_string a
+        | None -> "*")
+        (match r.Internet.hop_rtt with
+        | Some s -> Printf.sprintf "%.2f ms" (s *. 1e3)
+        | None -> "-")
+        (if r.Internet.hop_reached then "  <- destination" else ""))
+    !reports
+
+let do_transfer shape size cc =
+  let cc_algo =
+    match cc with
+    | "none" -> Tcp.No_cc
+    | "tahoe" -> Tcp.Tahoe
+    | _ -> Tcp.Reno
+  in
+  let t, src, dst = build shape in
+  let seed = 11 in
+  let server = Apps.Bulk.serve dst.Internet.h_tcp ~port:21 ~seed in
+  let sender =
+    Apps.Bulk.start src.Internet.h_tcp
+      ~config:{ Tcp.default_config with Tcp.cc = cc_algo }
+      ~dst:(Internet.addr_of t dst.Internet.h_node)
+      ~dst_port:21 ~seed ~total:size ()
+  in
+  let conn = Apps.Bulk.conn sender in
+  let eng = Internet.engine t in
+  let rec report () =
+    if not (Apps.Bulk.finished sender) then begin
+      Printf.printf "t=%5.1fs  %8d bytes acked  cwnd=%6d  srtt=%s\n"
+        (Engine.to_sec (Engine.now eng))
+        (match Apps.Bulk.transfers server with
+        | [ tr ] -> tr.Apps.Bulk.received
+        | _ -> 0)
+        (Tcp.cwnd conn)
+        (match Tcp.srtt_us conn with
+        | Some us -> Printf.sprintf "%.1fms" (float_of_int us /. 1e3)
+        | None -> "-");
+      Engine.after eng (Engine.sec 1.0) report
+    end
+  in
+  Engine.after eng (Engine.sec 1.0) report;
+  Internet.run_for t 600.0;
+  (match Apps.Bulk.transfers server with
+  | [ tr ] ->
+      Printf.printf "\n%d/%d bytes, intact=%b, cc=%s\n" tr.Apps.Bulk.received
+        size tr.Apps.Bulk.intact cc
+  | _ -> ());
+  (match Apps.Bulk.goodput_bps sender with
+  | Some g -> Printf.printf "goodput: %.1f kB/s\n" (g /. 1e3)
+  | None -> print_endline "did not complete");
+  let st = Tcp.stats conn in
+  Printf.printf "segments: %d out, %d retransmitted (%d bytes wasted)\n"
+    st.Tcp.segs_out st.Tcp.retransmits st.Tcp.bytes_retransmitted
+
+let do_voice shape seconds =
+  let t, src, dst = build shape in
+  let count = seconds * 50 in
+  let sink = Apps.Cbr.sink dst.Internet.h_udp ~port:5004 ~deadline_us:150_000 in
+  ignore
+    (Apps.Cbr.source src.Internet.h_udp
+       ~dst:(Internet.addr_of t dst.Internet.h_node)
+       ~dst_port:5004 ~payload_bytes:160 ~period_us:20_000 ~count
+       ~tos:Packet.Ipv4.Tos.Low_delay ());
+  Internet.run_for t (float_of_int seconds +. 10.0);
+  let r = Apps.Cbr.report sink in
+  Printf.printf "sent %d voice packets (160 B / 20 ms, low-delay ToS)\n" count;
+  Printf.printf "delivered %d, lost %d, late(>150ms) %d => usable %d (%.1f%%)\n"
+    r.Apps.Cbr.received r.Apps.Cbr.lost r.Apps.Cbr.deadline_misses
+    (r.Apps.Cbr.received - r.Apps.Cbr.deadline_misses)
+    (100.0
+    *. float_of_int (r.Apps.Cbr.received - r.Apps.Cbr.deadline_misses)
+    /. float_of_int count);
+  Printf.printf "delay median %.1f ms, p95 %.1f ms, jitter %.1f ms\n"
+    (Stdext.Stats.Samples.median r.Apps.Cbr.delay *. 1e3)
+    (Stdext.Stats.Samples.percentile r.Apps.Cbr.delay 95.0 *. 1e3)
+    (Stdext.Stats.Samples.jitter r.Apps.Cbr.delay *. 1e3)
+
+(* --- cmdliner plumbing ------------------------------------------------------ *)
+
+let shape_term =
+  let hops =
+    Arg.(value & opt int 3 & info [ "hops" ] ~doc:"Number of links in the path.")
+  in
+  let bandwidth =
+    Arg.(
+      value & opt int 1_536_000
+      & info [ "bandwidth" ] ~doc:"Per-link bit rate (b/s).")
+  in
+  let delay =
+    Arg.(
+      value & opt float 5.0 & info [ "delay" ] ~doc:"Per-link one-way delay (ms).")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~doc:"Per-link loss probability (0.0-1.0).")
+  in
+  let mtu = Arg.(value & opt int 1500 & info [ "mtu" ] ~doc:"Per-link MTU.") in
+  let make sh_hops sh_bandwidth sh_delay_ms sh_loss sh_mtu =
+    { sh_hops; sh_bandwidth; sh_delay_ms; sh_loss; sh_mtu }
+  in
+  Term.(const make $ hops $ bandwidth $ delay $ loss $ mtu)
+
+let ping_cmd =
+  let count =
+    Arg.(value & opt int 10 & info [ "count"; "c" ] ~doc:"Probes to send.")
+  in
+  Cmd.v (Cmd.info "ping" ~doc:"ICMP echo across the catenet")
+    Term.(const do_ping $ shape_term $ count)
+
+let trace_cmd =
+  Cmd.v (Cmd.info "trace" ~doc:"TTL-sweep traceroute")
+    Term.(const do_trace $ shape_term)
+
+let transfer_cmd =
+  let size =
+    Arg.(value & opt int 500_000 & info [ "size" ] ~doc:"Bytes to transfer.")
+  in
+  let cc =
+    Arg.(
+      value
+      & opt (enum [ ("reno", "reno"); ("tahoe", "tahoe"); ("none", "none") ]) "reno"
+      & info [ "cc" ] ~doc:"Congestion control realization.")
+  in
+  Cmd.v (Cmd.info "transfer" ~doc:"Bulk TCP transfer with live stats")
+    Term.(const do_transfer $ shape_term $ size $ cc)
+
+let voice_cmd =
+  let seconds =
+    Arg.(value & opt int 10 & info [ "seconds" ] ~doc:"Stream duration.")
+  in
+  Cmd.v (Cmd.info "voice" ~doc:"CBR voice stream quality report")
+    Term.(const do_voice $ shape_term $ seconds)
+
+let () =
+  let info =
+    Cmd.info "catenet" ~version:"1.0"
+      ~doc:"Tools over a simulated DARPA-architecture internet"
+  in
+  exit (Cmd.eval (Cmd.group info [ ping_cmd; trace_cmd; transfer_cmd; voice_cmd ]))

@@ -1,0 +1,1 @@
+examples/internetwork_tour.ml: Apps Catenet Internet Ip List Netsim Printf Stdext Tcp

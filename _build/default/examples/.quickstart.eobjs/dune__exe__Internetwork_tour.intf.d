@@ -1,0 +1,1 @@
+examples/internetwork_tour.mli:

@@ -1,0 +1,1 @@
+examples/mixed_service.ml: Apps Buffer Bytes Catenet Engine Int32 Internet Netsim Packet Printf Stdext String Tcp

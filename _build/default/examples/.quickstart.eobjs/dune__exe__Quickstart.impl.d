@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Catenet Internet Netsim Packet Printf Stdext Tcp

@@ -1,0 +1,1 @@
+examples/survivable_transfer.ml: Apps Catenet Engine Format Internet Netsim Printf Routing Tcp

@@ -1,0 +1,1 @@
+examples/survivable_transfer.mli:

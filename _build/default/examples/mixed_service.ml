@@ -1,0 +1,135 @@
+(* Types of service (the paper's goal #2 and the reason TCP and IP split).
+
+   A packet-voice stream and a bulk file transfer share one slow trunk.
+   We run the voice stream twice: once over UDP (datagrams: late packets
+   are dropped, timely ones play) and once over TCP (reliable stream:
+   every packet arrives, far too late to play).  The numbers show why one
+   type of service cannot serve both masters.
+
+   Run with: dune exec examples/mixed_service.exe *)
+
+open Catenet
+
+let deadline_us = 150_000 (* a voice packet later than this is useless *)
+
+let build () =
+  let net = Internet.create () in
+  let talker = Internet.add_host net "talker" in
+  let listener = Internet.add_host net "listener" in
+  let gw1 = Internet.add_gateway net "gw1" in
+  let gw2 = Internet.add_gateway net "gw2" in
+  (* Fast LANs into a thin, congested trunk. *)
+  ignore
+    (Internet.connect net Netsim.Profiles.ethernet talker.Internet.h_node
+       gw1.Internet.g_node);
+  ignore
+    (Internet.connect net
+       (Netsim.profile "trunk" ~bandwidth_bps:256_000 ~delay_us:20_000
+          ~queue_capacity:20)
+       gw1.Internet.g_node gw2.Internet.g_node);
+  ignore
+    (Internet.connect net Netsim.Profiles.ethernet gw2.Internet.g_node
+       listener.Internet.h_node);
+  Internet.start net;
+  (net, talker, listener)
+
+let start_background_bulk net (talker : Internet.host)
+    (listener : Internet.host) =
+  ignore (Apps.Bulk.serve listener.Internet.h_tcp ~port:21 ~seed:3);
+  ignore
+    (Apps.Bulk.start talker.Internet.h_tcp
+       ~dst:(Internet.addr_of net listener.Internet.h_node)
+       ~dst_port:21 ~seed:3 ~total:2_000_000 ())
+
+let voice_over_udp () =
+  let net, talker, listener = build () in
+  start_background_bulk net talker listener;
+  let sink = Apps.Cbr.sink listener.Internet.h_udp ~port:5004 ~deadline_us in
+  ignore
+    (Apps.Cbr.source talker.Internet.h_udp
+       ~dst:(Internet.addr_of net listener.Internet.h_node)
+       ~dst_port:5004 ~payload_bytes:160 ~period_us:20_000 ~count:500
+       ~tos:Packet.Ipv4.Tos.Low_delay ());
+  Internet.run_for net 30.0;
+  Apps.Cbr.report sink
+
+let voice_over_tcp () =
+  (* The same 160-byte-every-20ms stream pushed through a reliable
+     sequenced connection. *)
+  let net, talker, listener = build () in
+  start_background_bulk net talker listener;
+  let eng = Internet.engine net in
+  let received = ref 0 in
+  let late = ref 0 in
+  let lost = ref 0 in
+  let delays = Stdext.Stats.Samples.create () in
+  ignore
+    (Tcp.listen listener.Internet.h_tcp ~port:5004 ~accept:(fun c ->
+         let pending = Buffer.create 256 in
+         Tcp.on_receive c (fun d ->
+             Buffer.add_bytes pending d;
+             while Buffer.length pending >= 160 do
+               let pkt = Buffer.sub pending 0 160 in
+               let rest = Buffer.sub pending 160 (Buffer.length pending - 160) in
+               Buffer.clear pending;
+               Buffer.add_string pending rest;
+               let ts =
+                 Int32.to_int (String.get_int32_be pkt 4) land 0xFFFFFFFF
+               in
+               let delay = Engine.now eng - ts in
+               Stdext.Stats.Samples.add delays (Engine.to_sec delay);
+               incr received;
+               if delay > deadline_us then incr late
+             done)));
+  let conn =
+    Tcp.connect talker.Internet.h_tcp
+      ~config:{ Tcp.default_config with Tcp.nagle = false }
+      ~dst:(Internet.addr_of net listener.Internet.h_node)
+      ~dst_port:5004 ()
+  in
+  let sent = ref 0 in
+  let rec tick () =
+    if !sent < 500 then begin
+      let pkt = Bytes.make 160 '\000' in
+      Bytes.set_int32_be pkt 0 (Int32.of_int !sent);
+      Bytes.set_int32_be pkt 4 (Int32.of_int (Engine.now eng land 0xFFFFFFFF));
+      if Tcp.send conn pkt = 0 then incr lost (* send buffer overflow *);
+      incr sent;
+      Engine.after eng 20_000 tick
+    end
+  in
+  Tcp.on_established conn (fun () -> tick ());
+  Internet.run_for net 60.0;
+  (!received, !late, delays)
+
+let () =
+  print_endline "voice + bulk transfer sharing a 256 kb/s trunk";
+  print_endline "";
+  let udp = voice_over_udp () in
+  Printf.printf "voice over UDP (the service built for it):\n";
+  Printf.printf "  delivered    : %d/500\n" udp.Apps.Cbr.received;
+  Printf.printf "  lost         : %d (dropped, never retransmitted)\n"
+    udp.Apps.Cbr.lost;
+  Printf.printf "  late (>%.0fms): %d\n"
+    (float_of_int deadline_us /. 1e3)
+    udp.Apps.Cbr.deadline_misses;
+  Printf.printf "  usable       : %d  (delivered - late)\n"
+    (udp.Apps.Cbr.received - udp.Apps.Cbr.deadline_misses);
+  Printf.printf "  median delay : %.1f ms, p95 %.1f ms\n"
+    (Stdext.Stats.Samples.median udp.Apps.Cbr.delay *. 1e3)
+    (Stdext.Stats.Samples.percentile udp.Apps.Cbr.delay 95.0 *. 1e3);
+  print_endline "";
+  let recv, late, delays = voice_over_tcp () in
+  Printf.printf "voice over TCP (reliability the application never asked for):\n";
+  Printf.printf "  delivered    : %d/500 (TCP never loses a byte...)\n" recv;
+  Printf.printf "  late (>%.0fms): %d (...it loses time instead)\n"
+    (float_of_int deadline_us /. 1e3)
+    late;
+  Printf.printf "  usable       : %d\n" (recv - late);
+  Printf.printf "  median delay : %.1f ms, p95 %.1f ms\n"
+    (Stdext.Stats.Samples.median delays *. 1e3)
+    (Stdext.Stats.Samples.percentile delays 95.0 *. 1e3);
+  print_endline "";
+  print_endline
+    "moral (Clark 1988, section 4): one network, two types of service -\n\
+     this is why UDP exists and why TCP was split out of IP."

@@ -1,0 +1,70 @@
+(* Quickstart: the smallest useful catenet.
+
+   Two hosts, one gateway, two different link technologies.  We open a TCP
+   connection across the gateway, stream half a megabyte through it, and
+   watch the transport verify every byte end-to-end.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Catenet
+
+let () =
+  (* 1. Build the network: h1 --ethernet-- gw --T1-- h2. *)
+  let net = Internet.create ~routing:Internet.Static () in
+  let h1 = Internet.add_host net "h1" in
+  let h2 = Internet.add_host net "h2" in
+  let gw = Internet.add_gateway net "gw" in
+  ignore
+    (Internet.connect net Netsim.Profiles.ethernet h1.Internet.h_node
+       gw.Internet.g_node);
+  ignore
+    (Internet.connect net Netsim.Profiles.t1 gw.Internet.g_node
+       h2.Internet.h_node);
+  Internet.start net;
+
+  Printf.printf "topology: h1 (%s) -- gw -- (%s) h2\n"
+    Netsim.Profiles.ethernet.Netsim.name Netsim.Profiles.t1.Netsim.name;
+  Printf.printf "h1 = %s, h2 = %s\n"
+    (Packet.Addr.to_string (Internet.addr_of net h1.Internet.h_node))
+    (Packet.Addr.to_string (Internet.addr_of net h2.Internet.h_node));
+
+  (* 2. Reachability check, 1970s style. *)
+  let pings =
+    Internet.ping net ~from:h1
+      (Internet.addr_of net h2.Internet.h_node)
+      ~count:4 ~interval_us:250_000
+  in
+  Internet.run_for net 2.0;
+  Printf.printf "ping h2: %d/4 replies, median rtt %.2f ms\n"
+    (Stdext.Stats.Samples.count pings)
+    (Stdext.Stats.Samples.median pings *. 1e3);
+
+  (* 3. A bulk TCP transfer with end-to-end integrity checking. *)
+  let seed = 42 in
+  let total = 500_000 in
+  let server = Apps.Bulk.serve h2.Internet.h_tcp ~port:21 ~seed in
+  let sender =
+    Apps.Bulk.start h1.Internet.h_tcp
+      ~dst:(Internet.addr_of net h2.Internet.h_node)
+      ~dst_port:21 ~seed ~total ()
+  in
+  Internet.run_for net 60.0;
+
+  (match Apps.Bulk.transfers server with
+  | [ tr ] ->
+      Printf.printf "transfer: %d bytes received, intact=%b\n"
+        tr.Apps.Bulk.received tr.Apps.Bulk.intact
+  | _ -> print_endline "unexpected transfer count");
+  (match Apps.Bulk.goodput_bps sender with
+  | Some bps -> Printf.printf "goodput: %.1f kB/s\n" (bps /. 1e3)
+  | None -> print_endline "transfer did not complete");
+
+  (* 4. A peek at the congestion machinery underneath. *)
+  let c = Apps.Bulk.conn sender in
+  let st = Tcp.stats c in
+  Printf.printf
+    "tcp: %d segments out, %d retransmitted, %d fast retransmits, srtt=%s\n"
+    st.Tcp.segs_out st.Tcp.retransmits st.Tcp.fast_retransmits
+    (match Tcp.srtt_us c with
+    | Some us -> Printf.sprintf "%.1f ms" (float_of_int us /. 1e3)
+    | None -> "-")

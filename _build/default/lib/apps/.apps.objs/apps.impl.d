@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Bulk Cbr Echo Pattern Reqrep

@@ -1,0 +1,1 @@
+lib/apps/bulk.ml: Bytes Engine Ip Pattern Tcp

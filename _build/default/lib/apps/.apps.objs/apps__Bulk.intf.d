@@ -1,0 +1,1 @@
+lib/apps/bulk.mli: Packet Tcp

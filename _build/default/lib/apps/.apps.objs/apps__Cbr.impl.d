@@ -1,0 +1,1 @@
+lib/apps/cbr.ml: Bytes Engine Hashtbl Int32 Ip Stdext Udp

@@ -1,0 +1,1 @@
+lib/apps/cbr.mli: Packet Stdext Udp

@@ -1,0 +1,1 @@
+lib/apps/echo.ml: Bytes Engine Ip Stdext Tcp

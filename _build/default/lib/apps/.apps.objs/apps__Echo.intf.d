@@ -1,0 +1,1 @@
+lib/apps/echo.mli: Packet Stdext Tcp

@@ -1,0 +1,1 @@
+lib/apps/pattern.ml: Bytes Char

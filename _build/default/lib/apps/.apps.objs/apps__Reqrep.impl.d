@@ -1,0 +1,1 @@
+lib/apps/reqrep.ml: Bytes Engine Ip Stdext Tcp

@@ -1,0 +1,1 @@
+lib/apps/reqrep.mli: Packet Stdext Tcp

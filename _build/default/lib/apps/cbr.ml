@@ -1,0 +1,94 @@
+module Samples = Stdext.Stats.Samples
+
+let packet_overhead = 8
+
+type sink = {
+  s_eng : Engine.t;
+  s_deadline : int;
+  mutable s_received : int;
+  mutable s_max_seq : int;
+  mutable s_dup : int;
+  mutable s_reordered : int;
+  mutable s_misses : int;
+  s_seen : (int, unit) Hashtbl.t;
+  s_delay : Samples.t;
+}
+
+type sink_report = {
+  received : int;
+  lost : int;
+  delay : Samples.t;
+  deadline_misses : int;
+  duplicates : int;
+  reordered : int;
+}
+
+let sink udp ~port ~deadline_us =
+  let eng = Ip.Stack.engine (Udp.stack udp) in
+  let s =
+    {
+      s_eng = eng;
+      s_deadline = deadline_us;
+      s_received = 0;
+      s_max_seq = -1;
+      s_dup = 0;
+      s_reordered = 0;
+      s_misses = 0;
+      s_seen = Hashtbl.create 256;
+      s_delay = Samples.create ();
+    }
+  in
+  let recv ~src:_ ~src_port:_ payload =
+    if Bytes.length payload >= packet_overhead then begin
+      let seq = Int32.to_int (Bytes.get_int32_be payload 0) in
+      let ts = Int32.to_int (Bytes.get_int32_be payload 4) land 0xFFFFFFFF in
+      if Hashtbl.mem s.s_seen seq then s.s_dup <- s.s_dup + 1
+      else begin
+        Hashtbl.add s.s_seen seq ();
+        s.s_received <- s.s_received + 1;
+        if seq < s.s_max_seq then s.s_reordered <- s.s_reordered + 1;
+        s.s_max_seq <- max s.s_max_seq seq;
+        (* Timestamps are the low 32 bits of engine time; unwrap against
+           now (runs are far shorter than 2^32 us anyway). *)
+        let now = Engine.now eng in
+        let delay = (now - ts) land 0xFFFFFFFF in
+        Samples.add s.s_delay (Engine.to_sec delay);
+        if delay > s.s_deadline then s.s_misses <- s.s_misses + 1
+      end
+    end
+  in
+  ignore (Udp.bind udp ~port ~recv ());
+  s
+
+let report s =
+  {
+    received = s.s_received;
+    lost = (if s.s_max_seq < 0 then 0 else s.s_max_seq + 1 - s.s_received);
+    delay = s.s_delay;
+    deadline_misses = s.s_misses;
+    duplicates = s.s_dup;
+    reordered = s.s_reordered;
+  }
+
+type source = { mutable src_sent : int; src_count : int }
+
+let sent s = s.src_sent
+let done_sending s = s.src_sent >= s.src_count
+
+let source udp ~dst ~dst_port ~payload_bytes ~period_us ~count ?tos () =
+  let eng = Ip.Stack.engine (Udp.stack udp) in
+  let sock = Udp.bind udp ~recv:(fun ~src:_ ~src_port:_ _ -> ()) () in
+  let s = { src_sent = 0; src_count = count } in
+  let payload_bytes = max packet_overhead payload_bytes in
+  let rec tick () =
+    if s.src_sent < count then begin
+      let buf = Bytes.make payload_bytes '\000' in
+      Bytes.set_int32_be buf 0 (Int32.of_int s.src_sent);
+      Bytes.set_int32_be buf 4 (Int32.of_int (Engine.now eng land 0xFFFFFFFF));
+      ignore (Udp.sendto sock ?tos ~dst ~dst_port buf);
+      s.src_sent <- s.src_sent + 1;
+      Engine.after eng period_us tick
+    end
+  in
+  Engine.after eng 1 tick;
+  s

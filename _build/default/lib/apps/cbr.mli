@@ -1,0 +1,43 @@
+(** Constant-bit-rate datagram traffic over UDP: the packet-voice workload
+    that motivated splitting TCP out of the internetwork layer (Clark §4).
+
+    The source emits a fixed-size packet on a fixed period; each packet
+    carries a sequence number and a send timestamp.  The sink measures
+    delivery ratio, one-way delay, jitter, and — the number that matters
+    for voice — how many packets missed their playout deadline.  Running
+    the same workload through TCP instead (experiment E3) shows why a
+    reliable, ordered service is the *wrong* type of service here. *)
+
+type sink
+
+type sink_report = {
+  received : int;
+  lost : int;  (** Gaps in the sequence space at report time. *)
+  delay : Stdext.Stats.Samples.t;  (** One-way delays, seconds. *)
+  deadline_misses : int;
+  duplicates : int;
+  reordered : int;
+}
+
+val sink : Udp.t -> port:int -> deadline_us:int -> sink
+val report : sink -> sink_report
+
+type source
+
+val source :
+  Udp.t ->
+  dst:Packet.Addr.t ->
+  dst_port:int ->
+  payload_bytes:int ->
+  period_us:int ->
+  count:int ->
+  ?tos:Packet.Ipv4.Tos.t ->
+  unit ->
+  source
+(** Start emitting immediately; stops after [count] packets. *)
+
+val sent : source -> int
+val done_sending : source -> bool
+
+val packet_overhead : int
+(** Bytes of sequence+timestamp header inside each payload: 8. *)

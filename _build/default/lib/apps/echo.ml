@@ -1,0 +1,77 @@
+module Samples = Stdext.Stats.Samples
+
+let serve tcp ~port =
+  let accept conn =
+    Tcp.on_receive conn (fun data -> ignore (Tcp.send conn data));
+    Tcp.on_peer_fin conn (fun () -> Tcp.close conn)
+  in
+  ignore (Tcp.listen tcp ~port ~accept)
+
+type client = {
+  c_eng : Engine.t;
+  c_conn : Tcp.conn;
+  c_size : int;
+  c_period : int;
+  c_count : int;
+  c_rtts : Samples.t;
+  mutable c_inflight_at : int option;
+  mutable c_received : int; (* bytes of the pending echo *)
+  mutable c_done : int;
+  mutable c_failed : bool;
+}
+
+let rtts c = c.c_rtts
+let completed c = c.c_done
+let failed c = c.c_failed
+
+let interactive_config tcp =
+  ignore tcp;
+  { Tcp.default_config with Tcp.nagle = false }
+
+let client tcp ~dst ~dst_port ~message_bytes ~period_us ~count () =
+  let eng = Ip.Stack.engine (Tcp.stack tcp) in
+  let conn =
+    Tcp.connect tcp ~config:(interactive_config tcp) ~dst ~dst_port ()
+  in
+  let c =
+    {
+      c_eng = eng;
+      c_conn = conn;
+      c_size = message_bytes;
+      c_period = period_us;
+      c_count = count;
+      c_rtts = Samples.create ();
+      c_inflight_at = None;
+      c_received = 0;
+      c_done = 0;
+      c_failed = false;
+    }
+  in
+  let rec fire () =
+    if (not c.c_failed) && c.c_done < c.c_count && c.c_inflight_at = None
+    then begin
+      c.c_inflight_at <- Some (Engine.now eng);
+      c.c_received <- 0;
+      ignore (Tcp.send conn (Bytes.make c.c_size 'k'))
+    end
+  and maybe_next () =
+    if c.c_done < c.c_count then Engine.after eng c.c_period fire
+    else Tcp.close conn
+  in
+  Tcp.on_established conn (fun () -> fire ());
+  Tcp.on_receive conn (fun data ->
+      c.c_received <- c.c_received + Bytes.length data;
+      if c.c_received >= c.c_size then begin
+        (match c.c_inflight_at with
+        | Some at ->
+            Samples.add c.c_rtts (Engine.to_sec (Engine.now eng - at))
+        | None -> ());
+        c.c_inflight_at <- None;
+        c.c_done <- c.c_done + 1;
+        maybe_next ()
+      end);
+  Tcp.on_close conn (fun reason ->
+      match reason with
+      | Tcp.Graceful -> ()
+      | Tcp.Reset | Tcp.Timed_out | Tcp.Refused -> c.c_failed <- true);
+  c

@@ -1,0 +1,25 @@
+(** Interactive echo over TCP (the remote-login-shaped workload): small
+    keystrokes-worth of data on a fixed cadence, echoed by the server,
+    with round-trip times recorded at the client.  Nagle is disabled, as
+    an interactive application would. *)
+
+val serve : Tcp.t -> port:int -> unit
+(** Echo everything back on every accepted connection. *)
+
+type client
+
+val client :
+  Tcp.t ->
+  dst:Packet.Addr.t ->
+  dst_port:int ->
+  message_bytes:int ->
+  period_us:int ->
+  count:int ->
+  unit ->
+  client
+
+val rtts : client -> Stdext.Stats.Samples.t
+(** Round-trip times in seconds, one per completed echo. *)
+
+val completed : client -> int
+val failed : client -> bool

@@ -1,0 +1,26 @@
+let byte ~seed i = Char.chr (((i * 31) + seed) land 0xff)
+
+let fill ~seed ~off buf =
+  for i = 0 to Bytes.length buf - 1 do
+    Bytes.set buf i (byte ~seed (off + i))
+  done
+
+let make ~seed ~off n =
+  let b = Bytes.create n in
+  fill ~seed ~off b;
+  b
+
+type checker = { seed : int; mutable pos : int; mutable ok : bool }
+
+let checker ~seed = { seed; pos = 0; ok = true }
+
+let check c chunk =
+  for i = 0 to Bytes.length chunk - 1 do
+    if Bytes.get chunk i <> byte ~seed:c.seed (c.pos + i) then c.ok <- false
+  done;
+  c.pos <- c.pos + Bytes.length chunk;
+  c.ok
+
+let checked c = c.pos
+
+let ok c = c.ok

@@ -1,0 +1,30 @@
+(** Deterministic payload patterns for end-to-end integrity checking.
+
+    Every workload that moves bulk data fills it with a position-dependent
+    pattern so the receiver can verify, byte by byte, that the transport
+    delivered exactly the right stream — the end-to-end check that
+    hop-by-hop reliability cannot substitute for. *)
+
+val byte : seed:int -> int -> char
+(** [byte ~seed i] is the pattern byte at stream position [i]. *)
+
+val fill : seed:int -> off:int -> bytes -> unit
+(** Fill a buffer with the pattern for stream positions
+    [off, off + length). *)
+
+val make : seed:int -> off:int -> int -> bytes
+(** Fresh patterned buffer. *)
+
+(** Incremental verifier. *)
+type checker
+
+val checker : seed:int -> checker
+
+val check : checker -> bytes -> bool
+(** Feed the next chunk of the stream; [false] if any byte mismatched
+    (sticky). *)
+
+val checked : checker -> int
+(** Bytes verified so far. *)
+
+val ok : checker -> bool

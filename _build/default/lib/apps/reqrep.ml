@@ -1,0 +1,82 @@
+module Samples = Stdext.Stats.Samples
+
+let serve tcp ~port ~request_bytes ~response_bytes =
+  let accept conn =
+    let pending = ref 0 in
+    Tcp.on_receive conn (fun data ->
+        pending := !pending + Bytes.length data;
+        while !pending >= request_bytes do
+          pending := !pending - request_bytes;
+          ignore (Tcp.send conn (Bytes.make response_bytes 'r'))
+        done);
+    Tcp.on_peer_fin conn (fun () -> Tcp.close conn)
+  in
+  ignore (Tcp.listen tcp ~port ~accept)
+
+type client = {
+  c_eng : Engine.t;
+  c_conn : Tcp.conn;
+  c_req : int;
+  c_resp : int;
+  c_count : int;
+  c_gap : int;
+  c_lat : Samples.t;
+  mutable c_sent_at : int;
+  mutable c_got : int;
+  mutable c_done : int;
+  mutable c_failed : bool;
+}
+
+let latencies c = c.c_lat
+let completed c = c.c_done
+let failed c = c.c_failed
+
+let client tcp ~dst ~dst_port ~request_bytes ~response_bytes ~count
+    ?(gap_us = 0) () =
+  let eng = Ip.Stack.engine (Tcp.stack tcp) in
+  let conn =
+    Tcp.connect tcp
+      ~config:{ Tcp.default_config with Tcp.nagle = false }
+      ~dst ~dst_port ()
+  in
+  let c =
+    {
+      c_eng = eng;
+      c_conn = conn;
+      c_req = request_bytes;
+      c_resp = response_bytes;
+      c_count = count;
+      c_gap = gap_us;
+      c_lat = Samples.create ();
+      c_sent_at = 0;
+      c_got = 0;
+      c_done = 0;
+      c_failed = false;
+    }
+  in
+  let rec ask () =
+    if (not c.c_failed) && c.c_done < c.c_count then begin
+      c.c_sent_at <- Engine.now eng;
+      c.c_got <- 0;
+      ignore (Tcp.send conn (Bytes.make c.c_req 'q'))
+    end
+    else if not c.c_failed then Tcp.close conn
+  and finish_one () =
+    Samples.add c.c_lat (Engine.to_sec (Engine.now eng - c.c_sent_at));
+    c.c_done <- c.c_done + 1;
+    if c.c_done >= c.c_count then Tcp.close conn
+    else if c.c_gap = 0 then ask ()
+    else Engine.after eng c.c_gap ask
+  in
+  Tcp.on_established conn (fun () -> ask ());
+  Tcp.on_receive conn (fun data ->
+      c.c_got <- c.c_got + Bytes.length data;
+      while c.c_got >= c.c_resp do
+        c.c_got <- c.c_got - c.c_resp;
+        finish_one ()
+      done);
+  Tcp.on_close conn (fun reason ->
+      match reason with
+      | Tcp.Graceful -> ()
+      | Tcp.Reset | Tcp.Timed_out | Tcp.Refused -> c.c_failed <- true);
+  c

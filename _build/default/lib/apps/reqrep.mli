@@ -1,0 +1,27 @@
+(** Request/response over TCP: a client sends fixed-size requests on one
+    persistent connection; the server answers each with a fixed-size
+    response.  Response times are recorded at the client.  This is the
+    transaction-shaped traffic ("mail", early name servers) that sits
+    between bulk transfer and interactive echo. *)
+
+val serve : Tcp.t -> port:int -> request_bytes:int -> response_bytes:int -> unit
+(** Answer every [request_bytes]-long request with [response_bytes] of
+    patterned data. *)
+
+type client
+
+val client :
+  Tcp.t ->
+  dst:Packet.Addr.t ->
+  dst_port:int ->
+  request_bytes:int ->
+  response_bytes:int ->
+  count:int ->
+  ?gap_us:int ->
+  unit ->
+  client
+(** Issue [count] requests back to back (or [gap_us] apart), then close. *)
+
+val latencies : client -> Stdext.Stats.Samples.t
+val completed : client -> int
+val failed : client -> bool

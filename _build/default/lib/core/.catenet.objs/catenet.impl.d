@@ -1,0 +1,1 @@
+lib/core/catenet.ml: Apps Engine Internet Ip Netsim Packet Routing Tcp Udp Vc

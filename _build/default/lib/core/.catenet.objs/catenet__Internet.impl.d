@@ -1,0 +1,1 @@
+lib/core/internet.ml: Array Bytes Engine Hashtbl Int Ip List Netsim Option Packet Queue Routing Stdext Tcp Udp

@@ -1,0 +1,1 @@
+lib/core/internet.mli: Engine Ip Netsim Packet Routing Stdext Tcp Udp

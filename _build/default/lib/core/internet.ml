@@ -1,0 +1,408 @@
+module Addr = Packet.Addr
+module Prefix = Addr.Prefix
+
+type routing_mode = Static | Distance_vector | Link_state
+
+type host = {
+  h_node : Netsim.node_id;
+  h_ip : Ip.Stack.t;
+  h_udp : Udp.t;
+  h_tcp : Tcp.t;
+}
+
+type gateway = {
+  g_node : Netsim.node_id;
+  g_ip : Ip.Stack.t;
+  g_udp : Udp.t;
+  mutable g_dv : Routing.Dv.t option;
+  mutable g_ls : Routing.Ls.t option;
+}
+
+type node_kind = Host of host | Gateway of gateway
+
+type link_info = {
+  li_id : Netsim.link_id;
+  li_subnet : Prefix.t;
+  li_a : Netsim.node_id;
+  li_b : Netsim.node_id;
+  li_addr_a : Addr.t;
+  li_addr_b : Addr.t;
+}
+
+type t = {
+  eng : Engine.t;
+  nsim : Netsim.t;
+  routing : routing_mode;
+  tcp_config : Tcp.config;
+  dv_config : Routing.Dv.config;
+  ls_config : Routing.Ls.config;
+  mutable kinds : (Netsim.node_id * node_kind) list;
+  mutable names : (string * Netsim.node_id) list;
+  mutable links : link_info list;
+  mutable started : bool;
+}
+
+let create ?(seed = 42) ?(routing = Static) ?(tcp_config = Tcp.default_config)
+    ?(dv_config = Routing.Dv.default_config)
+    ?(ls_config = Routing.Ls.default_config) () =
+  let eng = Engine.create () in
+  {
+    eng;
+    nsim = Netsim.create ~seed eng;
+    routing;
+    tcp_config;
+    dv_config;
+    ls_config;
+    kinds = [];
+    names = [];
+    links = [];
+    started = false;
+  }
+
+let engine t = t.eng
+let net t = t.nsim
+
+let stack_of t node =
+  match List.assoc_opt node t.kinds with
+  | Some (Host h) -> h.h_ip
+  | Some (Gateway g) -> g.g_ip
+  | None -> invalid_arg "Internet: unknown node"
+
+let kind_of t node = List.assoc_opt node t.kinds
+
+let add_host t name =
+  let node = Netsim.add_node t.nsim name in
+  let ip = Ip.Stack.create ~forwarding:false t.nsim node in
+  let udp = Udp.create ip in
+  let tcp = Tcp.create ~config:t.tcp_config ip in
+  let h = { h_node = node; h_ip = ip; h_udp = udp; h_tcp = tcp } in
+  t.kinds <- (node, Host h) :: t.kinds;
+  t.names <- (name, node) :: t.names;
+  h
+
+let add_gateway t name =
+  let node = Netsim.add_node t.nsim name in
+  let ip = Ip.Stack.create ~forwarding:true t.nsim node in
+  let udp = Udp.create ip in
+  let g = { g_node = node; g_ip = ip; g_udp = udp; g_dv = None; g_ls = None } in
+  t.kinds <- (node, Gateway g) :: t.kinds;
+  t.names <- (name, node) :: t.names;
+  g
+
+let node_of_name t name =
+  match List.assoc_opt name t.names with
+  | Some n -> n
+  | None -> raise Not_found
+
+let host t name =
+  match kind_of t (node_of_name t name) with
+  | Some (Host h) -> h
+  | Some (Gateway _) | None -> raise Not_found
+
+let gateway t name =
+  match kind_of t (node_of_name t name) with
+  | Some (Gateway g) -> g
+  | Some (Host _) | None -> raise Not_found
+
+(* Each link gets 10.x.y.0/24 where (x, y) encode the link index. *)
+let subnet_of_index k =
+  Prefix.make (Addr.v 10 (((k + 1) lsr 8) land 0xff) ((k + 1) land 0xff) 0) 24
+
+let host_default_route t (h : host) iface =
+  (* Hosts send everything to the gateway at the other end of their first
+     link; the gateway address is .1 or .2 opposite ours. *)
+  let peer_node, peer_iface = Netsim.peer t.nsim h.h_node iface in
+  match kind_of t peer_node with
+  | Some (Gateway g) -> (
+      match Ip.Stack.iface_addr g.g_ip peer_iface with
+      | Some gw_addr ->
+          let table = Ip.Stack.table h.h_ip in
+          if Ip.Route_table.find table Prefix.default = None then
+            Ip.Route_table.add table
+              {
+                Ip.Route_table.prefix = Prefix.default;
+                iface;
+                next_hop = Some gw_addr;
+                metric = 10;
+              }
+      | None -> ())
+  | Some (Host _) | None -> ()
+
+let connect t profile na nb =
+  let id = Netsim.add_link t.nsim profile na nb in
+  let subnet = subnet_of_index id in
+  let base = Prefix.network subnet in
+  let addr_a = Addr.succ base in
+  let addr_b = Addr.succ addr_a in
+  let (a_node, a_iface), (b_node, b_iface) = Netsim.endpoints t.nsim id in
+  let lo_first = a_node <= b_node in
+  let addr_of_side node = if (node = a_node) = lo_first then addr_a else addr_b in
+  Ip.Stack.configure_iface (stack_of t a_node) a_iface
+    ~addr:(addr_of_side a_node) ~prefix_len:24;
+  Ip.Stack.configure_iface (stack_of t b_node) b_iface
+    ~addr:(addr_of_side b_node) ~prefix_len:24;
+  t.links <-
+    {
+      li_id = id;
+      li_subnet = subnet;
+      li_a = a_node;
+      li_b = b_node;
+      li_addr_a = addr_of_side a_node;
+      li_addr_b = addr_of_side b_node;
+    }
+    :: t.links;
+  (* Default routes for hosts hanging off gateways. *)
+  (match kind_of t a_node with
+  | Some (Host h) -> host_default_route t h a_iface
+  | Some (Gateway _) | None -> ());
+  (match kind_of t b_node with
+  | Some (Host h) -> host_default_route t h b_iface
+  | Some (Gateway _) | None -> ());
+  id
+
+let link_info t id =
+  match List.find_opt (fun l -> l.li_id = id) t.links with
+  | Some l -> l
+  | None -> invalid_arg "Internet: unknown link"
+
+let link_subnet t id = (link_info t id).li_subnet
+
+let addr_on_link t id node =
+  let l = link_info t id in
+  if l.li_a = node then l.li_addr_a
+  else if l.li_b = node then l.li_addr_b
+  else invalid_arg "Internet.addr_on_link: node not on link"
+
+let addr_of t node = Ip.Stack.primary_addr (stack_of t node)
+
+(* --- static (god-view) routing ----------------------------------------- *)
+
+(* BFS hop-count shortest paths from every node; install a route for every
+   link subnet. *)
+let recompute_static t =
+  let n = Netsim.node_count t.nsim in
+  List.iter
+    (fun (node, kind) ->
+      ignore kind;
+      let table = Ip.Stack.table (stack_of t node) in
+      let is_host = match kind with Host _ -> true | Gateway _ -> false in
+      (* Keep connected routes — and, on hosts, the default route toward
+         their gateway, which covers destinations the builder does not
+         know about; drop everything previously computed. *)
+      List.iter
+        (fun (r : Ip.Route_table.route) ->
+          let keep_default =
+            is_host && Prefix.equal r.prefix Prefix.default
+          in
+          if (r.next_hop <> None || r.metric > 0) && not keep_default then
+            Ip.Route_table.remove table r.prefix)
+        (Ip.Route_table.entries table);
+      (* BFS from [node]. *)
+      let dist = Array.make n max_int in
+      let first_iface = Array.make n (-1) in
+      let first_hop_addr = Array.make n Addr.any in
+      dist.(node) <- 0;
+      let q = Queue.create () in
+      Queue.push node q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        for i = 0 to Netsim.iface_count t.nsim u - 1 do
+          let link = Netsim.iface_link t.nsim u i in
+          let v, viface = Netsim.peer t.nsim u i in
+          (* Hosts do not forward: only expand through gateways (or the
+             origin itself). *)
+          let expandable =
+            u = node
+            ||
+            match kind_of t u with
+            | Some (Gateway _) -> true
+            | Some (Host _) | None -> false
+          in
+          if
+            expandable
+            && Netsim.link_is_up t.nsim link
+            && Netsim.node_is_up t.nsim v
+            && dist.(v) = max_int
+          then begin
+            dist.(v) <- dist.(u) + 1;
+            if u = node then begin
+              first_iface.(v) <- i;
+              (* [v] may be a node managed outside the builder (e.g. a
+                 hand-rolled minimal host); skip address resolution then. *)
+              match kind_of t v with
+              | None -> ()
+              | Some _ -> (
+                  match Ip.Stack.iface_addr (stack_of t v) viface with
+                  | Some a -> first_hop_addr.(v) <- a
+                  | None -> ())
+            end
+            else begin
+              first_iface.(v) <- first_iface.(u);
+              first_hop_addr.(v) <- first_hop_addr.(u)
+            end;
+            Queue.push v q
+          end
+        done
+      done;
+      (* For each link subnet, route toward the nearer endpoint. *)
+      List.iter
+        (fun l ->
+          let candidates =
+            List.filter (fun e -> dist.(e) < max_int) [ l.li_a; l.li_b ]
+          in
+          match
+            List.sort (fun x y -> Int.compare dist.(x) dist.(y)) candidates
+          with
+          | [] -> ()
+          | e :: _ ->
+              if e <> node && dist.(e) > 0 then
+                Ip.Route_table.add table
+                  {
+                    Ip.Route_table.prefix = l.li_subnet;
+                    iface = first_iface.(e);
+                    next_hop = Some first_hop_addr.(e);
+                    metric = dist.(e);
+                  })
+        t.links)
+    t.kinds
+
+(* --- routing protocol wiring -------------------------------------------- *)
+
+let gateway_neighbors t (g : gateway) =
+  let acc = ref [] in
+  for i = 0 to Netsim.iface_count t.nsim g.g_node - 1 do
+    let peer_node, peer_iface = Netsim.peer t.nsim g.g_node i in
+    match kind_of t peer_node with
+    | Some (Gateway pg) -> (
+        match Ip.Stack.iface_addr pg.g_ip peer_iface with
+        | Some a -> acc := (i, a) :: !acc
+        | None -> ())
+    | Some (Host _) | None -> ()
+  done;
+  !acc
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    match t.routing with
+    | Static -> recompute_static t
+    | Distance_vector ->
+        List.iter
+          (fun (_, kind) ->
+            match kind with
+            | Host _ -> ()
+            | Gateway g ->
+                let dv = Routing.Dv.create ~config:t.dv_config g.g_udp in
+                List.iter
+                  (fun (iface, addr) -> Routing.Dv.add_neighbor dv iface addr)
+                  (gateway_neighbors t g);
+                Routing.Dv.start dv;
+                g.g_dv <- Some dv)
+          t.kinds
+    | Link_state ->
+        List.iter
+          (fun (_, kind) ->
+            match kind with
+            | Host _ -> ()
+            | Gateway g ->
+                let ls = Routing.Ls.create ~config:t.ls_config g.g_udp in
+                List.iter
+                  (fun (iface, addr) ->
+                    Routing.Ls.add_neighbor ls iface addr ~cost:1)
+                  (gateway_neighbors t g);
+                Routing.Ls.start ls;
+                g.g_ls <- Some ls)
+          t.kinds
+  end
+
+let run_for t seconds =
+  Engine.run ~until:(Engine.now t.eng + Engine.sec seconds) t.eng
+
+let run_until_idle ?max_events t = Engine.run ?max_events t.eng
+
+let fail_link t id = Netsim.set_link_up t.nsim id false
+let heal_link t id = Netsim.set_link_up t.nsim id true
+let crash_node t node = Netsim.set_node_up t.nsim node false
+let restore_node t node = Netsim.set_node_up t.nsim node true
+
+type hop_report = {
+  hop_ttl : int;
+  hop_addr : Addr.t option;
+  hop_rtt : float option;
+  hop_reached : bool;
+}
+
+let traceroute t ~from dst ?(max_ttl = 16) () =
+  let reports : hop_report list ref = ref [] in
+  let sent_at = Hashtbl.create 16 in
+  let done_ = ref false in
+  let record ttl addr reached =
+    if (not !done_) && not (List.exists (fun r -> r.hop_ttl = ttl) !reports)
+    then begin
+      let rtt =
+        Option.map
+          (fun at -> Engine.to_sec (Engine.now t.eng - at))
+          (Hashtbl.find_opt sent_at ttl)
+      in
+      reports :=
+        List.sort
+          (fun a b -> Int.compare a.hop_ttl b.hop_ttl)
+          ({ hop_ttl = ttl; hop_addr = addr; hop_rtt = rtt;
+             hop_reached = reached }
+          :: !reports);
+      if reached then done_ := true
+    end
+  in
+  (* Time-exceeded quotes our probe: the echo header's id/seq fields sit
+     at bytes 24..27 of the quoted original (IP header + first 8 payload
+     bytes), and we put the TTL in seq. *)
+  Ip.Stack.add_error_handler from.h_ip (fun ~from:reporter msg ->
+      match msg with
+      | Packet.Icmp_wire.Time_exceeded { original } ->
+          if Bytes.length original >= 28 then begin
+            let id = Bytes.get_uint16_be original 24 in
+            let seq = Bytes.get_uint16_be original 26 in
+            if id = 0xF0F0 then record seq (Some reporter) false
+          end
+      | Packet.Icmp_wire.Dest_unreachable _ | Packet.Icmp_wire.Echo_request _
+      | Packet.Icmp_wire.Echo_reply _ ->
+          ());
+  Ip.Stack.set_echo_reply_handler from.h_ip (fun ~id ~seq ~payload:_ ->
+      if id = 0xF0F0 then record seq (Some dst) true);
+  let rec probe ttl =
+    if ttl <= max_ttl && not !done_ then begin
+      Hashtbl.replace sent_at ttl (Engine.now t.eng);
+      (* Hand-build the echo request so we control TTL and IP id. *)
+      let msg =
+        Packet.Icmp_wire.Echo_request
+          { id = 0xF0F0; seq = ttl; payload = Bytes.make 8 't' }
+      in
+      ignore
+        (Ip.Stack.send from.h_ip ~ttl ~proto:Packet.Ipv4.Proto.Icmp ~dst
+           (Packet.Icmp_wire.encode msg));
+      Engine.after t.eng 300_000 (fun () -> probe (ttl + 1))
+    end
+  in
+  Engine.after t.eng 1 (fun () -> probe 1);
+  reports
+
+let ping t ~from dst ~count ~interval_us =
+  let samples = Stdext.Stats.Samples.create () in
+  let sent_at = Hashtbl.create 16 in
+  Ip.Stack.set_echo_reply_handler from.h_ip (fun ~id:_ ~seq ~payload:_ ->
+      match Hashtbl.find_opt sent_at seq with
+      | Some at ->
+          Stdext.Stats.Samples.add samples
+            (Engine.to_sec (Engine.now t.eng - at));
+          Hashtbl.remove sent_at seq
+      | None -> ());
+  let rec fire seq =
+    if seq < count then begin
+      Hashtbl.replace sent_at seq (Engine.now t.eng);
+      Ip.Stack.send_echo_request from.h_ip ~dst ~id:1 ~seq
+        ~payload:(Bytes.make 32 'p');
+      Engine.after t.eng interval_us (fun () -> fire (seq + 1))
+    end
+  in
+  Engine.after t.eng 1 (fun () -> fire 0);
+  samples

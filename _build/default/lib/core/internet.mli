@@ -1,0 +1,110 @@
+(** The assembled catenet: hosts and gateways wired over heterogeneous
+    links, with addressing, routing and failure injection in one place.
+
+    This is the "realization" layer (Clark §9): the architecture itself —
+    datagrams, IP, TCP, UDP — lives in the other libraries; this module
+    composes one concrete internet out of them.  Every example and every
+    experiment starts here. *)
+
+type routing_mode =
+  | Static  (** God-view shortest paths, installed directly. *)
+  | Distance_vector
+  | Link_state
+
+type host = {
+  h_node : Netsim.node_id;
+  h_ip : Ip.Stack.t;
+  h_udp : Udp.t;
+  h_tcp : Tcp.t;
+}
+
+type gateway = {
+  g_node : Netsim.node_id;
+  g_ip : Ip.Stack.t;
+  g_udp : Udp.t;
+  mutable g_dv : Routing.Dv.t option;
+  mutable g_ls : Routing.Ls.t option;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?routing:routing_mode ->
+  ?tcp_config:Tcp.config ->
+  ?dv_config:Routing.Dv.config ->
+  ?ls_config:Routing.Ls.config ->
+  unit ->
+  t
+(** Defaults: seed 42, [Static] routing, stock TCP. *)
+
+val engine : t -> Engine.t
+val net : t -> Netsim.t
+
+val add_host : t -> string -> host
+val add_gateway : t -> string -> gateway
+
+val host : t -> string -> host
+(** Look up by name.  @raise Not_found. *)
+
+val gateway : t -> string -> gateway
+
+val connect : t -> Netsim.profile -> Netsim.node_id -> Netsim.node_id -> Netsim.link_id
+(** Link two nodes.  Each link becomes its own /24 network
+    ([10.x.y.0/24]); the lower node id gets [.1], the other [.2].
+    Connected routes and host default routes are installed immediately. *)
+
+val addr_of : t -> Netsim.node_id -> Packet.Addr.t
+(** The node's primary address.  @raise Failure if unconfigured. *)
+
+val addr_on_link : t -> Netsim.link_id -> Netsim.node_id -> Packet.Addr.t
+(** The node's address on a specific link. *)
+
+val start : t -> unit
+(** Finalize: install static routes, or start the routing protocols on
+    every gateway (with neighbor relations derived from the topology). *)
+
+val run_for : t -> float -> unit
+(** Advance the simulation by the given number of seconds. *)
+
+val run_until_idle : ?max_events:int -> t -> unit
+
+(** {1 Failure injection} *)
+
+val fail_link : t -> Netsim.link_id -> unit
+val heal_link : t -> Netsim.link_id -> unit
+
+val crash_node : t -> Netsim.node_id -> unit
+(** Power off: the node stops sending and receiving.  Its IP stack keeps
+    no connection state worth preserving — that is the architecture's
+    point — and its routing adjacencies will be detected dead by the
+    neighbors. *)
+
+val restore_node : t -> Netsim.node_id -> unit
+
+val recompute_static : t -> unit
+(** Re-derive god-view routes (only meaningful in [Static] mode, e.g.
+    after failing a link). *)
+
+(** {1 Conveniences} *)
+
+val ping :
+  t -> from:host -> Packet.Addr.t -> count:int -> interval_us:int ->
+  Stdext.Stats.Samples.t
+(** Fire-and-collect ICMP echo: returns the samples collector, which
+    fills in as the simulation runs. *)
+
+type hop_report = {
+  hop_ttl : int;
+  hop_addr : Packet.Addr.t option;  (** Reporting gateway, [None] = no reply. *)
+  hop_rtt : float option;  (** Seconds. *)
+  hop_reached : bool;  (** The probe reached the destination itself. *)
+}
+
+val traceroute :
+  t -> from:host -> Packet.Addr.t -> ?max_ttl:int -> unit -> hop_report list ref
+(** Classic TTL sweep using ICMP echo probes: gateway k answers the TTL-k
+    probe with time-exceeded, the destination with an echo reply.  The
+    returned list fills in (ordered by TTL) as the simulation runs. *)
+
+val link_subnet : t -> Netsim.link_id -> Packet.Addr.Prefix.t

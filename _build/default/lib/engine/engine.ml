@@ -1,0 +1,78 @@
+type event = { mutable cancelled : bool; fn : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  mutable seq : int;
+  queue : event Stdext.Heap.t;
+}
+
+let create () = { clock = 0; seq = 0; queue = Stdext.Heap.create () }
+
+let now t = t.clock
+
+let us d = d
+let ms d = d * 1_000
+let sec s = int_of_float ((s *. 1e6) +. 0.5)
+let to_sec us = float_of_int us /. 1e6
+
+let schedule_event t ~at fn =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at t.clock);
+  let ev = { cancelled = false; fn } in
+  Stdext.Heap.push t.queue ~key:at ~seq:t.seq ev;
+  t.seq <- t.seq + 1;
+  ev
+
+let schedule t ~at fn = ignore (schedule_event t ~at fn)
+
+let after t d fn = schedule t ~at:(t.clock + d) fn
+
+module Timer = struct
+  type handle = { ev : event; mutable fired : bool }
+
+  let start t ~after fn =
+    let h = ref None in
+    let ev =
+      schedule_event t ~at:(t.clock + after) (fun () ->
+          (match !h with Some handle -> handle.fired <- true | None -> ());
+          fn ())
+    in
+    let handle = { ev; fired = false } in
+    h := Some handle;
+    handle
+
+  let cancel h = h.ev.cancelled <- true
+
+  let active h = (not h.fired) && not h.ev.cancelled
+end
+
+let pending t = Stdext.Heap.length t.queue
+
+let step t =
+  match Stdext.Heap.pop t.queue with
+  | None -> false
+  | Some (at, _, ev) ->
+      t.clock <- at;
+      if not ev.cancelled then ev.fn ();
+      true
+
+let run ?until ?max_events t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match max_events with
+    | Some m when !executed >= m -> continue := false
+    | Some _ | None -> ());
+    if !continue then
+      match Stdext.Heap.peek t.queue with
+      | None -> continue := false
+      | Some (at, _, _) -> (
+          match until with
+          | Some u when at > u ->
+              t.clock <- u;
+              continue := false
+          | Some _ | None ->
+              ignore (step t);
+              incr executed)
+  done

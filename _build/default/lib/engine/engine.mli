@@ -1,0 +1,59 @@
+(** Discrete-event simulation engine.
+
+    A single virtual clock (integer microseconds) and an event queue; every
+    protocol timer, link transmission and application action in the system
+    is an event on one engine.  Events scheduled for the same instant fire
+    in scheduling order, so runs are fully deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine with the clock at 0. *)
+
+val now : t -> int
+(** Current virtual time in microseconds. *)
+
+val us : int -> int
+(** Identity on microseconds; for call-site readability. *)
+
+val ms : int -> int
+(** Milliseconds to microseconds. *)
+
+val sec : float -> int
+(** Seconds to microseconds (rounded). *)
+
+val to_sec : int -> float
+(** Microseconds to seconds. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] when the clock reaches [at].  Scheduling in
+    the past is an error ([Invalid_argument]). *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t d f] runs [f] [d] microseconds from now. *)
+
+(** Cancellable timers, used for protocol timeouts that are usually
+    cancelled before firing (retransmission, delayed ACK, reassembly). *)
+module Timer : sig
+  type handle
+
+  val start : t -> after:int -> (unit -> unit) -> handle
+  (** Arm a one-shot timer. *)
+
+  val cancel : handle -> unit
+  (** Disarm; harmless if already fired or cancelled. *)
+
+  val active : handle -> bool
+  (** [true] while armed and not yet fired. *)
+end
+
+val pending : t -> int
+(** Number of events still queued (including cancelled timer shells). *)
+
+val step : t -> bool
+(** Execute the next event.  [false] if the queue was empty. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Drain the queue.  [until] stops the clock from advancing past the given
+    time (events at exactly [until] still run); [max_events] bounds work as
+    a runaway guard. *)

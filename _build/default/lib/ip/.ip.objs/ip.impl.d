@@ -1,0 +1,1 @@
+lib/ip/ip.ml: Accounting Reassembly Route_table Stack

@@ -1,0 +1,1 @@
+lib/ip/accounting.ml: Bytes Format Hashtbl Int List Option Packet

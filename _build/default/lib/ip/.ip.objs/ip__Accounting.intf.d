@@ -1,0 +1,1 @@
+lib/ip/accounting.mli: Format Packet

@@ -1,0 +1,1 @@
+lib/ip/reassembly.ml: Bytes Engine Hashtbl List Packet

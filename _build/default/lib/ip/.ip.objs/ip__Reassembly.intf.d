@@ -1,0 +1,1 @@
+lib/ip/reassembly.mli: Engine Packet

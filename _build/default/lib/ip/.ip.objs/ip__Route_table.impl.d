@@ -1,0 +1,1 @@
+lib/ip/route_table.ml: Array Format List Netsim Packet Printf

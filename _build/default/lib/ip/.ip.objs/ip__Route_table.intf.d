@@ -1,0 +1,1 @@
+lib/ip/route_table.mli: Format Netsim Packet

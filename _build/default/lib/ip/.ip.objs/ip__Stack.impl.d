@@ -1,0 +1,1 @@
+lib/ip/stack.ml: Accounting Bytes Engine Hashtbl List Netsim Packet Reassembly Route_table

@@ -1,0 +1,1 @@
+lib/ip/stack.mli: Accounting Engine Netsim Packet Route_table

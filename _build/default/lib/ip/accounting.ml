@@ -1,0 +1,49 @@
+module Addr = Packet.Addr
+module Ipv4 = Packet.Ipv4
+
+type flow = {
+  src : Addr.t;
+  dst : Addr.t;
+  proto : Ipv4.Proto.t;
+  src_port : int;
+  dst_port : int;
+}
+
+type usage = { packets : int; bytes : int }
+
+type t = { table : (flow, usage ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+(* Ports sit in the first 4 bytes of both TCP and UDP headers, but only in
+   the first fragment of a fragmented datagram. *)
+let ports_of (h : Ipv4.header) payload =
+  match h.proto with
+  | Ipv4.Proto.Tcp | Ipv4.Proto.Udp
+    when h.frag_offset = 0 && Bytes.length payload >= 4 ->
+      (Bytes.get_uint16_be payload 0, Bytes.get_uint16_be payload 2)
+  | Ipv4.Proto.Tcp | Ipv4.Proto.Udp | Ipv4.Proto.Icmp | Ipv4.Proto.Other _ ->
+      (0, 0)
+
+let record t (h : Ipv4.header) ~payload ~wire_bytes =
+  let src_port, dst_port = ports_of h payload in
+  let flow = { src = h.src; dst = h.dst; proto = h.proto; src_port; dst_port } in
+  match Hashtbl.find_opt t.table flow with
+  | Some u -> u := { packets = !u.packets + 1; bytes = !u.bytes + wire_bytes }
+  | None -> Hashtbl.add t.table flow (ref { packets = 1; bytes = wire_bytes })
+
+let flows t =
+  Hashtbl.fold (fun f u acc -> (f, !u) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b.bytes a.bytes)
+
+let lookup t flow = Option.map ( ! ) (Hashtbl.find_opt t.table flow)
+
+let total t =
+  Hashtbl.fold
+    (fun _ u acc ->
+      { packets = acc.packets + !u.packets; bytes = acc.bytes + !u.bytes })
+    t.table { packets = 0; bytes = 0 }
+
+let pp_flow fmt f =
+  Format.fprintf fmt "%a:%d -> %a:%d %a" Addr.pp f.src f.src_port Addr.pp
+    f.dst f.dst_port Ipv4.Proto.pp f.proto

@@ -1,0 +1,37 @@
+(** Per-flow resource accounting at a gateway (goal 7).
+
+    The 1988 paper notes that accounting was a poor fit for a pure
+    datagram network because the gateway must reconstruct flows from
+    individual packets.  This module does exactly that reconstruction:
+    each forwarded datagram is attributed to a flow identified by
+    (src, dst, protocol, src port, dst port), with ports recovered by
+    peeking into the transport header — feasible precisely because the
+    datagram is self-describing. *)
+
+type flow = {
+  src : Packet.Addr.t;
+  dst : Packet.Addr.t;
+  proto : Packet.Ipv4.Proto.t;
+  src_port : int;  (** 0 when the protocol has no ports. *)
+  dst_port : int;
+}
+
+type usage = { packets : int; bytes : int }
+
+type t
+
+val create : unit -> t
+
+val record : t -> Packet.Ipv4.header -> payload:bytes -> wire_bytes:int -> unit
+(** Attribute one forwarded datagram.  [payload] is the IP payload (for
+    port extraction from first-fragment transport headers); [wire_bytes]
+    is what the gateway actually carried, header included. *)
+
+val flows : t -> (flow * usage) list
+(** Ledger, largest byte counts first. *)
+
+val lookup : t -> flow -> usage option
+
+val total : t -> usage
+
+val pp_flow : Format.formatter -> flow -> unit

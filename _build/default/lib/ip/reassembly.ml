@@ -1,0 +1,97 @@
+module Ipv4 = Packet.Ipv4
+module Addr = Packet.Addr
+
+type key = { src : int32; dst : int32; proto : int; id : int }
+
+type buffer = {
+  mutable fragments : (int * bytes) list; (* offset, data; sorted *)
+  mutable total_len : int option; (* known once the MF-clear fragment lands *)
+  mutable timer : Engine.Timer.handle;
+}
+
+type t = {
+  eng : Engine.t;
+  timeout_us : int;
+  buffers : (key, buffer) Hashtbl.t;
+  mutable expired : int;
+}
+
+let create ?(timeout_us = 30_000_000) eng =
+  { eng; timeout_us; buffers = Hashtbl.create 16; expired = 0 }
+
+type result = Incomplete | Complete of bytes
+
+let key_of (h : Ipv4.header) =
+  {
+    src = Addr.to_int32 h.src;
+    dst = Addr.to_int32 h.dst;
+    proto = Ipv4.Proto.to_int h.proto;
+    id = h.id;
+  }
+
+(* Insert keeping the list sorted by offset; earlier-arrived data wins on
+   exact duplicates. *)
+let insert fragments off data =
+  let rec go = function
+    | [] -> [ (off, data) ]
+    | (o, d) :: rest when o < off -> (o, d) :: go rest
+    | (o, _) :: _ as l when o > off -> (off, data) :: l
+    | l -> l (* same offset already present: keep the first arrival *)
+  in
+  go fragments
+
+(* Contiguity check: fragments must cover [0, total). *)
+let try_assemble b =
+  match b.total_len with
+  | None -> None
+  | Some total ->
+      let rec covered upto = function
+        | [] -> upto >= total
+        | (off, data) :: rest ->
+            if off > upto then false
+            else covered (max upto (off + Bytes.length data)) rest
+      in
+      if not (covered 0 b.fragments) then None
+      else begin
+        let out = Bytes.make total '\000' in
+        List.iter
+          (fun (off, data) ->
+            let len = min (Bytes.length data) (total - off) in
+            if len > 0 then Bytes.blit data 0 out off len)
+          b.fragments;
+        Some out
+      end
+
+let push t (h : Ipv4.header) payload =
+  if h.frag_offset = 0 && not h.more_fragments then Complete payload
+  else begin
+    let k = key_of h in
+    let b =
+      match Hashtbl.find_opt t.buffers k with
+      | Some b -> b
+      | None ->
+          let timer =
+            Engine.Timer.start t.eng ~after:t.timeout_us (fun () ->
+                if Hashtbl.mem t.buffers k then begin
+                  Hashtbl.remove t.buffers k;
+                  t.expired <- t.expired + 1
+                end)
+          in
+          let b = { fragments = []; total_len = None; timer } in
+          Hashtbl.add t.buffers k b;
+          b
+    in
+    b.fragments <- insert b.fragments h.frag_offset payload;
+    if not h.more_fragments then
+      b.total_len <- Some (h.frag_offset + Bytes.length payload);
+    match try_assemble b with
+    | None -> Incomplete
+    | Some data ->
+        Engine.Timer.cancel b.timer;
+        Hashtbl.remove t.buffers k;
+        Complete data
+  end
+
+let pending t = Hashtbl.length t.buffers
+
+let expired t = t.expired

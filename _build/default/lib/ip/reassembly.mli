@@ -1,0 +1,26 @@
+(** Datagram reassembly at the destination host.
+
+    Fragments of one datagram share (src, dst, proto, id); the buffer
+    completes when offset 0, the final fragment (MF clear), and a
+    contiguous byte range are all present.  Incomplete buffers expire
+    after a timeout (RFC 791 suggests up to 15 s; we default to 30 s to
+    ride out retransmissions on slow paths). *)
+
+type t
+
+val create : ?timeout_us:int -> Engine.t -> t
+
+type result =
+  | Incomplete  (** Stored; waiting for more fragments. *)
+  | Complete of bytes  (** Fully reassembled payload. *)
+
+val push : t -> Packet.Ipv4.header -> bytes -> result
+(** Feed one fragment (header plus fragment payload).  Unfragmented
+    datagrams (offset 0, MF clear) complete immediately.  Overlapping
+    fragments are accepted; earlier data wins on overlap. *)
+
+val pending : t -> int
+(** Reassembly buffers currently held. *)
+
+val expired : t -> int
+(** Buffers dropped by timeout since creation. *)

@@ -1,0 +1,75 @@
+module Addr = Packet.Addr
+
+type route = {
+  prefix : Addr.Prefix.t;
+  iface : Netsim.iface;
+  next_hop : Addr.t option;
+  metric : int;
+}
+
+(* Routes bucketed by prefix length: lookup scans from /32 down, so the
+   first hit is the longest match.  Tables are small (tens of routes); a
+   trie would be overkill and is benchmarked against this in E12. *)
+type t = { buckets : route list array }
+
+let create () = { buckets = Array.make 33 [] }
+
+let add t r =
+  let len = Addr.Prefix.length r.prefix in
+  let others =
+    List.filter
+      (fun r' -> not (Addr.Prefix.equal r'.prefix r.prefix))
+      t.buckets.(len)
+  in
+  t.buckets.(len) <- r :: others
+
+let remove t prefix =
+  let len = Addr.Prefix.length prefix in
+  t.buckets.(len) <-
+    List.filter
+      (fun r -> not (Addr.Prefix.equal r.prefix prefix))
+      t.buckets.(len)
+
+let clear t = Array.fill t.buckets 0 33 []
+
+let lookup t addr =
+  let best = ref None in
+  let consider r =
+    match !best with
+    | Some b when b.metric <= r.metric -> ()
+    | Some _ | None -> best := Some r
+  in
+  let rec scan len =
+    if len < 0 then !best
+    else begin
+      List.iter
+        (fun r -> if Addr.Prefix.mem addr r.prefix then consider r)
+        t.buckets.(len);
+      match !best with Some _ -> !best | None -> scan (len - 1)
+    end
+  in
+  scan 32
+
+let find t prefix =
+  let len = Addr.Prefix.length prefix in
+  List.find_opt (fun r -> Addr.Prefix.equal r.prefix prefix) t.buckets.(len)
+
+let entries t =
+  let acc = ref [] in
+  for len = 0 to 32 do
+    acc := List.rev_append t.buckets.(len) !acc
+  done;
+  !acc
+
+let length t = Array.fold_left (fun n l -> n + List.length l) 0 t.buckets
+
+let pp fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%a -> if%d%s metric=%d@."
+        Addr.Prefix.pp r.prefix r.iface
+        (match r.next_hop with
+        | None -> " (connected)"
+        | Some nh -> Printf.sprintf " via %s" (Addr.to_string nh))
+        r.metric)
+    (entries t)

@@ -1,0 +1,39 @@
+(** Longest-prefix-match forwarding table.
+
+    The table maps CIDR prefixes to (outgoing interface, optional next-hop
+    gateway, metric).  Lookup returns the longest matching prefix; among
+    equal-length matches the lowest metric wins.  Routing protocols own the
+    dynamic entries; interface configuration installs connected routes. *)
+
+type route = {
+  prefix : Packet.Addr.Prefix.t;
+  iface : Netsim.iface;
+  next_hop : Packet.Addr.t option;
+      (** [None] when the destination is on the attached network. *)
+  metric : int;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> route -> unit
+(** Insert, replacing any existing route with the same prefix. *)
+
+val remove : t -> Packet.Addr.Prefix.t -> unit
+(** No-op when absent. *)
+
+val clear : t -> unit
+
+val lookup : t -> Packet.Addr.t -> route option
+(** Longest-prefix match. *)
+
+val find : t -> Packet.Addr.Prefix.t -> route option
+(** Exact-prefix lookup. *)
+
+val entries : t -> route list
+(** All routes, longest prefixes first. *)
+
+val length : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,340 @@
+module Addr = Packet.Addr
+module Ipv4 = Packet.Ipv4
+module Icmp = Packet.Icmp_wire
+
+type counters = {
+  mutable sent : int;
+  mutable received : int;
+  mutable delivered : int;
+  mutable forwarded : int;
+  mutable dropped_malformed : int;
+  mutable dropped_no_route : int;
+  mutable dropped_ttl : int;
+  mutable dropped_no_proto : int;
+  mutable dropped_not_forwarding : int;
+  mutable dropped_df : int;
+  mutable fragments_made : int;
+  mutable icmp_tx : int;
+  mutable echo_replies : int;
+}
+
+let new_counters () =
+  {
+    sent = 0;
+    received = 0;
+    delivered = 0;
+    forwarded = 0;
+    dropped_malformed = 0;
+    dropped_no_route = 0;
+    dropped_ttl = 0;
+    dropped_no_proto = 0;
+    dropped_not_forwarding = 0;
+    dropped_df = 0;
+    fragments_made = 0;
+    icmp_tx = 0;
+    echo_replies = 0;
+  }
+
+type send_error = [ `No_route | `Too_big ]
+
+type t = {
+  net : Netsim.t;
+  eng : Engine.t;
+  node : Netsim.node_id;
+  mutable fwd : bool;
+  table : Route_table.t;
+  mutable iface_addrs : (Netsim.iface * Addr.t) list;
+  protos : (int, Ipv4.header -> bytes -> unit) Hashtbl.t;
+  mutable error_handlers : (from:Addr.t -> Icmp.t -> unit) list;
+  mutable echo_reply_handler : (id:int -> seq:int -> payload:bytes -> unit) option;
+  reasm : Reassembly.t;
+  mutable next_id : int;
+  c : counters;
+  mutable accounting : Accounting.t option;
+}
+
+let net t = t.net
+let engine t = t.eng
+let node_id t = t.node
+let table t = t.table
+let set_forwarding t v = t.fwd <- v
+let forwarding t = t.fwd
+let counters t = t.c
+
+let iface_addr t i = List.assoc_opt i t.iface_addrs
+
+let addresses t = List.map snd t.iface_addrs
+
+let has_addr t a = List.exists (fun (_, a') -> Addr.equal a a') t.iface_addrs
+
+let primary_addr t =
+  match t.iface_addrs with
+  | [] -> failwith "Ip.Stack.primary_addr: no address configured"
+  | (_, a) :: _ -> a
+
+let configure_iface t iface ~addr ~prefix_len =
+  t.iface_addrs <- t.iface_addrs @ [ (iface, addr) ];
+  Route_table.add t.table
+    {
+      Route_table.prefix = Addr.Prefix.make addr prefix_len;
+      iface;
+      next_hop = None;
+      metric = 0;
+    }
+
+let register_proto t proto f =
+  let n = Ipv4.Proto.to_int proto in
+  if n = 1 then invalid_arg "Ip.Stack.register_proto: ICMP is built in";
+  Hashtbl.replace t.protos n f
+
+let add_error_handler t f = t.error_handlers <- t.error_handlers @ [ f ]
+let set_echo_reply_handler t f = t.echo_reply_handler <- Some f
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- (t.next_id + 1) land 0xffff;
+  id
+
+(* Split [payload] into fragments that fit [mtu] on the wire; offsets are
+   relative to the original unfragmented datagram, so forwarding an
+   already-fragmented datagram composes correctly. *)
+let fragment_payload ~mtu (h : Ipv4.header) payload =
+  let max_data = (mtu - Ipv4.header_size) / 8 * 8 in
+  assert (max_data > 0);
+  let len = Bytes.length payload in
+  let rec cut off acc =
+    if off >= len then List.rev acc
+    else begin
+      let n = min max_data (len - off) in
+      let last = off + n >= len in
+      let fh =
+        {
+          h with
+          Ipv4.frag_offset = h.Ipv4.frag_offset + off;
+          more_fragments = (if last then h.Ipv4.more_fragments else true);
+        }
+      in
+      cut (off + n) ((fh, Bytes.sub payload off n) :: acc)
+    end
+  in
+  cut 0 []
+
+let transmit t iface ~priority frame =
+  ignore (Netsim.send t.net t.node ~priority ~iface frame)
+
+(* Emit (or fragment and emit) one datagram on [iface].  Low-delay ToS
+   datagrams ride the link's priority queue — the per-hop half of the
+   type-of-service mechanism. *)
+let emit t iface (h : Ipv4.header) payload =
+  let priority = h.Ipv4.tos = Ipv4.Tos.Low_delay in
+  let mtu = Netsim.iface_mtu t.net t.node iface in
+  let wire_len = Ipv4.header_size + Bytes.length payload in
+  if wire_len <= mtu then begin
+    transmit t iface ~priority (Ipv4.encode h ~payload);
+    Ok ()
+  end
+  else if h.Ipv4.dont_fragment then begin
+    t.c.dropped_df <- t.c.dropped_df + 1;
+    Error `Too_big
+  end
+  else begin
+    let frags = fragment_payload ~mtu h payload in
+    List.iter
+      (fun (fh, fp) ->
+        t.c.fragments_made <- t.c.fragments_made + 1;
+        transmit t iface ~priority (Ipv4.encode fh ~payload:fp))
+      frags;
+    Ok ()
+  end
+
+let account t h payload =
+  match t.accounting with
+  | None -> ()
+  | Some acc ->
+      Accounting.record acc h ~payload
+        ~wire_bytes:(Ipv4.header_size + Bytes.length payload)
+
+(* ICMP plumbing -------------------------------------------------------- *)
+
+let send_raw t ~route (h : Ipv4.header) payload =
+  ignore (emit t route.Route_table.iface h payload)
+
+let icmp_to t ~dst msg =
+  match Route_table.lookup t.table dst with
+  | None -> () (* cannot even route the error: silently drop *)
+  | Some route ->
+      let src =
+        match iface_addr t route.Route_table.iface with
+        | Some a -> a
+        | None -> ( match addresses t with a :: _ -> a | [] -> Addr.any)
+      in
+      let h =
+        Ipv4.make_header ~proto:Ipv4.Proto.Icmp ~src ~dst
+          ~id:(fresh_id t) ()
+      in
+      t.c.icmp_tx <- t.c.icmp_tx + 1;
+      send_raw t ~route h (Icmp.encode msg)
+
+(* Never generate ICMP errors about ICMP errors (RFC 792). *)
+let may_report_error (h : Ipv4.header) payload =
+  match h.Ipv4.proto with
+  | Ipv4.Proto.Icmp ->
+      Bytes.length payload > 0
+      &&
+      let ty = Bytes.get_uint8 payload 0 in
+      ty = 8 || ty = 0 (* only echo traffic may trigger errors *)
+  | Ipv4.Proto.Tcp | Ipv4.Proto.Udp | Ipv4.Proto.Other _ -> true
+
+let report_unreachable t (h : Ipv4.header) payload code =
+  if may_report_error h payload then begin
+    let original =
+      Icmp.original_of ~ip_header:(Ipv4.encode h ~payload)
+    in
+    icmp_to t ~dst:h.Ipv4.src (Icmp.Dest_unreachable { code; original })
+  end
+
+let report_time_exceeded t (h : Ipv4.header) payload =
+  if may_report_error h payload then begin
+    let original = Icmp.original_of ~ip_header:(Ipv4.encode h ~payload) in
+    icmp_to t ~dst:h.Ipv4.src (Icmp.Time_exceeded { original })
+  end
+
+(* Local delivery ------------------------------------------------------- *)
+
+let deliver_icmp t (h : Ipv4.header) data =
+  match Icmp.decode data with
+  | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
+  | Ok (Icmp.Echo_request { id; seq; payload }) ->
+      t.c.delivered <- t.c.delivered + 1;
+      t.c.echo_replies <- t.c.echo_replies + 1;
+      icmp_to t ~dst:h.Ipv4.src (Icmp.Echo_reply { id; seq; payload })
+  | Ok (Icmp.Echo_reply { id; seq; payload }) -> (
+      t.c.delivered <- t.c.delivered + 1;
+      match t.echo_reply_handler with
+      | Some f -> f ~id ~seq ~payload
+      | None -> ())
+  | Ok (Icmp.Dest_unreachable _ as msg) | Ok (Icmp.Time_exceeded _ as msg) ->
+      t.c.delivered <- t.c.delivered + 1;
+      List.iter (fun f -> f ~from:h.Ipv4.src msg) t.error_handlers
+
+let deliver_local t (h : Ipv4.header) payload =
+  match Reassembly.push t.reasm h payload with
+  | Reassembly.Incomplete -> ()
+  | Reassembly.Complete data -> (
+      account t h data;
+      match h.Ipv4.proto with
+      | Ipv4.Proto.Icmp -> deliver_icmp t h data
+      | p -> (
+          match Hashtbl.find_opt t.protos (Ipv4.Proto.to_int p) with
+          | Some f ->
+              t.c.delivered <- t.c.delivered + 1;
+              f h data
+          | None ->
+              t.c.dropped_no_proto <- t.c.dropped_no_proto + 1;
+              report_unreachable t h data Icmp.Protocol_unreachable))
+
+(* Forwarding ----------------------------------------------------------- *)
+
+let forward t (h : Ipv4.header) payload =
+  if h.Ipv4.ttl <= 1 then begin
+    t.c.dropped_ttl <- t.c.dropped_ttl + 1;
+    report_time_exceeded t h payload
+  end
+  else begin
+    let h = { h with Ipv4.ttl = h.Ipv4.ttl - 1 } in
+    match Route_table.lookup t.table h.Ipv4.dst with
+    | None ->
+        t.c.dropped_no_route <- t.c.dropped_no_route + 1;
+        report_unreachable t h payload Icmp.Net_unreachable
+    | Some route -> (
+        t.c.forwarded <- t.c.forwarded + 1;
+        account t h payload;
+        match emit t route.Route_table.iface h payload with
+        | Ok () -> ()
+        | Error `Too_big ->
+            report_unreachable t h payload Icmp.Fragmentation_needed)
+  end
+
+let receive t ~iface:_ frame =
+  match Ipv4.decode frame with
+  | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
+  | Ok (h, payload) ->
+      t.c.received <- t.c.received + 1;
+      if has_addr t h.Ipv4.dst then deliver_local t h payload
+      else if t.fwd then forward t h payload
+      else t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1
+
+(* Origination ---------------------------------------------------------- *)
+
+let send t ?(tos = Ipv4.Tos.Routine) ?(ttl = 64) ?(dont_fragment = false)
+    ?src ~proto ~dst payload =
+  if has_addr t dst then begin
+    (* Loopback: deliver through the engine so ordering matches the wire. *)
+    let src = match src with Some s -> s | None -> dst in
+    let h =
+      Ipv4.make_header ~tos ~id:(fresh_id t) ~dont_fragment ~ttl ~proto ~src
+        ~dst ()
+    in
+    t.c.sent <- t.c.sent + 1;
+    Engine.after t.eng 1 (fun () -> deliver_local t h payload);
+    Ok ()
+  end
+  else
+    match Route_table.lookup t.table dst with
+    | None ->
+        t.c.dropped_no_route <- t.c.dropped_no_route + 1;
+        Error `No_route
+    | Some route ->
+        let src =
+          match src with
+          | Some s -> s
+          | None -> (
+              match iface_addr t route.Route_table.iface with
+              | Some a -> a
+              | None -> primary_addr t)
+        in
+        let h =
+          Ipv4.make_header ~tos ~id:(fresh_id t) ~dont_fragment ~ttl ~proto
+            ~src ~dst ()
+        in
+        t.c.sent <- t.c.sent + 1;
+        emit t route.Route_table.iface h payload
+
+let icmp_unreachable t h payload code = report_unreachable t h payload code
+
+let send_echo_request t ~dst ~id ~seq ~payload =
+  let msg = Icmp.Echo_request { id; seq; payload } in
+  ignore (send t ~proto:Ipv4.Proto.Icmp ~dst (Icmp.encode msg))
+
+let enable_accounting t =
+  match t.accounting with
+  | Some acc -> acc
+  | None ->
+      let acc = Accounting.create () in
+      t.accounting <- Some acc;
+      acc
+
+let reassembly_pending t = Reassembly.pending t.reasm
+let reassembly_expired t = Reassembly.expired t.reasm
+
+let create ?(forwarding = false) net node =
+  let eng = Netsim.engine net in
+  let t =
+    {
+      net;
+      eng;
+      node;
+      fwd = forwarding;
+      table = Route_table.create ();
+      iface_addrs = [];
+      protos = Hashtbl.create 4;
+      error_handlers = [];
+      echo_reply_handler = None;
+      reasm = Reassembly.create eng;
+      next_id = 1;
+      c = new_counters ();
+      accounting = None;
+    }
+  in
+  Netsim.set_handler net node (fun ~iface frame -> receive t ~iface frame);
+  t

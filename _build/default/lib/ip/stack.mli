@@ -1,0 +1,97 @@
+(** The per-node internet layer: sending, receiving and — on gateways —
+    forwarding datagrams.
+
+    This is the architecture's narrow waist.  Everything a gateway does is
+    a pure function of the datagram in hand plus the routing table: there
+    is no per-conversation state to lose when a gateway dies, which is the
+    fate-sharing design decision (Clark §3) that experiments E1/E2 probe. *)
+
+module Addr = Packet.Addr
+module Ipv4 = Packet.Ipv4
+
+type t
+
+type counters = {
+  mutable sent : int;  (** Datagrams originated here. *)
+  mutable received : int;  (** Well-formed datagrams arriving on any iface. *)
+  mutable delivered : int;  (** Datagrams handed to a local protocol. *)
+  mutable forwarded : int;
+  mutable dropped_malformed : int;
+  mutable dropped_no_route : int;
+  mutable dropped_ttl : int;
+  mutable dropped_no_proto : int;  (** No handler for the protocol. *)
+  mutable dropped_not_forwarding : int;
+  mutable dropped_df : int;  (** Needed fragmenting but DF was set. *)
+  mutable fragments_made : int;
+  mutable icmp_tx : int;
+  mutable echo_replies : int;
+}
+
+type send_error = [ `No_route | `Too_big ]
+
+val create : ?forwarding:bool -> Netsim.t -> Netsim.node_id -> t
+(** Attach an IP stack to a node.  [forwarding] defaults to [false]
+    (host); gateways pass [true].  Installs itself as the node's frame
+    handler. *)
+
+val net : t -> Netsim.t
+val engine : t -> Engine.t
+val node_id : t -> Netsim.node_id
+
+val configure_iface : t -> Netsim.iface -> addr:Addr.t -> prefix_len:int -> unit
+(** Assign an address to an interface and install the connected route. *)
+
+val iface_addr : t -> Netsim.iface -> Addr.t option
+val addresses : t -> Addr.t list
+val has_addr : t -> Addr.t -> bool
+
+val primary_addr : t -> Addr.t
+(** The first configured address.  @raise Failure when none configured. *)
+
+val table : t -> Route_table.t
+val set_forwarding : t -> bool -> unit
+val forwarding : t -> bool
+
+val register_proto : t -> Ipv4.Proto.t -> (Ipv4.header -> bytes -> unit) -> unit
+(** Install the upcall for a transport protocol.  ICMP is handled
+    internally (echo responder, error dispatch) and cannot be overridden. *)
+
+val add_error_handler :
+  t -> (from:Addr.t -> Packet.Icmp_wire.t -> unit) -> unit
+(** Subscribe to decoded ICMP error messages (unreachables, time-exceeded)
+    addressed to this host; [from] is the reporting node.  Transports use
+    this to abort doomed connections, diagnostics to map paths.  Handlers
+    accumulate; all are invoked. *)
+
+val set_echo_reply_handler : t -> (id:int -> seq:int -> payload:bytes -> unit) -> unit
+(** Receives echo replies, for ping-style probing. *)
+
+val send :
+  t ->
+  ?tos:Ipv4.Tos.t ->
+  ?ttl:int ->
+  ?dont_fragment:bool ->
+  ?src:Addr.t ->
+  proto:Ipv4.Proto.t ->
+  dst:Addr.t ->
+  bytes ->
+  (unit, send_error) result
+(** Originate a datagram.  The source address defaults to the outgoing
+    interface's address.  Local destinations loop back through the engine
+    (asynchronously, like everything else). *)
+
+val send_echo_request : t -> dst:Addr.t -> id:int -> seq:int -> payload:bytes -> unit
+
+val icmp_unreachable :
+  t -> Ipv4.header -> bytes -> Packet.Icmp_wire.unreach_code -> unit
+(** For transports: report a received datagram (header plus payload) as
+    undeliverable back to its source, e.g. UDP port unreachable. *)
+
+val counters : t -> counters
+
+val enable_accounting : t -> Accounting.t
+(** Start attributing every datagram forwarded (or locally delivered) by
+    this stack to flows; returns the live ledger. *)
+
+val reassembly_pending : t -> int
+val reassembly_expired : t -> int

@@ -1,0 +1,1 @@
+lib/packet/addr.ml: Format Int Int32 Printf String

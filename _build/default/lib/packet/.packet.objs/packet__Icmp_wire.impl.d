@@ -1,0 +1,1 @@
+lib/packet/icmp_wire.ml: Bytes Checksum Format Ipv4 Printf Stdext

@@ -1,0 +1,1 @@
+lib/packet/icmp_wire.mli: Format

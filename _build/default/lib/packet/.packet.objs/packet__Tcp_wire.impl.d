@@ -1,0 +1,1 @@
+lib/packet/tcp_wire.ml: Addr Bytes Checksum Format Int32 Printf Stdext String

@@ -1,0 +1,1 @@
+lib/packet/udp_wire.ml: Addr Bytes Checksum Format Stdext

@@ -1,0 +1,1 @@
+lib/packet/udp_wire.mli: Addr Format

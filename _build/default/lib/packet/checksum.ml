@@ -1,0 +1,38 @@
+type acc = int
+
+let zero = 0
+
+let add_u16 acc v = acc + (v land 0xffff)
+
+let add_bytes acc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.add_bytes";
+  let acc = ref acc in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    acc := !acc + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Bytes.get_uint8 b !i lsl 8);
+  !acc
+
+let rec fold_carry s = if s > 0xffff then fold_carry ((s land 0xffff) + (s lsr 16)) else s
+
+let finish acc = lnot (fold_carry acc) land 0xffff
+
+let of_bytes ?(acc = zero) b ~pos ~len = finish (add_bytes acc b ~pos ~len)
+
+let valid ?(acc = zero) b ~pos ~len =
+  fold_carry (add_bytes acc b ~pos ~len) = 0xffff
+
+let pseudo_header ~src ~dst ~proto ~len =
+  let hi32 v = Int32.to_int (Int32.shift_right_logical v 16) land 0xffff in
+  let lo32 v = Int32.to_int v land 0xffff in
+  zero
+  |> Fun.flip add_u16 (hi32 src)
+  |> Fun.flip add_u16 (lo32 src)
+  |> Fun.flip add_u16 (hi32 dst)
+  |> Fun.flip add_u16 (lo32 dst)
+  |> Fun.flip add_u16 proto
+  |> Fun.flip add_u16 len

@@ -1,0 +1,34 @@
+(** The Internet checksum (RFC 1071).
+
+    One's-complement sum of 16-bit big-endian words, used identically by
+    IPv4 headers, ICMP, and (over a pseudo-header) TCP and UDP.  The
+    algebraic properties the protocols rely on — order independence,
+    verifiability by summing to 0xFFFF, incremental update — are exercised
+    by property tests. *)
+
+type acc
+(** Partial one's-complement accumulator. *)
+
+val zero : acc
+
+val add_bytes : acc -> bytes -> pos:int -> len:int -> acc
+(** Fold a byte range into the accumulator.  A trailing odd byte is padded
+    with zero, as the RFC specifies; callers must therefore only split
+    input on even offsets. *)
+
+val add_u16 : acc -> int -> acc
+(** Fold one 16-bit value. *)
+
+val finish : acc -> int
+(** Final one's-complement (bit-flipped) 16-bit checksum. *)
+
+val of_bytes : ?acc:acc -> bytes -> pos:int -> len:int -> int
+(** Checksum of a byte range in one call. *)
+
+val valid : ?acc:acc -> bytes -> pos:int -> len:int -> bool
+(** A range that includes its own (correct) checksum field sums to 0xFFFF
+    before complementing; [valid] checks exactly that. *)
+
+val pseudo_header : src:int32 -> dst:int32 -> proto:int -> len:int -> acc
+(** Accumulator pre-loaded with the TCP/UDP pseudo-header: source and
+    destination address, protocol number, and transport-segment length. *)

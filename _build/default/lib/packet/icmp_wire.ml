@@ -1,0 +1,108 @@
+type unreach_code =
+  | Net_unreachable
+  | Host_unreachable
+  | Protocol_unreachable
+  | Port_unreachable
+  | Fragmentation_needed
+
+let unreach_code_to_int = function
+  | Net_unreachable -> 0
+  | Host_unreachable -> 1
+  | Protocol_unreachable -> 2
+  | Port_unreachable -> 3
+  | Fragmentation_needed -> 4
+
+let unreach_code_of_int = function
+  | 0 -> Some Net_unreachable
+  | 1 -> Some Host_unreachable
+  | 2 -> Some Protocol_unreachable
+  | 3 -> Some Port_unreachable
+  | 4 -> Some Fragmentation_needed
+  | _ -> None
+
+let pp_unreach_code fmt c =
+  Format.pp_print_string fmt
+    (match c with
+    | Net_unreachable -> "net-unreachable"
+    | Host_unreachable -> "host-unreachable"
+    | Protocol_unreachable -> "protocol-unreachable"
+    | Port_unreachable -> "port-unreachable"
+    | Fragmentation_needed -> "fragmentation-needed")
+
+type t =
+  | Echo_request of { id : int; seq : int; payload : bytes }
+  | Echo_reply of { id : int; seq : int; payload : bytes }
+  | Dest_unreachable of { code : unreach_code; original : bytes }
+  | Time_exceeded of { original : bytes }
+
+type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
+
+let pp_error fmt = function
+  | `Truncated -> Format.pp_print_string fmt "truncated ICMP message"
+  | `Bad_checksum -> Format.pp_print_string fmt "bad ICMP checksum"
+  | `Bad_header m -> Format.fprintf fmt "bad ICMP message: %s" m
+
+let module_w total =
+  let w = Stdext.Bytio.W.create total in
+  w
+
+let encode t =
+  let module W = Stdext.Bytio.W in
+  let body ty code rest_u32 extra =
+    let w = module_w (8 + Bytes.length extra) in
+    W.u8 w ty;
+    W.u8 w code;
+    W.u16 w 0 (* checksum placeholder *);
+    W.u32_of_int w rest_u32;
+    W.bytes w extra;
+    let buf = W.contents w in
+    let csum = Checksum.of_bytes buf ~pos:0 ~len:(Bytes.length buf) in
+    Bytes.set_uint16_be buf 2 csum;
+    buf
+  in
+  let echo ty id seq payload =
+    if id < 0 || id > 0xffff || seq < 0 || seq > 0xffff then
+      invalid_arg "Icmp_wire.encode: echo id/seq out of range";
+    body ty 0 ((id lsl 16) lor seq) payload
+  in
+  match t with
+  | Echo_request { id; seq; payload } -> echo 8 id seq payload
+  | Echo_reply { id; seq; payload } -> echo 0 id seq payload
+  | Dest_unreachable { code; original } ->
+      body 3 (unreach_code_to_int code) 0 original
+  | Time_exceeded { original } -> body 11 0 0 original
+
+let decode buf =
+  let len = Bytes.length buf in
+  if len < 8 then Error `Truncated
+  else if not (Checksum.valid buf ~pos:0 ~len) then Error `Bad_checksum
+  else begin
+    let ty = Bytes.get_uint8 buf 0 in
+    let code = Bytes.get_uint8 buf 1 in
+    let rest = Bytes.sub buf 8 (len - 8) in
+    let id = Bytes.get_uint16_be buf 4 and seq = Bytes.get_uint16_be buf 6 in
+    match ty with
+    | 8 when code = 0 -> Ok (Echo_request { id; seq; payload = rest })
+    | 0 when code = 0 -> Ok (Echo_reply { id; seq; payload = rest })
+    | 3 -> (
+        match unreach_code_of_int code with
+        | Some c -> Ok (Dest_unreachable { code = c; original = rest })
+        | None -> Error (`Bad_header "unknown unreachable code"))
+    | 11 when code = 0 -> Ok (Time_exceeded { original = rest })
+    | _ -> Error (`Bad_header (Printf.sprintf "unknown type %d code %d" ty code))
+  end
+
+let pp fmt = function
+  | Echo_request { id; seq; payload } ->
+      Format.fprintf fmt "echo-request id=%d seq=%d len=%d" id seq
+        (Bytes.length payload)
+  | Echo_reply { id; seq; payload } ->
+      Format.fprintf fmt "echo-reply id=%d seq=%d len=%d" id seq
+        (Bytes.length payload)
+  | Dest_unreachable { code; _ } ->
+      Format.fprintf fmt "dest-unreachable (%a)" pp_unreach_code code
+  | Time_exceeded _ -> Format.pp_print_string fmt "time-exceeded"
+
+let original_of ~ip_header =
+  let keep = min (Bytes.length ip_header) (Ipv4.header_size + 8) in
+  Bytes.sub ip_header 0 keep

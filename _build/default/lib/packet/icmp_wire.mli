@@ -1,0 +1,35 @@
+(** ICMP messages (RFC 792): the error and diagnostic side-channel of the
+    internet layer.  Gateways use it to report why a datagram could not be
+    delivered; hosts use echo for reachability probing. *)
+
+(** Destination-unreachable codes. *)
+type unreach_code =
+  | Net_unreachable
+  | Host_unreachable
+  | Protocol_unreachable
+  | Port_unreachable
+  | Fragmentation_needed  (** DF set but fragmentation required. *)
+
+val unreach_code_to_int : unreach_code -> int
+val unreach_code_of_int : int -> unreach_code option
+val pp_unreach_code : Format.formatter -> unreach_code -> unit
+
+type t =
+  | Echo_request of { id : int; seq : int; payload : bytes }
+  | Echo_reply of { id : int; seq : int; payload : bytes }
+  | Dest_unreachable of { code : unreach_code; original : bytes }
+      (** [original] is the leading bytes (IP header + 8) of the datagram
+          that triggered the error. *)
+  | Time_exceeded of { original : bytes }  (** TTL expired in transit. *)
+
+type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : t -> bytes
+val decode : bytes -> (t, error) result
+val pp : Format.formatter -> t -> unit
+
+val original_of : ip_header:bytes -> bytes
+(** Clip a serialized problem datagram to the RFC-mandated quote: its IP
+    header plus the first 8 payload bytes. *)

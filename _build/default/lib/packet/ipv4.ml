@@ -1,0 +1,140 @@
+module Proto = struct
+  type t = Icmp | Tcp | Udp | Other of int
+
+  let to_int = function Icmp -> 1 | Tcp -> 6 | Udp -> 17 | Other v -> v
+
+  let of_int = function 1 -> Icmp | 6 -> Tcp | 17 -> Udp | v -> Other v
+
+  let pp fmt = function
+    | Icmp -> Format.pp_print_string fmt "icmp"
+    | Tcp -> Format.pp_print_string fmt "tcp"
+    | Udp -> Format.pp_print_string fmt "udp"
+    | Other v -> Format.fprintf fmt "proto-%d" v
+end
+
+module Tos = struct
+  type t = Routine | Low_delay | High_throughput | High_reliability
+
+  (* Classic RFC 791 ToS octet: D bit 0x10, T bit 0x08, R bit 0x04. *)
+  let to_int = function
+    | Routine -> 0x00
+    | Low_delay -> 0x10
+    | High_throughput -> 0x08
+    | High_reliability -> 0x04
+
+  let of_int v =
+    if v land 0x10 <> 0 then Low_delay
+    else if v land 0x08 <> 0 then High_throughput
+    else if v land 0x04 <> 0 then High_reliability
+    else Routine
+
+  let pp fmt = function
+    | Routine -> Format.pp_print_string fmt "routine"
+    | Low_delay -> Format.pp_print_string fmt "low-delay"
+    | High_throughput -> Format.pp_print_string fmt "high-throughput"
+    | High_reliability -> Format.pp_print_string fmt "high-reliability"
+end
+
+type header = {
+  tos : Tos.t;
+  id : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;
+  ttl : int;
+  proto : Proto.t;
+  src : Addr.t;
+  dst : Addr.t;
+}
+
+let header_size = 20
+let max_datagram = 65535
+
+let make_header ?(tos = Tos.Routine) ?(id = 0) ?(dont_fragment = false)
+    ?(more_fragments = false) ?(frag_offset = 0) ?(ttl = 64) ~proto ~src ~dst
+    () =
+  { tos; id; dont_fragment; more_fragments; frag_offset; ttl; proto; src; dst }
+
+type error =
+  [ `Truncated | `Bad_version of int | `Bad_checksum | `Bad_header of string ]
+
+let pp_error fmt = function
+  | `Truncated -> Format.pp_print_string fmt "truncated datagram"
+  | `Bad_version v -> Format.fprintf fmt "bad IP version %d" v
+  | `Bad_checksum -> Format.pp_print_string fmt "bad header checksum"
+  | `Bad_header m -> Format.fprintf fmt "bad header: %s" m
+
+let encode h ~payload =
+  let total = header_size + Bytes.length payload in
+  if total > max_datagram then invalid_arg "Ipv4.encode: datagram too large";
+  if h.id < 0 || h.id > 0xffff then invalid_arg "Ipv4.encode: bad id";
+  if h.ttl < 0 || h.ttl > 255 then invalid_arg "Ipv4.encode: bad ttl";
+  if h.frag_offset < 0 || h.frag_offset > 0xffff * 8 || h.frag_offset mod 8 <> 0
+  then invalid_arg "Ipv4.encode: bad fragment offset";
+  let w = Stdext.Bytio.W.create total in
+  let module W = Stdext.Bytio.W in
+  W.u8 w ((4 lsl 4) lor 5);
+  W.u8 w (Tos.to_int h.tos);
+  W.u16 w total;
+  W.u16 w h.id;
+  let flags =
+    (if h.dont_fragment then 0x4000 else 0)
+    lor (if h.more_fragments then 0x2000 else 0)
+    lor (h.frag_offset / 8)
+  in
+  W.u16 w flags;
+  W.u8 w h.ttl;
+  W.u8 w (Proto.to_int h.proto);
+  W.u16 w 0 (* checksum placeholder *);
+  W.u32 w (Addr.to_int32 h.src);
+  W.u32 w (Addr.to_int32 h.dst);
+  W.bytes w payload;
+  let buf = W.contents w in
+  let csum = Checksum.of_bytes buf ~pos:0 ~len:header_size in
+  Bytes.set_uint16_be buf 10 csum;
+  buf
+
+let decode buf =
+  let len = Bytes.length buf in
+  if len < header_size then Error `Truncated
+  else begin
+    let b0 = Bytes.get_uint8 buf 0 in
+    let version = b0 lsr 4 and ihl = b0 land 0xf in
+    if version <> 4 then Error (`Bad_version version)
+    else if ihl <> 5 then Error (`Bad_header "options unsupported (IHL<>5)")
+    else if not (Checksum.valid buf ~pos:0 ~len:header_size) then
+      Error `Bad_checksum
+    else begin
+      let total = Bytes.get_uint16_be buf 2 in
+      if total < header_size || total > len then Error `Truncated
+      else begin
+        let id = Bytes.get_uint16_be buf 4 in
+        let flags = Bytes.get_uint16_be buf 6 in
+        let ttl = Bytes.get_uint8 buf 8 in
+        let proto = Proto.of_int (Bytes.get_uint8 buf 9) in
+        let src = Addr.of_int32 (Bytes.get_int32_be buf 12) in
+        let dst = Addr.of_int32 (Bytes.get_int32_be buf 16) in
+        let h =
+          {
+            tos = Tos.of_int (Bytes.get_uint8 buf 1);
+            id;
+            dont_fragment = flags land 0x4000 <> 0;
+            more_fragments = flags land 0x2000 <> 0;
+            frag_offset = (flags land 0x1fff) * 8;
+            ttl;
+            proto;
+            src;
+            dst;
+          }
+        in
+        Ok (h, Bytes.sub buf header_size (total - header_size))
+      end
+    end
+  end
+
+let pp_header fmt h =
+  Format.fprintf fmt "%a -> %a %a ttl=%d id=%d%s%s off=%d tos=%a" Addr.pp
+    h.src Addr.pp h.dst Proto.pp h.proto h.ttl h.id
+    (if h.dont_fragment then " DF" else "")
+    (if h.more_fragments then " MF" else "")
+    h.frag_offset Tos.pp h.tos

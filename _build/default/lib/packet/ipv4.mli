@@ -1,0 +1,78 @@
+(** IPv4 datagram header (RFC 791), the 20-byte options-free form.
+
+    The datagram is the architecture's central abstraction (Clark §3): a
+    self-contained unit carrying everything the network needs to deliver
+    it, so that gateways keep no per-conversation state. *)
+
+(** IP protocol numbers carried in the [proto] field. *)
+module Proto : sig
+  type t = Icmp | Tcp | Udp | Other of int
+
+  val to_int : t -> int
+  (** 1, 6, 17, or the raw value. *)
+
+  val of_int : int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Type-of-service requested by the sender (goal 2).  Encoded in the ToS
+    octet's precedence/D/T bits; the simulator's queues understand
+    [Low_delay] as a priority hint. *)
+module Tos : sig
+  type t = Routine | Low_delay | High_throughput | High_reliability
+
+  val to_int : t -> int
+  val of_int : int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+type header = {
+  tos : Tos.t;
+  id : int;  (** Fragment-group identification, 16 bits. *)
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;  (** In bytes; must be a multiple of 8. *)
+  ttl : int;
+  proto : Proto.t;
+  src : Addr.t;
+  dst : Addr.t;
+}
+
+val header_size : int
+(** 20 bytes. *)
+
+val max_datagram : int
+(** 65535, the total-length field bound. *)
+
+val make_header :
+  ?tos:Tos.t ->
+  ?id:int ->
+  ?dont_fragment:bool ->
+  ?more_fragments:bool ->
+  ?frag_offset:int ->
+  ?ttl:int ->
+  proto:Proto.t ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  unit ->
+  header
+(** Defaults: routine ToS, id 0, no fragmentation fields set, TTL 64. *)
+
+type error =
+  [ `Truncated  (** Too short for the declared lengths. *)
+  | `Bad_version of int
+  | `Bad_checksum
+  | `Bad_header of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : header -> payload:bytes -> bytes
+(** Serialize header plus payload, computing the header checksum.
+    @raise Invalid_argument if a field is out of range or the result would
+    exceed {!max_datagram}. *)
+
+val decode : bytes -> (header * bytes, error) result
+(** Parse and validate (version, IHL, checksum, total length).  Returns the
+    header and a copy of the payload. *)
+
+val pp_header : Format.formatter -> header -> unit

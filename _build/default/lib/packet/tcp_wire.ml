@@ -1,0 +1,183 @@
+type flags = {
+  urg : bool;
+  ack : bool;
+  psh : bool;
+  rst : bool;
+  syn : bool;
+  fin : bool;
+}
+
+let no_flags =
+  { urg = false; ack = false; psh = false; rst = false; syn = false; fin = false }
+
+let flags ?(urg = false) ?(ack = false) ?(psh = false) ?(rst = false)
+    ?(syn = false) ?(fin = false) () =
+  { urg; ack; psh; rst; syn; fin }
+
+let pp_flags fmt f =
+  let s =
+    String.concat ""
+      [
+        (if f.syn then "S" else "");
+        (if f.fin then "F" else "");
+        (if f.rst then "R" else "");
+        (if f.psh then "P" else "");
+        (if f.ack then "A" else "");
+        (if f.urg then "U" else "");
+      ]
+  in
+  Format.pp_print_string fmt (if s = "" then "." else s)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_n : int;
+  flags : flags;
+  window : int;
+  urgent : int;
+  mss : int option;
+  payload : bytes;
+}
+
+let make ?(seq = 0) ?(ack_n = 0) ?(flags = no_flags) ?(window = 0)
+    ?(urgent = 0) ?(mss = None) ?(payload = Bytes.empty) ~src_port ~dst_port
+    () =
+  { src_port; dst_port; seq; ack_n; flags; window; urgent; mss; payload }
+
+type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
+
+let pp_error fmt = function
+  | `Truncated -> Format.pp_print_string fmt "truncated segment"
+  | `Bad_checksum -> Format.pp_print_string fmt "bad TCP checksum"
+  | `Bad_header m -> Format.fprintf fmt "bad TCP header: %s" m
+
+let header_size t = match t.mss with None -> 20 | Some _ -> 24
+
+let flags_bits f =
+  (if f.urg then 0x20 else 0)
+  lor (if f.ack then 0x10 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor if f.fin then 0x01 else 0
+
+let check_range name v bound =
+  if v < 0 || v > bound then
+    invalid_arg (Printf.sprintf "Tcp_wire.encode: %s out of range" name)
+
+let encode ~src ~dst t =
+  check_range "src_port" t.src_port 0xffff;
+  check_range "dst_port" t.dst_port 0xffff;
+  check_range "seq" t.seq 0xFFFFFFFF;
+  check_range "ack" t.ack_n 0xFFFFFFFF;
+  check_range "window" t.window 0xffff;
+  check_range "urgent" t.urgent 0xffff;
+  let hsize = header_size t in
+  let total = hsize + Bytes.length t.payload in
+  let module W = Stdext.Bytio.W in
+  let w = W.create total in
+  W.u16 w t.src_port;
+  W.u16 w t.dst_port;
+  W.u32_of_int w t.seq;
+  W.u32_of_int w t.ack_n;
+  let data_offset = hsize / 4 in
+  W.u16 w ((data_offset lsl 12) lor flags_bits t.flags);
+  W.u16 w t.window;
+  W.u16 w 0 (* checksum placeholder *);
+  W.u16 w t.urgent;
+  (match t.mss with
+  | None -> ()
+  | Some mss ->
+      check_range "mss" mss 0xffff;
+      W.u8 w 2;
+      W.u8 w 4;
+      W.u16 w mss);
+  W.bytes w t.payload;
+  let buf = W.contents w in
+  let acc =
+    Checksum.pseudo_header ~src:(Addr.to_int32 src) ~dst:(Addr.to_int32 dst)
+      ~proto:6 ~len:total
+  in
+  let csum = Checksum.of_bytes ~acc buf ~pos:0 ~len:total in
+  Bytes.set_uint16_be buf 16 csum;
+  buf
+
+(* Parse the option block, accepting MSS, NOP and end-of-options and
+   skipping unknown options by their declared length. *)
+let parse_options buf ~pos ~len =
+  let mss = ref None in
+  let i = ref pos in
+  let stop = pos + len in
+  let bad = ref None in
+  while !i < stop && !bad = None do
+    match Bytes.get_uint8 buf !i with
+    | 0 -> i := stop (* end of option list *)
+    | 1 -> incr i (* NOP *)
+    | kind ->
+        if !i + 1 >= stop then bad := Some "truncated option"
+        else begin
+          let olen = Bytes.get_uint8 buf (!i + 1) in
+          if olen < 2 || !i + olen > stop then bad := Some "bad option length"
+          else begin
+            if kind = 2 then
+              if olen = 4 then mss := Some (Bytes.get_uint16_be buf (!i + 2))
+              else bad := Some "bad MSS option length";
+            i := !i + olen
+          end
+        end
+  done;
+  match !bad with Some m -> Error (`Bad_header m) | None -> Ok !mss
+
+let decode ~src ~dst buf =
+  let len = Bytes.length buf in
+  if len < 20 then Error `Truncated
+  else begin
+    let off_flags = Bytes.get_uint16_be buf 12 in
+    let data_offset = (off_flags lsr 12) * 4 in
+    if data_offset < 20 || data_offset > len then
+      Error (`Bad_header "bad data offset")
+    else begin
+      let acc =
+        Checksum.pseudo_header ~src:(Addr.to_int32 src)
+          ~dst:(Addr.to_int32 dst) ~proto:6 ~len
+      in
+      if not (Checksum.valid ~acc buf ~pos:0 ~len) then Error `Bad_checksum
+      else
+        match parse_options buf ~pos:20 ~len:(data_offset - 20) with
+        | Error _ as e -> e
+        | Ok mss ->
+            let bits = off_flags land 0x3f in
+            let flags =
+              {
+                urg = bits land 0x20 <> 0;
+                ack = bits land 0x10 <> 0;
+                psh = bits land 0x08 <> 0;
+                rst = bits land 0x04 <> 0;
+                syn = bits land 0x02 <> 0;
+                fin = bits land 0x01 <> 0;
+              }
+            in
+            let u32_int p =
+              Int32.to_int (Bytes.get_int32_be buf p) land 0xFFFFFFFF
+            in
+            Ok
+              {
+                src_port = Bytes.get_uint16_be buf 0;
+                dst_port = Bytes.get_uint16_be buf 2;
+                seq = u32_int 4;
+                ack_n = u32_int 8;
+                flags;
+                window = Bytes.get_uint16_be buf 14;
+                urgent = Bytes.get_uint16_be buf 18;
+                mss;
+                payload = Bytes.sub buf data_offset (len - data_offset);
+              }
+    end
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "%d>%d %a seq=%d ack=%d win=%d len=%d%s" t.src_port
+    t.dst_port pp_flags t.flags t.seq t.ack_n t.window
+    (Bytes.length t.payload)
+    (match t.mss with None -> "" | Some m -> Printf.sprintf " mss=%d" m)

@@ -1,0 +1,70 @@
+(** TCP segment wire format (RFC 793), with the MSS option.
+
+    Sequence and acknowledgment numbers are represented as non-negative
+    OCaml ints in [\[0, 2^32)]; modular comparison lives in the TCP
+    library's [Seq] module. *)
+
+type flags = {
+  urg : bool;
+  ack : bool;
+  psh : bool;
+  rst : bool;
+  syn : bool;
+  fin : bool;
+}
+
+val no_flags : flags
+
+val flags :
+  ?urg:bool ->
+  ?ack:bool ->
+  ?psh:bool ->
+  ?rst:bool ->
+  ?syn:bool ->
+  ?fin:bool ->
+  unit ->
+  flags
+
+val pp_flags : Format.formatter -> flags -> unit
+(** Compact "S", "SA", "FA", "R"… notation. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** [\[0, 2^32)]. *)
+  ack_n : int;  (** Acknowledgment number, meaningful when [flags.ack]. *)
+  flags : flags;
+  window : int;  (** Advertised receive window, 16 bits. *)
+  urgent : int;
+  mss : int option;  (** MSS option, normally only on SYN segments. *)
+  payload : bytes;
+}
+
+val make :
+  ?seq:int ->
+  ?ack_n:int ->
+  ?flags:flags ->
+  ?window:int ->
+  ?urgent:int ->
+  ?mss:int option ->
+  ?payload:bytes ->
+  src_port:int ->
+  dst_port:int ->
+  unit ->
+  t
+
+type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : src:Addr.t -> dst:Addr.t -> t -> bytes
+(** Serialize with the checksum computed over the RFC 793 pseudo-header.
+    The addresses are those of the enclosing IP datagram. *)
+
+val decode : src:Addr.t -> dst:Addr.t -> bytes -> (t, error) result
+
+val header_size : t -> int
+(** Bytes of TCP header this segment carries on the wire (20, or 24 with
+    an MSS option). *)
+
+val pp : Format.formatter -> t -> unit

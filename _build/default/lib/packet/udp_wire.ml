@@ -1,0 +1,60 @@
+type t = { src_port : int; dst_port : int; payload : bytes }
+
+let header_size = 8
+
+type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
+
+let pp_error fmt = function
+  | `Truncated -> Format.pp_print_string fmt "truncated datagram"
+  | `Bad_checksum -> Format.pp_print_string fmt "bad UDP checksum"
+  | `Bad_header m -> Format.fprintf fmt "bad UDP header: %s" m
+
+let encode ~src ~dst t =
+  if t.src_port < 0 || t.src_port > 0xffff || t.dst_port < 0
+     || t.dst_port > 0xffff
+  then invalid_arg "Udp_wire.encode: port out of range";
+  let total = header_size + Bytes.length t.payload in
+  if total > 0xffff then invalid_arg "Udp_wire.encode: datagram too large";
+  let module W = Stdext.Bytio.W in
+  let w = W.create total in
+  W.u16 w t.src_port;
+  W.u16 w t.dst_port;
+  W.u16 w total;
+  W.u16 w 0 (* checksum placeholder *);
+  W.bytes w t.payload;
+  let buf = W.contents w in
+  let acc =
+    Checksum.pseudo_header ~src:(Addr.to_int32 src) ~dst:(Addr.to_int32 dst)
+      ~proto:17 ~len:total
+  in
+  let csum = Checksum.of_bytes ~acc buf ~pos:0 ~len:total in
+  (* RFC 768: a computed checksum of zero is transmitted as all ones. *)
+  Bytes.set_uint16_be buf 6 (if csum = 0 then 0xffff else csum);
+  buf
+
+let decode ~src ~dst buf =
+  let len = Bytes.length buf in
+  if len < header_size then Error `Truncated
+  else begin
+    let declared = Bytes.get_uint16_be buf 4 in
+    if declared < header_size || declared > len then Error `Truncated
+    else begin
+      let acc =
+        Checksum.pseudo_header ~src:(Addr.to_int32 src)
+          ~dst:(Addr.to_int32 dst) ~proto:17 ~len:declared
+      in
+      if not (Checksum.valid ~acc buf ~pos:0 ~len:declared) then
+        Error `Bad_checksum
+      else
+        Ok
+          {
+            src_port = Bytes.get_uint16_be buf 0;
+            dst_port = Bytes.get_uint16_be buf 2;
+            payload = Bytes.sub buf header_size (declared - header_size);
+          }
+    end
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "udp %d>%d len=%d" t.src_port t.dst_port
+    (Bytes.length t.payload)

@@ -1,0 +1,24 @@
+(** UDP datagram wire format (RFC 768).
+
+    UDP is the visible result of separating TCP from IP (Clark §4): the
+    architecture's "other" type of service — unreliable, unordered, but
+    minimal-latency datagram delivery for applications like packet voice
+    and the XNET debugger that do not want reliability at the cost of
+    timeliness. *)
+
+type t = { src_port : int; dst_port : int; payload : bytes }
+
+val header_size : int
+(** 8 bytes. *)
+
+type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : src:Addr.t -> dst:Addr.t -> t -> bytes
+(** Serialize with the pseudo-header checksum (always computed; the
+    all-zero "no checksum" escape is not used). *)
+
+val decode : src:Addr.t -> dst:Addr.t -> bytes -> (t, error) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/routing/routing.ml: Dv Ls Redistribute Rt_msg

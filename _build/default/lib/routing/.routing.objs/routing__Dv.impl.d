@@ -1,0 +1,1 @@
+lib/routing/dv.ml: Engine Hashtbl Ip List Netsim Option Packet Rt_msg Udp

@@ -1,0 +1,1 @@
+lib/routing/dv.mli: Netsim Packet Udp

@@ -1,0 +1,1 @@
+lib/routing/ls.ml: Engine Hashtbl Int32 Ip List Netsim Option Packet Rt_msg Stdext Udp

@@ -1,0 +1,1 @@
+lib/routing/ls.mli: Netsim Packet Udp

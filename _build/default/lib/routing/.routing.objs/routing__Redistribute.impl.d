@@ -1,0 +1,1 @@
+lib/routing/redistribute.ml: Dv Engine List Ls Packet

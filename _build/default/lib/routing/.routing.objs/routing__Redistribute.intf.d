@@ -1,0 +1,1 @@
+lib/routing/redistribute.mli: Dv Engine Ls

@@ -1,0 +1,1 @@
+lib/routing/rt_msg.ml: Format List Packet Printf Stdext

@@ -1,0 +1,1 @@
+lib/routing/rt_msg.mli: Format Packet

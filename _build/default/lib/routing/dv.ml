@@ -1,0 +1,316 @@
+module Addr = Packet.Addr
+module Prefix = Addr.Prefix
+
+type config = {
+  period_us : int;
+  timeout_us : int;
+  gc_us : int;
+  carrier_poll_us : int;
+  port : int;
+}
+
+let default_config =
+  {
+    period_us = 5_000_000;
+    timeout_us = 17_500_000;
+    gc_us = 10_000_000;
+    carrier_poll_us = 500_000;
+    port = 520;
+  }
+
+type stats = {
+  mutable updates_sent : int;
+  mutable updates_received : int;
+  mutable triggered_updates : int;
+  mutable routes_expired : int;
+  mutable bad_messages : int;
+}
+
+type neighbor = { n_iface : Netsim.iface; n_addr : Addr.t }
+
+type rib_entry = {
+  prefix : Prefix.t;
+  mutable metric : int;
+  mutable via : neighbor option; (* None = connected or injected *)
+  mutable last_heard : int;
+  mutable poisoned_at : int option;
+  mutable injected : bool; (* external route from another protocol *)
+}
+
+type t = {
+  udp : Udp.t;
+  ip : Ip.Stack.t;
+  eng : Engine.t;
+  config : config;
+  mutable neighbors : neighbor list;
+  rib : (Prefix.t, rib_entry) Hashtbl.t;
+  stats : stats;
+  mutable sock : Udp.socket option;
+  mutable started : bool;
+  mutable trigger_pending : bool;
+}
+
+let stats t = t.stats
+
+let rib_size t = Hashtbl.length t.rib
+
+let metric_of t prefix =
+  Option.map (fun e -> e.metric) (Hashtbl.find_opt t.rib prefix)
+
+let create ?(config = default_config) udp =
+  let ip = Udp.stack udp in
+  {
+    udp;
+    ip;
+    eng = Ip.Stack.engine ip;
+    config;
+    neighbors = [];
+    rib = Hashtbl.create 32;
+    stats =
+      {
+        updates_sent = 0;
+        updates_received = 0;
+        triggered_updates = 0;
+        routes_expired = 0;
+        bad_messages = 0;
+      };
+    sock = None;
+    started = false;
+    trigger_pending = false;
+  }
+
+let add_neighbor t iface addr =
+  t.neighbors <- { n_iface = iface; n_addr = addr } :: t.neighbors
+
+(* Keep the kernel table in sync with one RIB entry. *)
+let install t e =
+  match e.via with
+  | None -> () (* connected routes are owned by the stack *)
+  | Some n ->
+      if e.metric >= Rt_msg.infinity_metric then
+        Ip.Route_table.remove (Ip.Stack.table t.ip) e.prefix
+      else
+        Ip.Route_table.add (Ip.Stack.table t.ip)
+          {
+            Ip.Route_table.prefix = e.prefix;
+            iface = n.n_iface;
+            next_hop = Some n.n_addr;
+            metric = e.metric;
+          }
+
+let advertisement t ~to_iface =
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun _ e ->
+      (* Split horizon with poisoned reverse. *)
+      let metric =
+        match e.via with
+        | Some n when n.n_iface = to_iface -> Rt_msg.infinity_metric
+        | Some _ | None -> e.metric
+      in
+      entries := { Rt_msg.prefix = e.prefix; metric } :: !entries)
+    t.rib;
+  !entries
+
+let send_update t =
+  match t.sock with
+  | None -> ()
+  | Some sock ->
+      List.iter
+        (fun n ->
+          let entries = advertisement t ~to_iface:n.n_iface in
+          if entries <> [] then begin
+            t.stats.updates_sent <- t.stats.updates_sent + 1;
+            ignore
+              (Udp.sendto sock ~ttl:1 ~dst:n.n_addr ~dst_port:t.config.port
+                 (Rt_msg.encode (Rt_msg.Dv_update entries)))
+          end)
+        t.neighbors
+
+(* Debounced triggered update: coalesce changes within 10 ms. *)
+let trigger t =
+  if not t.trigger_pending then begin
+    t.trigger_pending <- true;
+    Engine.after t.eng 10_000 (fun () ->
+        t.trigger_pending <- false;
+        t.stats.triggered_updates <- t.stats.triggered_updates + 1;
+        send_update t)
+  end
+
+let poison t e =
+  if e.metric < Rt_msg.infinity_metric then begin
+    e.metric <- Rt_msg.infinity_metric;
+    e.poisoned_at <- Some (Engine.now t.eng);
+    t.stats.routes_expired <- t.stats.routes_expired + 1;
+    install t e;
+    trigger t
+  end
+
+let handle_entry t (n : neighbor) (re : Rt_msg.dv_entry) =
+  let now = Engine.now t.eng in
+  let metric = min (re.metric + 1) Rt_msg.infinity_metric in
+  match Hashtbl.find_opt t.rib re.prefix with
+  | None ->
+      if metric < Rt_msg.infinity_metric then begin
+        let e =
+          {
+            prefix = re.prefix;
+            metric;
+            via = Some n;
+            last_heard = now;
+            poisoned_at = None;
+            injected = false;
+          }
+        in
+        Hashtbl.add t.rib re.prefix e;
+        install t e;
+        trigger t
+      end
+  | Some e -> (
+      match e.via with
+      | None -> () (* never displace a connected route *)
+      | Some cur when Addr.equal cur.n_addr n.n_addr ->
+          (* From our current next hop: always believe it. *)
+          e.last_heard <- now;
+          if metric <> e.metric then begin
+            e.metric <- metric;
+            if metric >= Rt_msg.infinity_metric then
+              e.poisoned_at <- Some now
+            else e.poisoned_at <- None;
+            install t e;
+            trigger t
+          end
+      | Some _ ->
+          if metric < e.metric then begin
+            e.via <- Some n;
+            e.metric <- metric;
+            e.last_heard <- now;
+            e.poisoned_at <- None;
+            install t e;
+            trigger t
+          end)
+
+let handle_message t ~src buf =
+  match Rt_msg.decode buf with
+  | Ok (Rt_msg.Dv_update entries) -> (
+      match
+        List.find_opt (fun n -> Addr.equal n.n_addr src) t.neighbors
+      with
+      | None -> t.stats.bad_messages <- t.stats.bad_messages + 1
+      | Some n ->
+          t.stats.updates_received <- t.stats.updates_received + 1;
+          List.iter (handle_entry t n) entries)
+  | Ok (Rt_msg.Hello _) | Ok (Rt_msg.Lsa _) | Error _ ->
+      t.stats.bad_messages <- t.stats.bad_messages + 1
+
+let expire_routes t =
+  let now = Engine.now t.eng in
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun prefix e ->
+      match e.via with
+      | None -> ()
+      | Some _ -> (
+          match e.poisoned_at with
+          | Some at ->
+              if now - at > t.config.gc_us then stale := prefix :: !stale
+          | None ->
+              if now - e.last_heard > t.config.timeout_us then poison t e))
+    t.rib;
+  List.iter
+    (fun prefix ->
+      Hashtbl.remove t.rib prefix;
+      Ip.Route_table.remove (Ip.Stack.table t.ip) prefix)
+    !stale
+
+let carrier_check t =
+  let net = Ip.Stack.net t.ip in
+  let me = Ip.Stack.node_id t.ip in
+  List.iter
+    (fun n ->
+      let link = Netsim.iface_link net me n.n_iface in
+      if not (Netsim.link_is_up net link) then
+        Hashtbl.iter
+          (fun _ e ->
+            match e.via with
+            | Some v when v.n_iface = n.n_iface -> poison t e
+            | Some _ | None -> ())
+          t.rib)
+    t.neighbors
+
+let seed_connected t =
+  List.iter
+    (fun (r : Ip.Route_table.route) ->
+      if r.next_hop = None && r.metric = 0 then
+        Hashtbl.replace t.rib r.prefix
+          {
+            prefix = r.prefix;
+            metric = 1;
+            via = None;
+            last_heard = max_int;
+            poisoned_at = None;
+            injected = false;
+          })
+    (Ip.Route_table.entries (Ip.Stack.table t.ip))
+
+let inject t prefix ~metric =
+  let metric = min metric (Rt_msg.infinity_metric - 1) in
+  match Hashtbl.find_opt t.rib prefix with
+  | Some e when e.injected ->
+      if e.metric <> metric then begin
+        e.metric <- metric;
+        e.poisoned_at <- None;
+        trigger t
+      end
+  | Some _ -> () (* never displace a natively learned route *)
+  | None ->
+      Hashtbl.replace t.rib prefix
+        {
+          prefix;
+          metric;
+          via = None;
+          last_heard = max_int;
+          poisoned_at = None;
+          injected = true;
+        };
+      trigger t
+
+let withdraw t prefix =
+  match Hashtbl.find_opt t.rib prefix with
+  | Some e when e.injected ->
+      Hashtbl.remove t.rib prefix;
+      trigger t
+  | Some _ | None -> ()
+
+let routes t =
+  Hashtbl.fold
+    (fun prefix e acc ->
+      if (not e.injected) && e.metric < Rt_msg.infinity_metric then
+        (prefix, e.metric) :: acc
+      else acc)
+    t.rib []
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    seed_connected t;
+    let sock =
+      Udp.bind t.udp ~port:t.config.port
+        ~recv:(fun ~src ~src_port:_ buf -> handle_message t ~src buf)
+        ()
+    in
+    t.sock <- Some sock;
+    let rec periodic () =
+      expire_routes t;
+      send_update t;
+      Engine.after t.eng t.config.period_us periodic
+    in
+    let rec carrier () =
+      carrier_check t;
+      Engine.after t.eng t.config.carrier_poll_us carrier
+    in
+    (* First update goes out almost immediately so cold start converges
+       in a few round trips rather than a full period. *)
+    Engine.after t.eng 1_000 periodic;
+    Engine.after t.eng t.config.carrier_poll_us carrier
+  end

@@ -1,0 +1,61 @@
+(** Distance-vector interior routing (RIP-like).
+
+    Each gateway periodically tells its neighbors its distance (in hops)
+    to every known prefix; split horizon with poisoned reverse limits the
+    classic counting problem, triggered updates and a carrier-poll of
+    attached links speed convergence after failures.  This is the
+    mechanism that delivers goal 1 (survivability): when a link or
+    gateway dies, the mesh re-learns paths and established TCP
+    connections continue — demonstrated in experiment E1. *)
+
+type config = {
+  period_us : int;  (** Full-update interval (default 5 s). *)
+  timeout_us : int;  (** Route expires if unrefreshed (default 17.5 s). *)
+  gc_us : int;  (** Poisoned route lingers before removal (default 10 s). *)
+  carrier_poll_us : int;  (** Attached-link liveness poll (default 500 ms). *)
+  port : int;  (** UDP port (default 520). *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable updates_sent : int;
+  mutable updates_received : int;
+  mutable triggered_updates : int;
+  mutable routes_expired : int;
+  mutable bad_messages : int;
+}
+
+type t
+
+val create : ?config:config -> Udp.t -> t
+(** Bind the protocol to a stack's UDP instance.  Connected prefixes are
+    picked up from the stack's routing table at {!start}. *)
+
+val add_neighbor : t -> Netsim.iface -> Packet.Addr.t -> unit
+(** Declare an adjacent gateway reachable out of [iface] at the given
+    address (point-to-point configuration, as in early NSFnet). *)
+
+val start : t -> unit
+(** Begin periodic advertisements.  Idempotent. *)
+
+val stats : t -> stats
+
+val rib_size : t -> int
+(** Prefixes currently known (including poisoned ones). *)
+
+val metric_of : t -> Packet.Addr.Prefix.t -> int option
+(** Current metric for a prefix, 16 meaning unreachable. *)
+
+val inject : t -> Packet.Addr.Prefix.t -> metric:int -> unit
+(** Advertise an external route (learned from another protocol, e.g. at a
+    border gateway) as if it were connected: it is announced to neighbors
+    but never installed or expired by this instance.  Re-injecting updates
+    the metric. *)
+
+val withdraw : t -> Packet.Addr.Prefix.t -> unit
+(** Stop advertising an injected route (poisons it first). *)
+
+val routes : t -> (Packet.Addr.Prefix.t * int) list
+(** Reachable prefixes this instance itself learned (connected + peers),
+    excluding injected externals — the set a redistributor may export. *)

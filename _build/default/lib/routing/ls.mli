@@ -1,0 +1,57 @@
+(** Link-state interior routing (OSPF-shaped, radically simplified).
+
+    Gateways exchange hellos to detect adjacency liveness, flood link-state
+    advertisements describing their adjacencies and owned prefixes, and run
+    Dijkstra over the resulting map.  Provided as the second "realization"
+    of the routing function (Clark §9): same survivability goal as {!Dv},
+    different convergence and overhead profile — compared in the E1/E8
+    experiments. *)
+
+type config = {
+  hello_us : int;  (** Hello interval (default 1 s). *)
+  dead_count : int;  (** Missed hellos before an adjacency is down (3). *)
+  refresh_us : int;  (** Own-LSA re-origination interval (default 15 s). *)
+  max_age_us : int;  (** LSDB entry lifetime (default 60 s). *)
+  port : int;  (** UDP port (default 521). *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable hellos_sent : int;
+  mutable lsas_originated : int;
+  mutable lsas_flooded : int;
+  mutable lsas_received : int;
+  mutable spf_runs : int;
+  mutable bad_messages : int;
+}
+
+type t
+
+val create : ?config:config -> Udp.t -> t
+(** The router id is the stack's primary address. *)
+
+val router_id : t -> Packet.Addr.t
+
+val add_neighbor : t -> Netsim.iface -> Packet.Addr.t -> cost:int -> unit
+(** Declare a point-to-point adjacency with the given link cost. *)
+
+val start : t -> unit
+
+val stats : t -> stats
+
+val lsdb_size : t -> int
+(** LSAs currently held (including our own). *)
+
+val reachable : t -> Packet.Addr.t -> bool
+(** Whether the given router id is currently in the shortest-path tree. *)
+
+val set_external_prefixes : t -> (Packet.Addr.Prefix.t * int) list -> unit
+(** Advertise prefixes learned from another protocol (border-gateway
+    redistribution) as stubs of this router, with the given costs; replaces
+    the previous external set and re-originates the LSA. *)
+
+val routes : t -> (Packet.Addr.Prefix.t * int) list
+(** Prefixes this instance computed from other routers' LSAs, with their
+    metrics, plus its own connected prefixes — the set a redistributor may
+    export. *)

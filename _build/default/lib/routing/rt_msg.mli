@@ -1,0 +1,32 @@
+(** Wire formats for the two interior routing protocols.
+
+    Distance-vector updates are RIP-shaped: a list of (prefix, metric)
+    pairs with 16 as infinity.  Link-state messages are hellos and LSAs:
+    an LSA carries the originating router's adjacencies (router id, cost)
+    and the stub prefixes it owns. *)
+
+type dv_entry = { prefix : Packet.Addr.Prefix.t; metric : int }
+
+val infinity_metric : int
+(** 16, the RIP unreachable metric. *)
+
+type ls_neighbor = { neighbor_id : int32; cost : int }
+type ls_prefix = { prefix : Packet.Addr.Prefix.t; cost : int }
+
+type lsa = {
+  origin : int32;  (** Router id (its primary address). *)
+  seq : int;  (** Monotonic per-origin sequence number. *)
+  neighbors : ls_neighbor list;
+  prefixes : ls_prefix list;
+}
+
+type t =
+  | Dv_update of dv_entry list
+  | Hello of int32  (** Sender's router id. *)
+  | Lsa of lsa
+
+type error = [ `Truncated | `Bad_header of string ]
+
+val encode : t -> bytes
+val decode : bytes -> (t, error) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stdext/bytio.ml: Bytes Int32

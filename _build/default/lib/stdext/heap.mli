@@ -1,0 +1,31 @@
+(** Binary min-heap keyed by [(int, int)] pairs.
+
+    The event queue of the simulation engine needs a priority queue ordered
+    by (time, insertion sequence): the sequence component makes the pop
+    order of same-time events deterministic (FIFO in insertion order),
+    which keeps whole simulations reproducible. *)
+
+type 'a t
+(** Heap of values of type ['a]. *)
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of stored elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [push t ~key ~seq v] inserts [v] ordered primarily by [key] and, among
+    equal keys, by [seq]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum as [(key, seq, value)], or [None] if the
+    heap is empty. *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** Like {!pop} without removing. *)
+
+val clear : 'a t -> unit
+(** Drop all elements. *)

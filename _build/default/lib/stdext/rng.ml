@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  (* Mix once more so a split stream does not share prefixes with the
+     parent's subsequent outputs. *)
+  { state = mix64 seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* Mask to 62 nonnegative bits: Int64.to_int truncates to the native
+     63-bit int and could otherwise yield negatives. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land max_int in
+  v mod bound
+
+let float t bound =
+  (* 53 random bits, scaled into [0, bound). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v /. 9007199254740992.0 *. bound
+
+let bool t p = float t 1.0 < p
+
+let exponential t mean =
+  let u = float t 1.0 in
+  (* Avoid log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

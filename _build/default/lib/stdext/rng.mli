@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator.
+
+    Every stochastic element of the simulator (link loss, jitter, workload
+    arrival processes) draws from an explicit [Rng.t] so that a simulation is
+    a pure function of its seed.  The generator is SplitMix64 (Steele,
+    Lea & Flood, OOPSLA 2014): tiny state, excellent statistical quality for
+    simulation purposes, and cheap [split] for creating independent
+    sub-streams per component. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] is a new generator statistically independent of [t]; both
+    advance separately afterwards.  Used to give each link/app its own
+    stream so adding a component does not perturb the draws of others. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean; used for Poisson arrival processes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

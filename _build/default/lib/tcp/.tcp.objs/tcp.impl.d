@@ -1,0 +1,1 @@
+lib/tcp/tcp.ml: Buffer Bytes Engine Format Hashtbl Ip List Option Packet Printf Rto Sendbuf Seq_num Stdext

@@ -1,0 +1,1 @@
+lib/tcp/tcp.mli: Format Ip Packet Rto Sendbuf Seq_num

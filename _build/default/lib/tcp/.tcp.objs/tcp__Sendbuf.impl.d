@@ -1,0 +1,1 @@
+lib/tcp/sendbuf.ml: Bytes

@@ -1,0 +1,1 @@
+lib/tcp/seq_num.mli:

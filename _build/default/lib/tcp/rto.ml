@@ -1,0 +1,46 @@
+type t = {
+  min_rto : int;
+  max_rto : int;
+  mutable srtt : int option;
+  mutable rttvar : int;
+  mutable base_rto : int;
+  mutable shift : int; (* backoff exponent *)
+}
+
+let create ?(initial_rto_us = 1_000_000) ?(min_rto_us = 200_000)
+    ?(max_rto_us = 60_000_000) () =
+  {
+    min_rto = min_rto_us;
+    max_rto = max_rto_us;
+    srtt = None;
+    rttvar = 0;
+    base_rto = initial_rto_us;
+    shift = 0;
+  }
+
+let clamp t v = min t.max_rto (max t.min_rto v)
+
+let sample t rtt =
+  (match t.srtt with
+  | None ->
+      (* First measurement (RFC 6298 2.2). *)
+      t.srtt <- Some rtt;
+      t.rttvar <- rtt / 2
+  | Some srtt ->
+      (* RTTVAR := 3/4 RTTVAR + 1/4 |SRTT - R|; SRTT := 7/8 SRTT + 1/8 R *)
+      t.rttvar <- ((3 * t.rttvar) + abs (srtt - rtt)) / 4;
+      t.srtt <- Some (((7 * srtt) + rtt) / 8));
+  (match t.srtt with
+  | Some srtt -> t.base_rto <- clamp t (srtt + max 1 (4 * t.rttvar))
+  | None -> ());
+  t.shift <- 0
+
+let rto t = min t.max_rto (t.base_rto lsl t.shift)
+
+let backoff t = if t.base_rto lsl t.shift < t.max_rto then t.shift <- t.shift + 1
+
+let reset_backoff t = t.shift <- 0
+
+let srtt t = t.srtt
+
+let rttvar t = match t.srtt with None -> None | Some _ -> Some t.rttvar

@@ -1,0 +1,52 @@
+type t = {
+  limit : int;
+  mutable data : bytes;
+  mutable start : int; (* index of first live byte in [data] *)
+  mutable len : int;
+  mutable base_off : int; (* absolute stream offset of [start] *)
+}
+
+let create ?(limit = 262_144) () =
+  { limit; data = Bytes.create 4096; start = 0; len = 0; base_off = 0 }
+
+let base t = t.base_off
+let length t = t.len
+let tail t = t.base_off + t.len
+let space t = t.limit - t.len
+
+let ensure t extra =
+  let need = t.len + extra in
+  if t.start + need > Bytes.length t.data then begin
+    let cap = max (2 * Bytes.length t.data) need in
+    let nd = Bytes.create cap in
+    Bytes.blit t.data t.start nd 0 t.len;
+    t.data <- nd;
+    t.start <- 0
+  end
+
+let append t b =
+  let n = min (Bytes.length b) (space t) in
+  if n > 0 then begin
+    ensure t n;
+    Bytes.blit b 0 t.data (t.start + t.len) n;
+    t.len <- t.len + n
+  end;
+  n
+
+let get t ~off ~len =
+  if off < t.base_off || off + len > tail t || len < 0 then
+    invalid_arg "Sendbuf.get: range out of buffer";
+  Bytes.sub t.data (t.start + off - t.base_off) len
+
+let drop_until t off =
+  if off > t.base_off then begin
+    let n = min (off - t.base_off) t.len in
+    t.start <- t.start + n;
+    t.len <- t.len - n;
+    t.base_off <- t.base_off + n;
+    (* Compact when the dead prefix dominates. *)
+    if t.start > Bytes.length t.data / 2 && t.start > 4096 then begin
+      Bytes.blit t.data t.start t.data 0 t.len;
+      t.start <- 0
+    end
+  end

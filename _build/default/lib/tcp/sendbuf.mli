@@ -1,0 +1,31 @@
+(** The sender-side byte stream buffer.
+
+    Holds bytes the application has written but the peer has not yet
+    acknowledged, addressed by absolute stream offset (byte 0 is the first
+    byte after the SYN).  The TCP engine slices retransmittable segments
+    out of it and drops the acknowledged prefix. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [limit] bounds stored (unacknowledged + unsent) bytes; default 262144. *)
+
+val base : t -> int
+(** Stream offset of the first byte still held. *)
+
+val tail : t -> int
+(** Stream offset one past the last byte held ([base + length]). *)
+
+val length : t -> int
+val space : t -> int
+
+val append : t -> bytes -> int
+(** Append as much as fits; returns the number of bytes accepted. *)
+
+val get : t -> off:int -> len:int -> bytes
+(** Copy a slice by absolute offset.  The range must be within
+    [\[base, tail)]. *)
+
+val drop_until : t -> int -> unit
+(** Acknowledge: discard everything before the given absolute offset.
+    Offsets at or below [base] are no-ops. *)

@@ -1,0 +1,30 @@
+(** 32-bit modular sequence-number arithmetic (RFC 793 §3.3).
+
+    TCP sequence numbers live on a circle of size 2^32; comparisons are
+    only meaningful between numbers less than half the space apart.  All
+    values are OCaml ints in [\[0, 2^32)]. *)
+
+type t = int
+
+val modulus : int
+(** 2^32. *)
+
+val add : t -> int -> t
+(** Advance, wrapping. *)
+
+val diff : t -> t -> int
+(** [diff a b] is the signed distance from [b] to [a]: positive when [a]
+    is ahead of [b] on the circle, in [\[-2^31, 2^31)]. *)
+
+val lt : t -> t -> bool
+(** [lt a b] iff [a] is strictly before [b] (within half the space). *)
+
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val max : t -> t -> t
+(** The later of the two. *)
+
+val in_window : t -> base:t -> size:int -> bool
+(** [in_window x ~base ~size] iff [x] lies in [\[base, base+size)]. *)

@@ -1,0 +1,1103 @@
+module Addr = Packet.Addr
+module Ipv4 = Packet.Ipv4
+module Wire = Packet.Tcp_wire
+module Seq = Seq_num
+module Rto = Rto
+module Sendbuf = Sendbuf
+
+type cc_algo = No_cc | Tahoe | Reno
+
+let pp_cc fmt c =
+  Format.pp_print_string fmt
+    (match c with No_cc -> "no-cc" | Tahoe -> "tahoe" | Reno -> "reno")
+
+type config = {
+  mss : int;
+  window : int;
+  cc : cc_algo;
+  nagle : bool;
+  syn_retries : int;
+  max_retransmits : int;
+  msl_us : int;
+  delayed_ack_us : int;
+  persist_us : int;
+  send_buffer : int;
+  tos : Ipv4.Tos.t;
+}
+
+let default_config =
+  {
+    mss = 1460;
+    window = 65535;
+    cc = Reno;
+    nagle = true;
+    syn_retries = 6;
+    max_retransmits = 12;
+    msl_us = 5_000_000;
+    delayed_ack_us = 200_000;
+    persist_us = 1_000_000;
+    send_buffer = 262_144;
+    tos = Ipv4.Tos.Routine;
+  }
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Closed -> "CLOSED"
+    | Listen -> "LISTEN"
+    | Syn_sent -> "SYN-SENT"
+    | Syn_received -> "SYN-RECEIVED"
+    | Established -> "ESTABLISHED"
+    | Fin_wait_1 -> "FIN-WAIT-1"
+    | Fin_wait_2 -> "FIN-WAIT-2"
+    | Close_wait -> "CLOSE-WAIT"
+    | Closing -> "CLOSING"
+    | Last_ack -> "LAST-ACK"
+    | Time_wait -> "TIME-WAIT")
+
+type close_reason = Graceful | Reset | Timed_out | Refused
+
+let pp_close_reason fmt r =
+  Format.pp_print_string fmt
+    (match r with
+    | Graceful -> "graceful"
+    | Reset -> "reset"
+    | Timed_out -> "timed-out"
+    | Refused -> "refused")
+
+type conn_stats = {
+  mutable segs_out : int;
+  mutable segs_in : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+  mutable retransmits : int;
+  mutable rto_fires : int;
+  mutable fast_retransmits : int;
+  mutable dupacks : int;
+  mutable bytes_retransmitted : int;
+}
+
+type stats = {
+  mutable active_opens : int;
+  mutable passive_opens : int;
+  mutable established : int;
+  mutable resets_out : int;
+  mutable resets_in : int;
+  mutable bad_segments : int;
+  mutable no_listener : int;
+}
+
+type key = int32 * int * int32 * int
+
+type t = {
+  ip : Ip.Stack.t;
+  eng : Engine.t;
+  default_cfg : config;
+  conns : (key, conn) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_ephemeral : int;
+  rng : Stdext.Rng.t;
+  gstats : stats;
+}
+
+and listener = {
+  l_tcp : t;
+  l_port : int;
+  l_accept : conn -> unit;
+  mutable l_open : bool;
+}
+
+and conn = {
+  tcp : t;
+  cfg : config;
+  local_addr : Addr.t;
+  local_port : int;
+  remote_addr : Addr.t;
+  remote_port : int;
+  via_listener : listener option;
+  mutable st : state;
+  (* Send side. *)
+  iss : int;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;
+  mutable snd_wl1 : int;
+  mutable snd_wl2 : int;
+  mutable snd_max : int; (* highest snd_nxt ever reached *)
+  sndbuf : Sendbuf.t;
+  mutable fin_pending : bool;
+  mutable fin_sent : bool;
+  mutable eff_mss : int;
+  (* Receive side. *)
+  mutable irs : int;
+  mutable rcv_nxt : int;
+  mutable ooo : (int * bytes) list;
+  recvq : Buffer.t;
+  mutable paused : bool;
+  (* Congestion. *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dupacks : int;
+  mutable recover : int;
+  mutable in_recovery : bool;
+  (* Timers. *)
+  rto : Rto.t;
+  mutable rto_timer : Engine.Timer.handle option;
+  mutable retries : int;
+  mutable delack_timer : Engine.Timer.handle option;
+  mutable ack_pending : int;
+  mutable persist_timer : Engine.Timer.handle option;
+  mutable timewait_timer : Engine.Timer.handle option;
+  (* RTT measurement in flight: (sequence being timed, send time). *)
+  mutable timing : (int * int) option;
+  (* Callbacks. *)
+  mutable cb_established : (unit -> unit) option;
+  mutable cb_receive : (bytes -> unit) option;
+  mutable cb_peer_fin : (unit -> unit) option;
+  mutable cb_close : (close_reason -> unit) option;
+  mutable closed_notified : bool;
+  cstats : conn_stats;
+}
+
+let new_conn_stats () =
+  {
+    segs_out = 0;
+    segs_in = 0;
+    bytes_out = 0;
+    bytes_in = 0;
+    retransmits = 0;
+    rto_fires = 0;
+    fast_retransmits = 0;
+    dupacks = 0;
+    bytes_retransmitted = 0;
+  }
+
+(* Accessors ------------------------------------------------------------ *)
+
+let stack t = t.ip
+let instance_stats t = t.gstats
+let connection_count t = Hashtbl.length t.conns
+let state c = c.st
+let stats c = c.cstats
+let cwnd c = c.cwnd
+let ssthresh c = c.ssthresh
+let srtt_us c = Rto.srtt c.rto
+let snd_wnd c = c.snd_wnd
+let local_port c = c.local_port
+let remote_addr c = c.remote_addr
+let remote_port c = c.remote_port
+let mss c = c.eff_mss
+let on_established c f = c.cb_established <- Some f
+let on_receive c f = c.cb_receive <- Some f
+let on_peer_fin c f = c.cb_peer_fin <- Some f
+let on_close c f = c.cb_close <- Some f
+
+(* Sequence/offset mapping: stream byte 0 is iss+1 (after the SYN). *)
+let seq_of_off c off = Seq.add c.iss (1 + off)
+let off_of_seq c s = Seq.diff s c.iss - 1
+
+(* The FIN, if sent, occupies the sequence number just past the stream. *)
+let fin_seq c = seq_of_off c (Sendbuf.tail c.sndbuf)
+
+let flight c = Seq.diff c.snd_nxt c.snd_una
+
+let rcv_window c =
+  let used = Buffer.length c.recvq in
+  min 65535 (max 0 (c.cfg.window - used))
+
+let effective_cwnd c =
+  match c.cfg.cc with No_cc -> 1 lsl 30 | Tahoe | Reno -> c.cwnd
+
+let key_of c : key =
+  ( Addr.to_int32 c.local_addr,
+    c.local_port,
+    Addr.to_int32 c.remote_addr,
+    c.remote_port )
+
+(* Timer plumbing ------------------------------------------------------- *)
+
+let cancel_timer slot =
+  match slot with Some h -> Engine.Timer.cancel h | None -> ()
+
+let cancel_all_timers c =
+  cancel_timer c.rto_timer;
+  cancel_timer c.delack_timer;
+  cancel_timer c.persist_timer;
+  cancel_timer c.timewait_timer;
+  c.rto_timer <- None;
+  c.delack_timer <- None;
+  c.persist_timer <- None;
+  c.timewait_timer <- None
+
+let destroy c reason =
+  cancel_all_timers c;
+  Hashtbl.remove c.tcp.conns (key_of c);
+  c.st <- Closed;
+  if not c.closed_notified then begin
+    c.closed_notified <- true;
+    match c.cb_close with Some f -> f reason | None -> ()
+  end
+
+(* Segment emission ------------------------------------------------------ *)
+
+let emit_segment c ?(payload = Bytes.empty) ?(mss_opt = None) ~flags ~seq () =
+  let seg =
+    Wire.make ~seq
+      ~ack_n:(if flags.Wire.ack then c.rcv_nxt else 0)
+      ~flags ~window:(rcv_window c) ~mss:mss_opt ~payload
+      ~src_port:c.local_port ~dst_port:c.remote_port ()
+  in
+  let bytes = Wire.encode ~src:c.local_addr ~dst:c.remote_addr seg in
+  c.cstats.segs_out <- c.cstats.segs_out + 1;
+  (* An ACK-bearing segment satisfies any pending delayed ACK. *)
+  if flags.Wire.ack then begin
+    cancel_timer c.delack_timer;
+    c.delack_timer <- None;
+    c.ack_pending <- 0
+  end;
+  ignore
+    (Ip.Stack.send c.tcp.ip ~tos:c.cfg.tos ~src:c.local_addr
+       ~proto:Ipv4.Proto.Tcp ~dst:c.remote_addr bytes)
+
+let send_ack c =
+  emit_segment c ~flags:(Wire.flags ~ack:true ()) ~seq:c.snd_nxt ()
+
+(* Send a RST in reply to an orphan segment (RFC 793 p.36). *)
+let send_rst_for t ~(ip : Ipv4.header) (seg : Wire.t) =
+  if not seg.Wire.flags.Wire.rst then begin
+    t.gstats.resets_out <- t.gstats.resets_out + 1;
+    let seg_len =
+      Bytes.length seg.Wire.payload
+      + (if seg.Wire.flags.Wire.syn then 1 else 0)
+      + if seg.Wire.flags.Wire.fin then 1 else 0
+    in
+    let reply =
+      if seg.Wire.flags.Wire.ack then
+        Wire.make ~seq:seg.Wire.ack_n
+          ~flags:(Wire.flags ~rst:true ())
+          ~src_port:seg.Wire.dst_port ~dst_port:seg.Wire.src_port ()
+      else
+        Wire.make ~seq:0
+          ~ack_n:(Seq.add seg.Wire.seq seg_len)
+          ~flags:(Wire.flags ~rst:true ~ack:true ())
+          ~src_port:seg.Wire.dst_port ~dst_port:seg.Wire.src_port ()
+    in
+    let bytes =
+      Wire.encode ~src:ip.Ipv4.dst ~dst:ip.Ipv4.src reply
+    in
+    ignore
+      (Ip.Stack.send t.ip ~src:ip.Ipv4.dst ~proto:Ipv4.Proto.Tcp
+         ~dst:ip.Ipv4.src bytes)
+  end
+
+let abort c =
+  (match c.st with
+  | Syn_sent | Closed -> ()
+  | Listen | Syn_received | Established | Fin_wait_1 | Fin_wait_2
+  | Close_wait | Closing | Last_ack | Time_wait ->
+      c.tcp.gstats.resets_out <- c.tcp.gstats.resets_out + 1;
+      emit_segment c ~flags:(Wire.flags ~rst:true ~ack:true ()) ~seq:c.snd_nxt
+        ());
+  destroy c Reset
+
+(* Retransmission -------------------------------------------------------- *)
+
+(* Forward reference: on_rto needs the output engine, which is defined
+   below and itself needs arm_rto. *)
+let output_ref : (conn -> unit) ref = ref (fun _ -> ())
+
+let rec arm_rto c =
+  let delay = Rto.rto c.rto in
+  cancel_timer c.rto_timer;
+  c.rto_timer <- Some (Engine.Timer.start c.tcp.eng ~after:delay (fun () -> on_rto c))
+
+and retransmit_one c =
+  (* Karn's rule: a retransmitted sequence range must not be timed. *)
+  c.timing <- None;
+  c.cstats.retransmits <- c.cstats.retransmits + 1;
+  match c.st with
+  | Syn_sent ->
+      emit_segment c
+        ~flags:(Wire.flags ~syn:true ())
+        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ()
+  | Syn_received ->
+      emit_segment c
+        ~flags:(Wire.flags ~syn:true ~ack:true ())
+        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ()
+  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+    ->
+      let off = off_of_seq c c.snd_una in
+      let data_left = Sendbuf.tail c.sndbuf - off in
+      if data_left > 0 then begin
+        let len = min c.eff_mss data_left in
+        let payload = Sendbuf.get c.sndbuf ~off ~len in
+        c.cstats.bytes_retransmitted <- c.cstats.bytes_retransmitted + len;
+        emit_segment c
+          ~flags:(Wire.flags ~ack:true ~psh:(len = data_left) ())
+          ~seq:c.snd_una ~payload ()
+      end
+      else if c.fin_sent then
+        emit_segment c
+          ~flags:(Wire.flags ~fin:true ~ack:true ())
+          ~seq:(fin_seq c) ()
+  | Closed | Listen | Time_wait -> ()
+
+and on_rto c =
+  c.rto_timer <- None;
+  c.cstats.rto_fires <- c.cstats.rto_fires + 1;
+  c.retries <- c.retries + 1;
+  let limit =
+    match c.st with
+    | Syn_sent | Syn_received -> c.cfg.syn_retries
+    | Closed | Listen | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
+    | Closing | Last_ack | Time_wait ->
+        c.cfg.max_retransmits
+  in
+  if c.retries > limit then
+    destroy c (if c.st = Syn_sent then Refused else Timed_out)
+  else begin
+    (* Timeout means congestion: collapse to slow start (Jacobson). *)
+    (match c.cfg.cc with
+    | No_cc -> ()
+    | Tahoe | Reno ->
+        c.ssthresh <- max (flight c / 2) (2 * c.eff_mss);
+        c.cwnd <- c.eff_mss;
+        c.in_recovery <- false;
+        c.dupacks <- 0);
+    Rto.backoff c.rto;
+    (match c.st with
+    | Syn_sent | Syn_received -> retransmit_one c
+    | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+    | Last_ack ->
+        (* Go-back-N rollback: pull snd_nxt to the oldest unacked byte and
+           let the (collapsed) window drive retransmission. *)
+        c.timing <- None;
+        c.snd_nxt <- c.snd_una;
+        if c.fin_sent && Seq.le c.snd_una (fin_seq c) then
+          c.fin_sent <- false;
+        !output_ref c
+    | Closed | Listen | Time_wait -> ());
+    arm_rto c
+  end
+
+(* The output engine ------------------------------------------------------ *)
+
+(* States in which the output engine may transmit stream bytes: new data
+   only flows in ESTABLISHED/CLOSE-WAIT, but retransmission after an RTO
+   rollback must also run while our FIN is in flight. *)
+let can_send_data c =
+  match c.st with
+  | Established | Close_wait | Fin_wait_1 | Closing | Last_ack -> true
+  | Fin_wait_2 | Time_wait | Closed | Listen | Syn_sent | Syn_received ->
+      false
+
+let rec output c =
+  if can_send_data c || c.fin_pending then begin
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let fl = flight c in
+      let wnd = min c.snd_wnd (effective_cwnd c) in
+      let usable = wnd - fl in
+      let nxt_off = off_of_seq c c.snd_nxt in
+      let avail = Sendbuf.tail c.sndbuf - nxt_off in
+      if can_send_data c && avail > 0 && usable > 0 then begin
+        let chunk = min c.eff_mss (min avail usable) in
+        (* Nagle: withhold a final sub-MSS segment while data is in
+           flight. *)
+        let nagle_hold =
+          c.cfg.nagle && chunk < c.eff_mss && chunk = avail && fl > 0
+          && not c.fin_pending
+        in
+        if chunk > 0 && not nagle_hold then begin
+          let payload = Sendbuf.get c.sndbuf ~off:nxt_off ~len:chunk in
+          let psh = chunk = avail in
+          emit_segment c
+            ~flags:(Wire.flags ~ack:true ~psh ())
+            ~seq:c.snd_nxt ~payload ();
+          if Seq.lt c.snd_nxt c.snd_max then begin
+            c.cstats.retransmits <- c.cstats.retransmits + 1;
+            c.cstats.bytes_retransmitted <-
+              c.cstats.bytes_retransmitted + chunk
+          end
+          else begin
+            c.cstats.bytes_out <- c.cstats.bytes_out + chunk;
+            if c.timing = None then
+              c.timing <- Some (c.snd_nxt, Engine.now c.tcp.eng)
+          end;
+          c.snd_nxt <- Seq.add c.snd_nxt chunk;
+          c.snd_max <- Seq.max c.snd_max c.snd_nxt;
+          if c.rto_timer = None then arm_rto c;
+          progress := true
+        end
+      end
+    done;
+    (* FIN once the stream is fully transmitted. *)
+    if
+      c.fin_pending && (not c.fin_sent)
+      && off_of_seq c c.snd_nxt = Sendbuf.tail c.sndbuf
+      && (match c.st with
+         | Established | Close_wait | Fin_wait_1 | Closing | Last_ack -> true
+         | Closed | Listen | Syn_sent | Syn_received | Fin_wait_2
+         | Time_wait ->
+             false)
+    then begin
+      emit_segment c
+        ~flags:(Wire.flags ~fin:true ~ack:true ())
+        ~seq:c.snd_nxt ();
+      c.fin_sent <- true;
+      c.snd_nxt <- Seq.add c.snd_nxt 1;
+      c.snd_max <- Seq.max c.snd_max c.snd_nxt;
+      (match c.st with
+      | Established -> c.st <- Fin_wait_1
+      | Close_wait -> c.st <- Last_ack
+      | Closed | Listen | Syn_sent | Syn_received | Fin_wait_1 | Fin_wait_2
+      | Closing | Last_ack | Time_wait ->
+          ());
+      if c.rto_timer = None then arm_rto c
+    end;
+    maybe_arm_persist c
+  end
+
+(* Zero-window persist: after an idle interval, force one byte into the
+   closed window so the reopening ACK cannot be lost silently. *)
+and maybe_arm_persist c =
+  let nxt_off = off_of_seq c c.snd_nxt in
+  let avail = Sendbuf.tail c.sndbuf - nxt_off in
+  if
+    c.snd_wnd = 0 && flight c = 0 && avail > 0 && c.persist_timer = None
+    && can_send_data c
+  then
+    c.persist_timer <-
+      Some
+        (Engine.Timer.start c.tcp.eng ~after:c.cfg.persist_us (fun () ->
+             c.persist_timer <- None;
+             if c.snd_wnd = 0 && flight c = 0 && can_send_data c then begin
+               let nxt_off = off_of_seq c c.snd_nxt in
+               if Sendbuf.tail c.sndbuf > nxt_off then begin
+                 let payload = Sendbuf.get c.sndbuf ~off:nxt_off ~len:1 in
+                 emit_segment c
+                   ~flags:(Wire.flags ~ack:true ())
+                   ~seq:c.snd_nxt ~payload ();
+                 c.cstats.bytes_out <- c.cstats.bytes_out + 1;
+                 c.snd_nxt <- Seq.add c.snd_nxt 1;
+                 c.snd_max <- Seq.max c.snd_max c.snd_nxt;
+                 if c.rto_timer = None then arm_rto c
+               end
+             end))
+
+let () = output_ref := output
+
+(* User API --------------------------------------------------------------- *)
+
+let send c data =
+  match c.st with
+  | Established | Close_wait | Syn_sent | Syn_received ->
+      if c.fin_pending then 0
+      else begin
+        let n = Sendbuf.append c.sndbuf data in
+        output c;
+        n
+      end
+  | Closed | Listen | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack
+  | Time_wait ->
+      0
+
+let send_space c = Sendbuf.space c.sndbuf
+
+let close c =
+  match c.st with
+  | Closed | Listen | Time_wait | Fin_wait_1 | Fin_wait_2 | Closing
+  | Last_ack ->
+      ()
+  | Syn_sent -> destroy c Graceful
+  | Syn_received | Established | Close_wait ->
+      c.fin_pending <- true;
+      output c
+
+let pause_reading c = c.paused <- true
+
+let resume_reading c =
+  if c.paused then begin
+    c.paused <- false;
+    if Buffer.length c.recvq > 0 then begin
+      let data = Buffer.to_bytes c.recvq in
+      Buffer.clear c.recvq;
+      (match c.cb_receive with
+      | Some f -> f data
+      | None -> ());
+      (* The window just reopened: tell the peer. *)
+      send_ack c
+    end
+  end
+
+(* Delivery -------------------------------------------------------------- *)
+
+let deliver_data c data =
+  c.cstats.bytes_in <- c.cstats.bytes_in + Bytes.length data;
+  if c.paused then Buffer.add_bytes c.recvq data
+  else
+    match c.cb_receive with
+    | Some f -> f data
+    | None -> Buffer.add_bytes c.recvq data
+
+(* Congestion-control reaction to one acceptable ACK. *)
+let cc_on_new_ack c acked =
+  match c.cfg.cc with
+  | No_cc -> ()
+  | Tahoe | Reno ->
+      if c.in_recovery then begin
+        (* Classic Reno: leave fast recovery on the first new ACK. *)
+        c.cwnd <- c.ssthresh;
+        c.in_recovery <- false
+      end
+      else if c.cwnd < c.ssthresh then
+        (* Slow start. *)
+        c.cwnd <- c.cwnd + min acked c.eff_mss
+      else
+        (* Congestion avoidance: ~one MSS per RTT. *)
+        c.cwnd <- c.cwnd + max 1 (c.eff_mss * c.eff_mss / c.cwnd)
+
+let enter_fast_retransmit c =
+  c.cstats.fast_retransmits <- c.cstats.fast_retransmits + 1;
+  (match c.cfg.cc with
+  | No_cc -> ()
+  | Tahoe ->
+      c.ssthresh <- max (flight c / 2) (2 * c.eff_mss);
+      c.cwnd <- c.eff_mss;
+      c.dupacks <- 0
+  | Reno ->
+      c.ssthresh <- max (flight c / 2) (2 * c.eff_mss);
+      c.cwnd <- c.ssthresh + (3 * c.eff_mss);
+      c.recover <- c.snd_nxt;
+      c.in_recovery <- true);
+  retransmit_one c;
+  arm_rto c
+
+(* TIME-WAIT entry / restart. *)
+let enter_time_wait c =
+  c.st <- Time_wait;
+  cancel_timer c.rto_timer;
+  c.rto_timer <- None;
+  cancel_timer c.timewait_timer;
+  c.timewait_timer <-
+    Some
+      (Engine.Timer.start c.tcp.eng ~after:(2 * c.cfg.msl_us) (fun () ->
+           destroy c Graceful))
+
+let mark_established c =
+  c.tcp.gstats.established <- c.tcp.gstats.established + 1;
+  c.st <- Established;
+  (match c.via_listener with
+  | Some l when l.l_open -> l.l_accept c
+  | Some _ | None -> ());
+  match c.cb_established with Some f -> f () | None -> ()
+
+(* ACK processing (RFC 793 p.72).  Returns false if the segment should not
+   be processed further (stale ACK of unsent data). *)
+let process_ack c (seg : Wire.t) =
+  let ack = seg.Wire.ack_n in
+  (* Validate against the high-water mark, not snd_nxt: after an RTO
+     rollback, acks of pre-rollback transmissions are still good. *)
+  if Seq.gt ack c.snd_max then begin
+    (* Acks something not yet sent. *)
+    send_ack c;
+    false
+  end
+  else begin
+    let seg_len = Bytes.length seg.Wire.payload in
+    if Seq.gt ack c.snd_una then begin
+      let acked = Seq.diff ack c.snd_una in
+      c.snd_una <- ack;
+      if Seq.lt c.snd_nxt c.snd_una then c.snd_nxt <- c.snd_una;
+      (* Drop acknowledged stream bytes (the FIN consumes no buffer). *)
+      let new_base = min (off_of_seq c ack) (Sendbuf.tail c.sndbuf) in
+      Sendbuf.drop_until c.sndbuf new_base;
+      (* RTT sample (Karn-safe: timing is cleared on retransmission). *)
+      (match c.timing with
+      | Some (tseq, at) when Seq.gt ack tseq ->
+          Rto.sample c.rto (Engine.now c.tcp.eng - at);
+          c.timing <- None
+      | Some _ | None -> ());
+      c.retries <- 0;
+      Rto.reset_backoff c.rto;
+      cc_on_new_ack c acked;
+      if Seq.ge ack c.recover then c.dupacks <- 0;
+      (* Timer: stop when everything is acked, else restart. *)
+      if c.snd_una = c.snd_nxt then begin
+        cancel_timer c.rto_timer;
+        c.rto_timer <- None
+      end
+      else arm_rto c
+    end
+    else if
+      seg_len = 0
+      && seg.Wire.window = c.snd_wnd
+      && Seq.lt c.snd_una c.snd_nxt
+      && not seg.Wire.flags.Wire.syn
+      && not seg.Wire.flags.Wire.fin
+    then begin
+      (* A genuine duplicate ACK (RFC 5681 definition). *)
+      c.cstats.dupacks <- c.cstats.dupacks + 1;
+      c.dupacks <- c.dupacks + 1;
+      if c.dupacks = 3 && c.cfg.cc <> No_cc then enter_fast_retransmit c
+      else if c.dupacks > 3 && c.in_recovery then begin
+        (* Window inflation during Reno fast recovery. *)
+        c.cwnd <- c.cwnd + c.eff_mss;
+        output c
+      end
+    end;
+    (* Window update (RFC 793 p.72 wl1/wl2 test). *)
+    if
+      Seq.lt c.snd_wl1 seg.Wire.seq
+      || (c.snd_wl1 = seg.Wire.seq && Seq.le c.snd_wl2 ack)
+    then begin
+      let old_wnd = c.snd_wnd in
+      c.snd_wnd <- seg.Wire.window;
+      c.snd_wl1 <- seg.Wire.seq;
+      c.snd_wl2 <- ack;
+      if old_wnd = 0 && c.snd_wnd > 0 then begin
+        cancel_timer c.persist_timer;
+        c.persist_timer <- None
+      end
+    end;
+    true
+  end
+
+(* In-order data and FIN delivery; assumes seg.seq = rcv_nxt after
+   trimming. *)
+let rec accept_text c seq payload fin =
+  let len = Bytes.length payload in
+  if len > 0 then begin
+    c.rcv_nxt <- Seq.add c.rcv_nxt len;
+    deliver_data c payload
+  end;
+  ignore seq;
+  if fin then begin
+    c.rcv_nxt <- Seq.add c.rcv_nxt 1;
+    (match c.cb_peer_fin with Some f -> f () | None -> ());
+    match c.st with
+    | Established -> c.st <- Close_wait
+    | Fin_wait_1 ->
+        (* Our FIN not yet acked: simultaneous close. *)
+        c.st <- Closing
+    | Fin_wait_2 -> enter_time_wait c
+    | Syn_received -> c.st <- Close_wait
+    | Closed | Listen | Syn_sent | Close_wait | Closing | Last_ack
+    | Time_wait ->
+        ()
+  end;
+  (* Pull any now-contiguous out-of-order segments. *)
+  drain_ooo c
+
+and drain_ooo c =
+  match c.ooo with
+  | (seq, data) :: rest when Seq.le seq c.rcv_nxt ->
+      c.ooo <- rest;
+      let skip = Seq.diff c.rcv_nxt seq in
+      if skip < Bytes.length data then begin
+        let fresh = Bytes.sub data skip (Bytes.length data - skip) in
+        accept_text c c.rcv_nxt fresh false
+      end
+      else drain_ooo c
+  | _ -> ()
+
+(* Insert an out-of-order segment, keeping the list sorted by seq. *)
+let store_ooo c seq data =
+  let rec ins = function
+    | [] -> [ (seq, data) ]
+    | (s, d) :: rest when Seq.lt s seq -> (s, d) :: ins rest
+    | (s, _) :: _ as l when s = seq -> l (* duplicate: keep first *)
+    | l -> (seq, data) :: l
+  in
+  if List.length c.ooo < 256 then c.ooo <- ins c.ooo
+
+(* Segment arrival for synchronized states. *)
+let rec process_segment c (seg : Wire.t) =
+  c.cstats.segs_in <- c.cstats.segs_in + 1;
+  let seg_len =
+    Bytes.length seg.Wire.payload + (if seg.Wire.flags.Wire.fin then 1 else 0)
+  in
+  let wnd = rcv_window c in
+  (* Acceptability check (RFC 793 p.69). *)
+  let acceptable =
+    if seg_len = 0 && wnd = 0 then seg.Wire.seq = c.rcv_nxt
+    else if seg_len = 0 then Seq.in_window seg.Wire.seq ~base:c.rcv_nxt ~size:wnd
+    else if wnd = 0 then false
+    else
+      Seq.in_window seg.Wire.seq ~base:c.rcv_nxt ~size:wnd
+      || Seq.in_window
+           (Seq.add seg.Wire.seq (seg_len - 1))
+           ~base:c.rcv_nxt ~size:wnd
+  in
+  if not acceptable then begin
+    if not seg.Wire.flags.Wire.rst then send_ack c
+  end
+  else if seg.Wire.flags.Wire.rst then begin
+    c.tcp.gstats.resets_in <- c.tcp.gstats.resets_in + 1;
+    destroy c Reset
+  end
+  else if seg.Wire.flags.Wire.syn then begin
+    (* SYN inside the window: fatal error per RFC 793. *)
+    c.tcp.gstats.resets_out <- c.tcp.gstats.resets_out + 1;
+    emit_segment c ~flags:(Wire.flags ~rst:true ()) ~seq:c.snd_nxt ();
+    destroy c Reset
+  end
+  else if not seg.Wire.flags.Wire.ack then ()
+  else if
+    (* SYN-RECEIVED: the handshake-completing ACK. *)
+    c.st = Syn_received
+  then begin
+    if
+      Seq.in_window seg.Wire.ack_n
+        ~base:(Seq.add c.snd_una 1)
+        ~size:(Seq.diff c.snd_nxt c.snd_una)
+    then begin
+      c.snd_una <- seg.Wire.ack_n;
+      c.snd_wnd <- seg.Wire.window;
+      c.snd_wl1 <- seg.Wire.seq;
+      c.snd_wl2 <- seg.Wire.ack_n;
+      cancel_timer c.rto_timer;
+      c.rto_timer <- None;
+      c.retries <- 0;
+      mark_established c;
+      (* Fall through to text processing of this same segment. *)
+      if Bytes.length seg.Wire.payload > 0 || seg.Wire.flags.Wire.fin then
+        process_segment c { seg with Wire.flags = { seg.Wire.flags with Wire.syn = false } }
+    end
+    else send_rst_like c seg
+  end
+  else begin
+    let continue = process_ack c seg in
+    if continue then begin
+      (* FIN-WAIT / CLOSING progress on FIN acknowledgment. *)
+      (if c.fin_sent && Seq.gt c.snd_una (fin_seq c) then
+         match c.st with
+         | Fin_wait_1 -> c.st <- Fin_wait_2
+         | Closing -> enter_time_wait c
+         | Last_ack -> destroy c Graceful
+         | Closed | Listen | Syn_sent | Syn_received | Established
+         | Fin_wait_2 | Close_wait | Time_wait ->
+             ());
+      if c.st <> Closed then begin
+        (* Segment text. *)
+        let payload = seg.Wire.payload in
+        let plen = Bytes.length payload in
+        let fin = seg.Wire.flags.Wire.fin in
+        if plen > 0 || fin then begin
+          if c.st = Time_wait then begin
+            (* Peer retransmitted its FIN: re-ack and restart 2MSL. *)
+            send_ack c;
+            enter_time_wait c
+          end
+          else begin
+            let seq = seg.Wire.seq in
+            if Seq.le seq c.rcv_nxt then begin
+              (* Trim the already-received prefix. *)
+              let skip = Seq.diff c.rcv_nxt seq in
+              let keep = max 0 (plen - skip) in
+              let fresh =
+                if keep > 0 then Bytes.sub payload skip keep else Bytes.empty
+              in
+              (* The FIN may itself be stale if rcv_nxt passed it. *)
+              let fin_seq_in = Seq.add seq plen in
+              let fin_fresh = fin && Seq.ge fin_seq_in c.rcv_nxt in
+              if keep > 0 || fin_fresh then begin
+                accept_text c c.rcv_nxt fresh fin_fresh;
+                c.ack_pending <- c.ack_pending + 1;
+                if fin_fresh || c.ack_pending >= 2 then send_ack c
+                else if c.delack_timer = None then
+                  c.delack_timer <-
+                    Some
+                      (Engine.Timer.start c.tcp.eng
+                         ~after:c.cfg.delayed_ack_us (fun () ->
+                           c.delack_timer <- None;
+                           if c.ack_pending > 0 then send_ack c))
+              end
+              else send_ack c
+            end
+            else begin
+              (* Out of order: stash and signal the gap at once. *)
+              store_ooo c seq payload;
+              send_ack c
+            end
+          end
+        end;
+        if c.st <> Closed then output c
+      end
+    end
+  end
+
+and send_rst_like c (seg : Wire.t) =
+  c.tcp.gstats.resets_out <- c.tcp.gstats.resets_out + 1;
+  emit_segment c ~flags:(Wire.flags ~rst:true ()) ~seq:seg.Wire.ack_n ()
+
+(* SYN-SENT arrival (RFC 793 p.66). *)
+let process_syn_sent c (seg : Wire.t) =
+  c.cstats.segs_in <- c.cstats.segs_in + 1;
+  let ack_ok =
+    seg.Wire.flags.Wire.ack
+    && Seq.in_window seg.Wire.ack_n ~base:(Seq.add c.iss 1)
+         ~size:(Seq.diff c.snd_nxt c.iss)
+  in
+  if seg.Wire.flags.Wire.ack && not ack_ok then begin
+    if not seg.Wire.flags.Wire.rst then send_rst_like c seg
+  end
+  else if seg.Wire.flags.Wire.rst then begin
+    if ack_ok then begin
+      c.tcp.gstats.resets_in <- c.tcp.gstats.resets_in + 1;
+      destroy c Refused
+    end
+  end
+  else if seg.Wire.flags.Wire.syn then begin
+    c.irs <- seg.Wire.seq;
+    c.rcv_nxt <- Seq.add seg.Wire.seq 1;
+    (match seg.Wire.mss with
+    | Some peer_mss -> c.eff_mss <- min c.cfg.mss peer_mss
+    | None -> c.eff_mss <- min c.cfg.mss 536);
+    if ack_ok then begin
+      c.snd_una <- seg.Wire.ack_n;
+      c.snd_wnd <- seg.Wire.window;
+      c.snd_wl1 <- seg.Wire.seq;
+      c.snd_wl2 <- seg.Wire.ack_n;
+      cancel_timer c.rto_timer;
+      c.rto_timer <- None;
+      c.retries <- 0;
+      (* The SYN round trip is a valid RTT sample. *)
+      (match c.timing with
+      | Some (_, at) -> Rto.sample c.rto (Engine.now c.tcp.eng - at)
+      | None -> ());
+      c.timing <- None;
+      send_ack c;
+      mark_established c;
+      output c
+    end
+    else begin
+      (* Simultaneous open. *)
+      c.st <- Syn_received;
+      emit_segment c
+        ~flags:(Wire.flags ~syn:true ~ack:true ())
+        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ();
+      arm_rto c
+    end
+  end
+
+(* Construction ----------------------------------------------------------- *)
+
+let fresh_iss t = Stdext.Rng.int t.rng Seq.modulus
+
+let make_conn t ~cfg ~local_addr ~local_port ~remote_addr ~remote_port
+    ~via_listener ~st ~iss =
+  let c =
+    {
+      tcp = t;
+      cfg;
+      local_addr;
+      local_port;
+      remote_addr;
+      remote_port;
+      via_listener;
+      st;
+      iss;
+      snd_una = iss;
+      snd_nxt = Seq.add iss 1;
+      snd_max = Seq.add iss 1;
+      snd_wnd = 0;
+      snd_wl1 = 0;
+      snd_wl2 = 0;
+      sndbuf = Sendbuf.create ~limit:cfg.send_buffer ();
+      fin_pending = false;
+      fin_sent = false;
+      eff_mss = min cfg.mss 536;
+      irs = 0;
+      rcv_nxt = 0;
+      ooo = [];
+      recvq = Buffer.create 256;
+      paused = false;
+      cwnd = 2 * cfg.mss;
+      ssthresh = 65535;
+      dupacks = 0;
+      recover = iss;
+      in_recovery = false;
+      rto = Rto.create ();
+      rto_timer = None;
+      retries = 0;
+      delack_timer = None;
+      ack_pending = 0;
+      persist_timer = None;
+      timewait_timer = None;
+      timing = None;
+      cb_established = None;
+      cb_receive = None;
+      cb_peer_fin = None;
+      cb_close = None;
+      closed_notified = false;
+      cstats = new_conn_stats ();
+    }
+  in
+  Hashtbl.replace t.conns (key_of c) c;
+  c
+
+let alloc_ephemeral t =
+  let p = t.next_ephemeral in
+  t.next_ephemeral <- (if p + 1 > 65535 then 49152 else p + 1);
+  p
+
+let local_addr_for t dst =
+  match Ip.Route_table.lookup (Ip.Stack.table t.ip) dst with
+  | Some r -> (
+      match Ip.Stack.iface_addr t.ip r.Ip.Route_table.iface with
+      | Some a -> a
+      | None -> Ip.Stack.primary_addr t.ip)
+  | None -> Ip.Stack.primary_addr t.ip
+
+let connect t ?config ~dst ~dst_port () =
+  let cfg = Option.value config ~default:t.default_cfg in
+  let local_addr =
+    if Ip.Stack.has_addr t.ip dst then dst else local_addr_for t dst
+  in
+  let local_port = alloc_ephemeral t in
+  t.gstats.active_opens <- t.gstats.active_opens + 1;
+  let c =
+    make_conn t ~cfg ~local_addr ~local_port ~remote_addr:dst
+      ~remote_port:dst_port ~via_listener:None ~st:Syn_sent
+      ~iss:(fresh_iss t)
+  in
+  emit_segment c
+    ~flags:(Wire.flags ~syn:true ())
+    ~seq:c.iss ~mss_opt:(Some cfg.mss) ();
+  c.timing <- Some (c.iss, Engine.now t.eng);
+  arm_rto c;
+  c
+
+let listen t ~port ~accept =
+  if Hashtbl.mem t.listeners port then
+    failwith (Printf.sprintf "Tcp.listen: port %d in use" port);
+  let l = { l_tcp = t; l_port = port; l_accept = accept; l_open = true } in
+  Hashtbl.add t.listeners port l;
+  l
+
+let close_listener l =
+  if l.l_open then begin
+    l.l_open <- false;
+    Hashtbl.remove l.l_tcp.listeners l.l_port
+  end
+
+(* Passive open from a listener. *)
+let passive_open t l ~(ip : Ipv4.header) (seg : Wire.t) =
+  t.gstats.passive_opens <- t.gstats.passive_opens + 1;
+  let c =
+    make_conn t ~cfg:t.default_cfg ~local_addr:ip.Ipv4.dst
+      ~local_port:seg.Wire.dst_port ~remote_addr:ip.Ipv4.src
+      ~remote_port:seg.Wire.src_port ~via_listener:(Some l) ~st:Syn_received
+      ~iss:(fresh_iss t)
+  in
+  c.irs <- seg.Wire.seq;
+  c.rcv_nxt <- Seq.add seg.Wire.seq 1;
+  c.snd_wnd <- seg.Wire.window;
+  c.snd_wl1 <- seg.Wire.seq;
+  c.snd_wl2 <- 0;
+  (match seg.Wire.mss with
+  | Some peer_mss -> c.eff_mss <- min c.cfg.mss peer_mss
+  | None -> c.eff_mss <- min c.cfg.mss 536);
+  emit_segment c
+    ~flags:(Wire.flags ~syn:true ~ack:true ())
+    ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ();
+  arm_rto c
+
+(* IP upcall. *)
+let handle t (ip : Ipv4.header) payload =
+  match Wire.decode ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst payload with
+  | Error _ -> t.gstats.bad_segments <- t.gstats.bad_segments + 1
+  | Ok seg -> (
+      let key : key =
+        ( Addr.to_int32 ip.Ipv4.dst,
+          seg.Wire.dst_port,
+          Addr.to_int32 ip.Ipv4.src,
+          seg.Wire.src_port )
+      in
+      match Hashtbl.find_opt t.conns key with
+      | Some c -> (
+          match c.st with
+          | Syn_sent -> process_syn_sent c seg
+          | Closed | Listen -> ()
+          | Syn_received | Established | Fin_wait_1 | Fin_wait_2
+          | Close_wait | Closing | Last_ack | Time_wait ->
+              process_segment c seg)
+      | None -> (
+          match Hashtbl.find_opt t.listeners seg.Wire.dst_port with
+          | Some l
+            when l.l_open && seg.Wire.flags.Wire.syn
+                 && (not seg.Wire.flags.Wire.ack)
+                 && not seg.Wire.flags.Wire.rst ->
+              passive_open t l ~ip seg
+          | Some _ | None ->
+              t.gstats.no_listener <- t.gstats.no_listener + 1;
+              send_rst_for t ~ip seg))
+
+(* ICMP destination-unreachable quoting one of our SYNs is a hard error:
+   abort the embryonic connection (BSD semantics).  The quote is the
+   original IP header plus the first 8 TCP bytes — enough for the ports. *)
+let handle_icmp_error t (msg : Packet.Icmp_wire.t) =
+  match msg with
+  | Packet.Icmp_wire.Dest_unreachable { original; _ } -> (
+      if Bytes.length original >= Ipv4.header_size + 4 then
+        match Ipv4.Proto.of_int (Bytes.get_uint8 original 9) with
+        | Ipv4.Proto.Tcp -> (
+            let src = Bytes.get_int32_be original 12 in
+            let dst = Bytes.get_int32_be original 16 in
+            let sport = Bytes.get_uint16_be original Ipv4.header_size in
+            let dport = Bytes.get_uint16_be original (Ipv4.header_size + 2) in
+            let key : key = (src, sport, dst, dport) in
+            match Hashtbl.find_opt t.conns key with
+            | Some c when c.st = Syn_sent -> destroy c Refused
+            | Some _ | None -> ())
+        | Ipv4.Proto.Icmp | Ipv4.Proto.Udp | Ipv4.Proto.Other _ -> ())
+  | Packet.Icmp_wire.Time_exceeded _ | Packet.Icmp_wire.Echo_request _
+  | Packet.Icmp_wire.Echo_reply _ ->
+      ()
+
+let create ?(config = default_config) ip =
+  let t =
+    {
+      ip;
+      eng = Ip.Stack.engine ip;
+      default_cfg = config;
+      conns = Hashtbl.create 16;
+      listeners = Hashtbl.create 4;
+      next_ephemeral = 49152;
+      rng = Stdext.Rng.create 0x7C0FFEE;
+      gstats =
+        {
+          active_opens = 0;
+          passive_opens = 0;
+          established = 0;
+          resets_out = 0;
+          resets_in = 0;
+          bad_segments = 0;
+          no_listener = 0;
+        };
+    }
+  in
+  Ip.Stack.register_proto ip Ipv4.Proto.Tcp (handle t);
+  Ip.Stack.add_error_handler ip (fun ~from:_ msg -> handle_icmp_error t msg);
+  t
+
+let snd_una c = c.snd_una
+let snd_nxt c = c.snd_nxt
+let rcv_nxt c = c.rcv_nxt
+let ooo_segments c = List.length c.ooo
+let rto_us c = Rto.rto c.rto

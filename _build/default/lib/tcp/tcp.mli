@@ -1,0 +1,173 @@
+(** TCP: the reliable sequenced byte stream (RFC 793), with the congestion
+    machinery contemporary with the paper (Jacobson 1988).
+
+    Architecturally this module is the other half of the TCP/IP split
+    (Clark §4): everything here — connection state, sequence space,
+    retransmission, flow and congestion control — lives in the *hosts*.
+    Gateways see only self-describing datagrams.  That is fate-sharing:
+    when a gateway reboots, nothing a connection depends on is lost
+    (experiments E1/E2); when an endpoint dies, its connections die with
+    it, which is exactly the intended semantics.
+
+    The engine implements: the full 11-state machine, three-way handshake,
+    MSS negotiation, sliding-window flow control with receiver-driven
+    window advertisement, out-of-order reassembly, cumulative ACKs with
+    delayed ACK, Nagle's algorithm, RTT estimation (Jacobson/Karels) with
+    Karn's rule and exponential backoff, zero-window persist probes,
+    TIME-WAIT with 2MSL, RST handling, and selectable congestion control:
+    [No_cc] (pre-1988 TCP), [Tahoe] (slow start + congestion avoidance +
+    fast retransmit), [Reno] (adds fast recovery) — compared in E9. *)
+
+module Seq = Seq_num
+module Rto = Rto
+module Sendbuf = Sendbuf
+
+type cc_algo = No_cc | Tahoe | Reno
+
+val pp_cc : Format.formatter -> cc_algo -> unit
+
+type config = {
+  mss : int;  (** Announced MSS (default 1460). *)
+  window : int;  (** Receive window / buffer (default 65535). *)
+  cc : cc_algo;  (** Default [Reno]. *)
+  nagle : bool;  (** Default [true]. *)
+  syn_retries : int;  (** Connection-establishment attempts (default 6). *)
+  max_retransmits : int;  (** Data retransmissions before giving up (12). *)
+  msl_us : int;  (** MSL for TIME-WAIT = 2·MSL (default 5 s). *)
+  delayed_ack_us : int;  (** Delayed-ACK timer (default 200 ms). *)
+  persist_us : int;  (** Initial zero-window probe interval (1 s). *)
+  send_buffer : int;  (** Send-buffer bytes (default 262144). *)
+  tos : Packet.Ipv4.Tos.t;  (** ToS for all segments (default Routine). *)
+}
+
+val default_config : config
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+val pp_state : Format.formatter -> state -> unit
+
+type close_reason =
+  | Graceful  (** Both FINs exchanged. *)
+  | Reset  (** Peer sent RST. *)
+  | Timed_out  (** Retransmission limit exceeded. *)
+  | Refused  (** SYN answered by RST. *)
+
+val pp_close_reason : Format.formatter -> close_reason -> unit
+
+type t
+(** A host's TCP instance (one per IP stack). *)
+
+type conn
+
+type listener
+
+(** Per-connection counters and live congestion snapshot. *)
+type conn_stats = {
+  mutable segs_out : int;
+  mutable segs_in : int;
+  mutable bytes_out : int;  (** Payload bytes sent, first transmissions. *)
+  mutable bytes_in : int;  (** Payload bytes delivered in order. *)
+  mutable retransmits : int;
+  mutable rto_fires : int;
+  mutable fast_retransmits : int;
+  mutable dupacks : int;
+  mutable bytes_retransmitted : int;
+}
+
+val create : ?config:config -> Ip.Stack.t -> t
+(** Attach TCP to a stack; registers protocol 6. *)
+
+val stack : t -> Ip.Stack.t
+
+val listen : t -> port:int -> accept:(conn -> unit) -> listener
+(** Passive open.  [accept] fires when a handshake completes.
+    @raise Failure if the port is in use. *)
+
+val close_listener : listener -> unit
+
+val connect :
+  t ->
+  ?config:config ->
+  dst:Packet.Addr.t ->
+  dst_port:int ->
+  unit ->
+  conn
+(** Active open; returns immediately with the connection in [Syn_sent].
+    [config] overrides the instance default for this connection. *)
+
+(** {1 Connection API} *)
+
+val on_established : conn -> (unit -> unit) -> unit
+val on_receive : conn -> (bytes -> unit) -> unit
+(** In-order data upcall.  Not called while reading is paused. *)
+
+val on_peer_fin : conn -> (unit -> unit) -> unit
+(** Fires when the peer's FIN is consumed: end of incoming stream. *)
+
+val on_close : conn -> (close_reason -> unit) -> unit
+
+val send : conn -> bytes -> int
+(** Queue bytes for transmission; returns how many the send buffer
+    accepted (0 once the connection is closing). *)
+
+val send_space : conn -> int
+
+val close : conn -> unit
+(** Graceful close: FIN once queued data drains. *)
+
+val abort : conn -> unit
+(** Hard close: RST to the peer, connection discarded. *)
+
+val pause_reading : conn -> unit
+(** Stop delivering and start shrinking the advertised window — backing
+    the zero-window/persist machinery. *)
+
+val resume_reading : conn -> unit
+
+val state : conn -> state
+val stats : conn -> conn_stats
+val cwnd : conn -> int
+val ssthresh : conn -> int
+val srtt_us : conn -> int option
+val snd_wnd : conn -> int
+val local_port : conn -> int
+val remote_addr : conn -> Packet.Addr.t
+val remote_port : conn -> int
+val mss : conn -> int
+(** Effective (negotiated) MSS. *)
+
+(** {1 Instance-wide} *)
+
+type stats = {
+  mutable active_opens : int;
+  mutable passive_opens : int;
+  mutable established : int;
+  mutable resets_out : int;
+  mutable resets_in : int;
+  mutable bad_segments : int;
+  mutable no_listener : int;
+}
+
+val instance_stats : t -> stats
+
+val connection_count : t -> int
+(** Live (non-Closed) connections. *)
+
+(** {1 Introspection (tests and debugging)} *)
+
+val snd_una : conn -> int
+val snd_nxt : conn -> int
+val rcv_nxt : conn -> int
+val ooo_segments : conn -> int
+val rto_us : conn -> int

@@ -1,0 +1,103 @@
+module Addr = Packet.Addr
+module Ipv4 = Packet.Ipv4
+module Wire = Packet.Udp_wire
+
+type stats = {
+  mutable datagrams_in : int;
+  mutable datagrams_out : int;
+  mutable bad : int;
+  mutable no_port : int;
+}
+
+type t = {
+  ip : Ip.Stack.t;
+  ports : (int, socket) Hashtbl.t;
+  mutable next_ephemeral : int;
+  stats : stats;
+}
+
+and socket = {
+  udp : t;
+  sock_port : int;
+  recv : src:Addr.t -> src_port:int -> bytes -> unit;
+  mutable open_ : bool;
+}
+
+let stack t = t.ip
+let stats t = t.stats
+let port s = s.sock_port
+
+let handle t (h : Ipv4.header) payload =
+  match Wire.decode ~src:h.Ipv4.src ~dst:h.Ipv4.dst payload with
+  | Error _ -> t.stats.bad <- t.stats.bad + 1
+  | Ok dgram -> (
+      match Hashtbl.find_opt t.ports dgram.Wire.dst_port with
+      | Some sock when sock.open_ ->
+          t.stats.datagrams_in <- t.stats.datagrams_in + 1;
+          sock.recv ~src:h.Ipv4.src ~src_port:dgram.Wire.src_port
+            dgram.Wire.payload
+      | Some _ | None ->
+          t.stats.no_port <- t.stats.no_port + 1;
+          Ip.Stack.icmp_unreachable t.ip h payload
+            Packet.Icmp_wire.Port_unreachable)
+
+let create ip =
+  let t =
+    {
+      ip;
+      ports = Hashtbl.create 8;
+      next_ephemeral = 49152;
+      stats = { datagrams_in = 0; datagrams_out = 0; bad = 0; no_port = 0 };
+    }
+  in
+  Ip.Stack.register_proto ip Ipv4.Proto.Udp (handle t);
+  t
+
+let alloc_ephemeral t =
+  let start = t.next_ephemeral in
+  let rec probe p =
+    let p = if p > 65535 then 49152 else p in
+    if not (Hashtbl.mem t.ports p) then p
+    else if p + 1 = start then failwith "Udp.bind: no free ports"
+    else probe (p + 1)
+  in
+  let p = probe start in
+  t.next_ephemeral <- (if p + 1 > 65535 then 49152 else p + 1);
+  p
+
+let bind t ?(port = 0) ~recv () =
+  let port = if port = 0 then alloc_ephemeral t else port in
+  if port < 1 || port > 65535 then invalid_arg "Udp.bind: bad port";
+  if Hashtbl.mem t.ports port then
+    failwith (Printf.sprintf "Udp.bind: port %d in use" port);
+  let sock = { udp = t; sock_port = port; recv; open_ = true } in
+  Hashtbl.add t.ports port sock;
+  sock
+
+let close s =
+  if s.open_ then begin
+    s.open_ <- false;
+    Hashtbl.remove s.udp.ports s.sock_port
+  end
+
+let sendto s ?tos ?ttl ~dst ~dst_port payload =
+  if not s.open_ then failwith "Udp.sendto: socket closed";
+  let t = s.udp in
+  (* The checksum needs the source address, which IP chooses from the
+     route; resolve it the same way. *)
+  let src =
+    match Ip.Route_table.lookup (Ip.Stack.table t.ip) dst with
+    | Some r -> (
+        match Ip.Stack.iface_addr t.ip r.Ip.Route_table.iface with
+        | Some a -> a
+        | None -> Ip.Stack.primary_addr t.ip)
+    | None -> Ip.Stack.primary_addr t.ip
+  in
+  let src = if Ip.Stack.has_addr t.ip dst then dst else src in
+  let dgram = { Wire.src_port = s.sock_port; dst_port; payload } in
+  let bytes = Wire.encode ~src ~dst dgram in
+  match Ip.Stack.send t.ip ?tos ?ttl ~src ~proto:Ipv4.Proto.Udp ~dst bytes with
+  | Ok () ->
+      t.stats.datagrams_out <- t.stats.datagrams_out + 1;
+      Ok ()
+  | Error _ as e -> e

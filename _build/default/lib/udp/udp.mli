@@ -1,0 +1,49 @@
+(** UDP: the datagram type of service (Clark §4, goal 2).
+
+    Once TCP was split out of the internetwork layer, applications that
+    value timeliness over reliability (packet voice, the XNET debugger,
+    query/response protocols) could ride raw datagrams with nothing more
+    than port demultiplexing and an end-to-end checksum — which is all
+    this module adds. *)
+
+type t
+(** The UDP instance bound to one IP stack. *)
+
+type socket
+
+type stats = {
+  mutable datagrams_in : int;
+  mutable datagrams_out : int;
+  mutable bad : int;  (** Malformed or checksum-failing datagrams. *)
+  mutable no_port : int;  (** Arrived for a port nobody had bound. *)
+}
+
+val create : Ip.Stack.t -> t
+(** Attach UDP to a stack; registers protocol 17. *)
+
+val stack : t -> Ip.Stack.t
+
+val bind :
+  t ->
+  ?port:int ->
+  recv:(src:Packet.Addr.t -> src_port:int -> bytes -> unit) ->
+  unit ->
+  socket
+(** Open a socket.  [port] of 0 (default) allocates an ephemeral port.
+    @raise Failure if the port is taken. *)
+
+val port : socket -> int
+
+val sendto :
+  socket ->
+  ?tos:Packet.Ipv4.Tos.t ->
+  ?ttl:int ->
+  dst:Packet.Addr.t ->
+  dst_port:int ->
+  bytes ->
+  (unit, Ip.Stack.send_error) result
+
+val close : socket -> unit
+(** Release the port; further arrivals count as [no_port]. *)
+
+val stats : t -> stats

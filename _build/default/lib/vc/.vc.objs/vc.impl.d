@@ -1,0 +1,1 @@
+lib/vc/vc.ml: Array Cell Engine Hashtbl List Netsim Queue

@@ -1,0 +1,1 @@
+lib/vc/vc.mli: Cell Netsim

@@ -1,0 +1,1 @@
+lib/vc/cell.ml: Bytes Format List Printf Stdext String

@@ -1,0 +1,1 @@
+lib/vc/cell.mli: Format

@@ -1,0 +1,121 @@
+module W = Stdext.Bytio.W
+module R = Stdext.Bytio.R
+
+type clear_reason =
+  | Remote_clear
+  | Link_failure
+  | Node_failure
+  | No_route
+  | Refused
+  | Hop_timeout
+
+let clear_reason_to_int = function
+  | Remote_clear -> 0
+  | Link_failure -> 1
+  | Node_failure -> 2
+  | No_route -> 3
+  | Refused -> 4
+  | Hop_timeout -> 5
+
+let clear_reason_of_int = function
+  | 0 -> Some Remote_clear
+  | 1 -> Some Link_failure
+  | 2 -> Some Node_failure
+  | 3 -> Some No_route
+  | 4 -> Some Refused
+  | 5 -> Some Hop_timeout
+  | _ -> None
+
+let pp_clear_reason fmt r =
+  Format.pp_print_string fmt
+    (match r with
+    | Remote_clear -> "remote-clear"
+    | Link_failure -> "link-failure"
+    | Node_failure -> "node-failure"
+    | No_route -> "no-route"
+    | Refused -> "refused"
+    | Hop_timeout -> "hop-timeout")
+
+type t =
+  | Setup of { vci : int; src : int; path : int list }
+  | Accept of { vci : int }
+  | Clear of { vci : int; reason : clear_reason }
+  | Data of { vci : int; seq : int; payload : bytes }
+  | Hop_ack of { vci : int; seq : int }
+
+type error = [ `Truncated | `Bad_header of string ]
+
+let data_header_size = 5
+
+let encode = function
+  | Setup { vci; src; path } ->
+      let w = W.create (6 + (2 * List.length path)) in
+      W.u8 w 1;
+      W.u16 w vci;
+      W.u16 w src;
+      W.u8 w (List.length path);
+      List.iter (fun n -> W.u16 w n) path;
+      W.contents w
+  | Accept { vci } ->
+      let w = W.create 3 in
+      W.u8 w 2;
+      W.u16 w vci;
+      W.contents w
+  | Clear { vci; reason } ->
+      let w = W.create 4 in
+      W.u8 w 3;
+      W.u16 w vci;
+      W.u8 w (clear_reason_to_int reason);
+      W.contents w
+  | Data { vci; seq; payload } ->
+      let w = W.create (5 + Bytes.length payload) in
+      W.u8 w 4;
+      W.u16 w vci;
+      W.u16 w (seq land 0xffff);
+      W.bytes w payload;
+      W.contents w
+  | Hop_ack { vci; seq } ->
+      let w = W.create 5 in
+      W.u8 w 5;
+      W.u16 w vci;
+      W.u16 w (seq land 0xffff);
+      W.contents w
+
+let decode buf =
+  let r = R.of_bytes buf in
+  try
+    match R.u8 r with
+    | 1 ->
+        let vci = R.u16 r in
+        let src = R.u16 r in
+        let n = R.u8 r in
+        let path = List.init n (fun _ -> R.u16 r) in
+        Ok (Setup { vci; src; path })
+    | 2 -> Ok (Accept { vci = R.u16 r })
+    | 3 -> (
+        let vci = R.u16 r in
+        match clear_reason_of_int (R.u8 r) with
+        | Some reason -> Ok (Clear { vci; reason })
+        | None -> Error (`Bad_header "unknown clear reason"))
+    | 4 ->
+        let vci = R.u16 r in
+        let seq = R.u16 r in
+        Ok (Data { vci; seq; payload = R.bytes r (R.remaining r) })
+    | 5 ->
+        let vci = R.u16 r in
+        let seq = R.u16 r in
+        Ok (Hop_ack { vci; seq })
+    | ty -> Error (`Bad_header (Printf.sprintf "unknown cell type %d" ty))
+  with Stdext.Bytio.Truncated -> Error `Truncated
+
+let pp fmt = function
+  | Setup { vci; src; path } ->
+      Format.fprintf fmt "setup vci=%d src=%d path=[%s]" vci src
+        (String.concat "," (List.map string_of_int path))
+  | Accept { vci } -> Format.fprintf fmt "accept vci=%d" vci
+  | Clear { vci; reason } ->
+      Format.fprintf fmt "clear vci=%d (%a)" vci pp_clear_reason reason
+  | Data { vci; seq; payload } ->
+      Format.fprintf fmt "data vci=%d seq=%d len=%d" vci seq
+        (Bytes.length payload)
+  | Hop_ack { vci; seq } -> Format.fprintf fmt "hop-ack vci=%d seq=%d" vci seq

@@ -1,0 +1,40 @@
+(** Cell formats for the virtual-circuit baseline network.
+
+    The VC network is deliberately X.25-shaped: calls are set up along a
+    path, every switch on the path holds per-circuit state, and data cells
+    are identified by a link-local virtual circuit id rather than by full
+    addresses — the design the DARPA architecture rejected.  Cells carry a
+    5-byte header (vs. 40 bytes of IP+TCP), which is the honest side of
+    the trade-off recorded in experiment E5/E6. *)
+
+type clear_reason =
+  | Remote_clear  (** The other endpoint hung up. *)
+  | Link_failure
+  | Node_failure
+  | No_route
+  | Refused  (** No listener at the destination. *)
+  | Hop_timeout  (** Per-hop retransmission gave up. *)
+
+val clear_reason_to_int : clear_reason -> int
+val clear_reason_of_int : int -> clear_reason option
+val pp_clear_reason : Format.formatter -> clear_reason -> unit
+
+type t =
+  | Setup of { vci : int; src : int; path : int list }
+      (** Source-routed call establishment: [path] is the remaining nodes
+          to traverse (destination last). *)
+  | Accept of { vci : int }
+  | Clear of { vci : int; reason : clear_reason }
+  | Data of { vci : int; seq : int; payload : bytes }
+  | Hop_ack of { vci : int; seq : int }
+      (** Cumulative per-hop acknowledgment: everything below [seq]. *)
+
+type error = [ `Truncated | `Bad_header of string ]
+
+val encode : t -> bytes
+val decode : bytes -> (t, error) result
+
+val data_header_size : int
+(** Wire overhead of one data cell: 5 bytes. *)
+
+val pp : Format.formatter -> t -> unit

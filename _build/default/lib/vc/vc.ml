@@ -1,0 +1,558 @@
+module Cell = Cell
+
+type stats = {
+  mutable calls_attempted : int;
+  mutable calls_established : int;
+  mutable calls_cleared : int;
+  mutable data_cells : int;
+  mutable hop_retransmits : int;
+  mutable hop_acks : int;
+  mutable cells_delivered : int;
+}
+
+type config = {
+  hop_window : int;
+  hop_rto_us : int;
+  hop_retries : int;
+  setup_timeout_us : int;
+  carrier_poll_us : int;
+  switch_buffer_cells : int;
+}
+
+let default_config =
+  {
+    hop_window = 16;
+    hop_rto_us = 200_000;
+    hop_retries = 10;
+    setup_timeout_us = 2_000_000;
+    carrier_poll_us = 100_000;
+    switch_buffer_cells = 4096;
+  }
+
+(* Go-back-N sender state for one hop of one circuit. *)
+type hop_tx = {
+  mutable next_seq : int;
+  mutable base_seq : int;
+  mutable sent_hi : int; (* sequences below this have been transmitted *)
+  txq : (int * bytes) Queue.t;
+  mutable timer : Engine.Timer.handle option;
+  mutable retries : int;
+}
+
+let new_hop_tx () =
+  {
+    next_seq = 0;
+    base_seq = 0;
+    sent_hi = 0;
+    txq = Queue.create ();
+    timer = None;
+    retries = 0;
+  }
+
+type t = {
+  net : Netsim.t;
+  eng : Engine.t;
+  cfg : config;
+  switches : (Netsim.node_id, switch) Hashtbl.t;
+  stats : stats;
+}
+
+and switch = {
+  sw_node : Netsim.node_id;
+  sw_table : (int * int, seg) Hashtbl.t; (* (iface, vci) -> segment *)
+  mutable sw_next_vci : int;
+  mutable sw_listener : (circuit -> unit) option;
+}
+
+and circuit = {
+  ep_fabric : t;
+  ep_node : Netsim.node_id;
+  mutable ep_seg : seg option;
+  mutable ep_open : bool;
+  mutable ep_cleared : bool;
+  mutable ep_cb_data : (bytes -> unit) option;
+  mutable ep_cb_clear : (Cell.clear_reason -> unit) option;
+  mutable ep_cb_accept : (unit -> unit) option;
+  mutable ep_setup_timer : Engine.Timer.handle option;
+}
+
+and link_port = {
+  lp_iface : Netsim.iface;
+  lp_vci : int;
+  lp_tx : hop_tx;
+  mutable lp_rx_expect : int;
+}
+
+and port = Endpoint of circuit | Link of link_port
+
+and seg = {
+  seg_node : Netsim.node_id;
+  pa : port; (* toward the caller *)
+  pb : port; (* toward the callee *)
+  mutable seg_alive : bool;
+}
+
+let stats t = t.stats
+
+let switch_of t node =
+  match Hashtbl.find_opt t.switches node with
+  | Some sw -> sw
+  | None -> invalid_arg "Vc: node is not an attached switch"
+
+(* Ports are compared physically; always pass the values stored in the
+   segment itself. *)
+let other_port seg port = if port == seg.pa then seg.pb else seg.pa
+
+let port_of_endpoint seg ep =
+  match seg.pa with
+  | Endpoint e when e == ep -> seg.pa
+  | Endpoint _ | Link _ -> seg.pb
+
+let alloc_vci sw =
+  let v = sw.sw_next_vci in
+  sw.sw_next_vci <- (if v + 1 > 0xffff then 1 else v + 1);
+  v
+
+let send_cell t node iface cell =
+  ignore (Netsim.send t.net node ~iface (Cell.encode cell))
+
+(* --- per-hop reliable transmission ------------------------------------- *)
+
+let rec hop_try_transmit t node (lp : link_port) =
+  let tx = lp.lp_tx in
+  let limit = tx.base_seq + t.cfg.hop_window in
+  Queue.iter
+    (fun (seq, payload) ->
+      if seq >= tx.sent_hi && seq < limit then begin
+        send_cell t node lp.lp_iface
+          (Cell.Data { vci = lp.lp_vci; seq; payload });
+        tx.sent_hi <- max tx.sent_hi (seq + 1)
+      end)
+    tx.txq;
+  if tx.timer = None && not (Queue.is_empty tx.txq) then hop_arm_timer t node lp
+
+and hop_arm_timer t node lp =
+  let tx = lp.lp_tx in
+  tx.timer <-
+    Some
+      (Engine.Timer.start t.eng ~after:t.cfg.hop_rto_us (fun () ->
+           tx.timer <- None;
+           if not (Queue.is_empty tx.txq) then begin
+             tx.retries <- tx.retries + 1;
+             if tx.retries > t.cfg.hop_retries then hop_give_up t node lp
+             else begin
+               (* Go-back-N: rewind and resend the whole window. *)
+               t.stats.hop_retransmits <- t.stats.hop_retransmits + 1;
+               tx.sent_hi <- tx.base_seq;
+               hop_try_transmit t node lp;
+               if tx.timer = None then hop_arm_timer t node lp
+             end
+           end))
+
+and hop_give_up t node lp =
+  let sw = switch_of t node in
+  match Hashtbl.find_opt sw.sw_table (lp.lp_iface, lp.lp_vci) with
+  | Some seg -> clear_seg t seg Cell.Hop_timeout ~skip:None
+  | None -> ()
+
+and hop_send t node (lp : link_port) payload =
+  let tx = lp.lp_tx in
+  if Queue.length tx.txq >= t.cfg.switch_buffer_cells then false
+  else begin
+    let seq = tx.next_seq in
+    tx.next_seq <- seq + 1;
+    Queue.push (seq, payload) tx.txq;
+    t.stats.data_cells <- t.stats.data_cells + 1;
+    hop_try_transmit t node lp;
+    true
+  end
+
+and hop_handle_ack t node (lp : link_port) seq16 =
+  let tx = lp.lp_tx in
+  t.stats.hop_acks <- t.stats.hop_acks + 1;
+  (* Unwrap the 16-bit cumulative ack against the window base. *)
+  let d = (seq16 - (tx.base_seq land 0xffff)) land 0xffff in
+  let sd = if d >= 32768 then d - 65536 else d in
+  let ackn = tx.base_seq + sd in
+  if ackn > tx.base_seq && ackn <= tx.next_seq then begin
+    while (not (Queue.is_empty tx.txq)) && fst (Queue.peek tx.txq) < ackn do
+      ignore (Queue.pop tx.txq)
+    done;
+    tx.base_seq <- ackn;
+    if tx.sent_hi < ackn then tx.sent_hi <- ackn;
+    tx.retries <- 0;
+    (match tx.timer with
+    | Some h ->
+        Engine.Timer.cancel h;
+        tx.timer <- None
+    | None -> ());
+    hop_try_transmit t node lp
+  end
+
+(* --- circuit teardown ---------------------------------------------------- *)
+
+and clear_endpoint t ep reason =
+  if not ep.ep_cleared then begin
+    ep.ep_cleared <- true;
+    ep.ep_open <- false;
+    t.stats.calls_cleared <- t.stats.calls_cleared + 1;
+    (match ep.ep_setup_timer with
+    | Some h ->
+        Engine.Timer.cancel h;
+        ep.ep_setup_timer <- None
+    | None -> ());
+    match ep.ep_cb_clear with Some f -> f reason | None -> ()
+  end
+
+and release_port t node ~notify reason port =
+  match port with
+  | Endpoint ep -> clear_endpoint t ep reason
+  | Link lp ->
+      let sw = switch_of t node in
+      Hashtbl.remove sw.sw_table (lp.lp_iface, lp.lp_vci);
+      (match lp.lp_tx.timer with
+      | Some h ->
+          Engine.Timer.cancel h;
+          lp.lp_tx.timer <- None
+      | None -> ());
+      if notify then
+        send_cell t node lp.lp_iface (Cell.Clear { vci = lp.lp_vci; reason })
+
+and clear_seg t seg reason ~skip =
+  if seg.seg_alive then begin
+    seg.seg_alive <- false;
+    let maybe p =
+      let skip_this = match skip with Some s -> s == p | None -> false in
+      release_port t seg.seg_node ~notify:(not skip_this) reason p
+    in
+    maybe seg.pa;
+    maybe seg.pb
+  end
+
+let check_carriers t =
+  Hashtbl.iter
+    (fun node sw ->
+      if Netsim.node_is_up t.net node then begin
+        let doomed = ref [] in
+        Hashtbl.iter
+          (fun (iface, _) seg ->
+            let link = Netsim.iface_link t.net node iface in
+            let peer, _ = Netsim.peer t.net node iface in
+            let reason =
+              if not (Netsim.link_is_up t.net link) then Some Cell.Link_failure
+              else if not (Netsim.node_is_up t.net peer) then
+                Some Cell.Node_failure
+              else None
+            in
+            match reason with
+            | Some r -> doomed := (seg, r) :: !doomed
+            | None -> ())
+          sw.sw_table;
+        List.iter (fun (seg, r) -> clear_seg t seg r ~skip:None) !doomed
+      end)
+    t.switches
+
+(* --- path computation (central routing, early-PDN style) ---------------- *)
+
+let find_path t ~src ~dst =
+  if src = dst then None
+  else begin
+    let n = Netsim.node_count t.net in
+    let prev = Array.make n (-1) in
+    let seen = Array.make n false in
+    seen.(src) <- true;
+    let q = Queue.create () in
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      for i = 0 to Netsim.iface_count t.net u - 1 do
+        let link = Netsim.iface_link t.net u i in
+        let v, _ = Netsim.peer t.net u i in
+        if
+          Netsim.link_is_up t.net link
+          && Netsim.node_is_up t.net v
+          && Hashtbl.mem t.switches v
+          && not seen.(v)
+        then begin
+          seen.(v) <- true;
+          prev.(v) <- u;
+          Queue.push v q
+        end
+      done
+    done;
+    if not seen.(dst) then None
+    else begin
+      let rec walk acc v = if v = src then acc else walk (v :: acc) prev.(v) in
+      Some (walk [] dst)
+    end
+  end
+
+let iface_toward t node next =
+  let rec scan i =
+    if i >= Netsim.iface_count t.net node then None
+    else begin
+      let v, _ = Netsim.peer t.net node i in
+      let link = Netsim.iface_link t.net node i in
+      if v = next && Netsim.link_is_up t.net link then Some i else scan (i + 1)
+    end
+  in
+  scan 0
+
+(* --- cell reception ------------------------------------------------------ *)
+
+let handle_setup t sw ~iface ~vci ~src ~path =
+  let node = sw.sw_node in
+  let in_port =
+    Link
+      { lp_iface = iface; lp_vci = vci; lp_tx = new_hop_tx (); lp_rx_expect = 0 }
+  in
+  match path with
+  | [] -> (
+      (* We are the destination. *)
+      match sw.sw_listener with
+      | None -> send_cell t node iface (Cell.Clear { vci; reason = Cell.Refused })
+      | Some accept ->
+          let ep =
+            {
+              ep_fabric = t;
+              ep_node = node;
+              ep_seg = None;
+              ep_open = true;
+              ep_cleared = false;
+              ep_cb_data = None;
+              ep_cb_clear = None;
+              ep_cb_accept = None;
+              ep_setup_timer = None;
+            }
+          in
+          let seg =
+            { seg_node = node; pa = in_port; pb = Endpoint ep; seg_alive = true }
+          in
+          ep.ep_seg <- Some seg;
+          Hashtbl.replace sw.sw_table (iface, vci) seg;
+          send_cell t node iface (Cell.Accept { vci });
+          accept ep)
+  | next :: rest -> (
+      match iface_toward t node next with
+      | None -> send_cell t node iface (Cell.Clear { vci; reason = Cell.No_route })
+      | Some out_iface ->
+          let out_vci = alloc_vci sw in
+          let out_port =
+            Link
+              {
+                lp_iface = out_iface;
+                lp_vci = out_vci;
+                lp_tx = new_hop_tx ();
+                lp_rx_expect = 0;
+              }
+          in
+          let seg =
+            { seg_node = node; pa = in_port; pb = out_port; seg_alive = true }
+          in
+          Hashtbl.replace sw.sw_table (iface, vci) seg;
+          Hashtbl.replace sw.sw_table (out_iface, out_vci) seg;
+          send_cell t node out_iface
+            (Cell.Setup { vci = out_vci; src; path = rest }))
+
+let relay_payload t seg ~from_port payload =
+  match other_port seg from_port with
+  | Endpoint ep -> (
+      t.stats.cells_delivered <- t.stats.cells_delivered + 1;
+      match ep.ep_cb_data with Some f -> f payload | None -> ())
+  | Link lp -> ignore (hop_send t seg.seg_node lp payload)
+
+(* Which stored port of [seg] matches an arriving (iface, vci)? *)
+let arrival_port seg ~iface ~vci =
+  let matches = function
+    | Link lp -> lp.lp_iface = iface && lp.lp_vci = vci
+    | Endpoint _ -> false
+  in
+  if matches seg.pa then Some seg.pa
+  else if matches seg.pb then Some seg.pb
+  else None
+
+let handle_frame t sw ~iface frame =
+  let node = sw.sw_node in
+  match Cell.decode frame with
+  | Error _ -> ()
+  | Ok (Cell.Setup { vci; src; path }) -> handle_setup t sw ~iface ~vci ~src ~path
+  | Ok (Cell.Accept { vci }) -> (
+      match Hashtbl.find_opt sw.sw_table (iface, vci) with
+      | None -> ()
+      | Some seg -> (
+          (* Accept flows toward the caller: out the pa side. *)
+          match seg.pa with
+          | Endpoint ep ->
+              if not ep.ep_open then begin
+                ep.ep_open <- true;
+                (match ep.ep_setup_timer with
+                | Some h ->
+                    Engine.Timer.cancel h;
+                    ep.ep_setup_timer <- None
+                | None -> ());
+                t.stats.calls_established <- t.stats.calls_established + 1;
+                match ep.ep_cb_accept with Some f -> f () | None -> ()
+              end
+          | Link lp ->
+              send_cell t node lp.lp_iface (Cell.Accept { vci = lp.lp_vci })))
+  | Ok (Cell.Clear { vci; reason }) -> (
+      match Hashtbl.find_opt sw.sw_table (iface, vci) with
+      | None -> ()
+      | Some seg -> clear_seg t seg reason ~skip:(arrival_port seg ~iface ~vci))
+  | Ok (Cell.Data { vci; seq; payload }) -> (
+      match Hashtbl.find_opt sw.sw_table (iface, vci) with
+      | None ->
+          (* Unknown circuit: the X.25 answer is a clear. *)
+          send_cell t node iface (Cell.Clear { vci; reason = Cell.Remote_clear })
+      | Some seg -> (
+          match arrival_port seg ~iface ~vci with
+          | Some (Link lp as p) ->
+              let d = (seq - (lp.lp_rx_expect land 0xffff)) land 0xffff in
+              let sd = if d >= 32768 then d - 65536 else d in
+              let actual = lp.lp_rx_expect + sd in
+              if actual = lp.lp_rx_expect then begin
+                lp.lp_rx_expect <- lp.lp_rx_expect + 1;
+                send_cell t node iface
+                  (Cell.Hop_ack { vci; seq = lp.lp_rx_expect land 0xffff });
+                relay_payload t seg ~from_port:p payload
+              end
+              else
+                (* Go-back-N gap or duplicate: re-ack what we expect. *)
+                send_cell t node iface
+                  (Cell.Hop_ack { vci; seq = lp.lp_rx_expect land 0xffff })
+          | Some (Endpoint _) | None -> ()))
+  | Ok (Cell.Hop_ack { vci; seq }) -> (
+      match Hashtbl.find_opt sw.sw_table (iface, vci) with
+      | None -> ()
+      | Some seg -> (
+          match arrival_port seg ~iface ~vci with
+          | Some (Link lp) -> hop_handle_ack t node lp seq
+          | Some (Endpoint _) | None -> ()))
+
+(* --- public API ----------------------------------------------------------- *)
+
+let create ?(config = default_config) net =
+  let t =
+    {
+      net;
+      eng = Netsim.engine net;
+      cfg = config;
+      switches = Hashtbl.create 16;
+      stats =
+        {
+          calls_attempted = 0;
+          calls_established = 0;
+          calls_cleared = 0;
+          data_cells = 0;
+          hop_retransmits = 0;
+          hop_acks = 0;
+          cells_delivered = 0;
+        };
+    }
+  in
+  let rec poll () =
+    check_carriers t;
+    Engine.after t.eng t.cfg.carrier_poll_us poll
+  in
+  Engine.after t.eng t.cfg.carrier_poll_us poll;
+  t
+
+let attach t node =
+  if not (Hashtbl.mem t.switches node) then begin
+    let sw =
+      {
+        sw_node = node;
+        sw_table = Hashtbl.create 16;
+        sw_next_vci = 1;
+        sw_listener = None;
+      }
+    in
+    Hashtbl.replace t.switches node sw;
+    Netsim.set_handler t.net node (fun ~iface frame ->
+        handle_frame t sw ~iface frame)
+  end
+
+let listen t node accept = (switch_of t node).sw_listener <- Some accept
+
+let on_data ep f = ep.ep_cb_data <- Some f
+let on_clear ep f = ep.ep_cb_clear <- Some f
+let is_open ep = ep.ep_open && not ep.ep_cleared
+
+let call t ~src ~dst ?on_accept ?on_clear () =
+  let sw = switch_of t src in
+  t.stats.calls_attempted <- t.stats.calls_attempted + 1;
+  let ep =
+    {
+      ep_fabric = t;
+      ep_node = src;
+      ep_seg = None;
+      ep_open = false;
+      ep_cleared = false;
+      ep_cb_data = None;
+      ep_cb_clear = on_clear;
+      ep_cb_accept = on_accept;
+      ep_setup_timer = None;
+    }
+  in
+  (match find_path t ~src ~dst with
+  | None | Some [] ->
+      Engine.after t.eng 1 (fun () -> clear_endpoint t ep Cell.No_route)
+  | Some (first :: rest) -> (
+      match iface_toward t src first with
+      | None ->
+          Engine.after t.eng 1 (fun () -> clear_endpoint t ep Cell.No_route)
+      | Some out_iface ->
+          let out_vci = alloc_vci sw in
+          let out_port =
+            Link
+              {
+                lp_iface = out_iface;
+                lp_vci = out_vci;
+                lp_tx = new_hop_tx ();
+                lp_rx_expect = 0;
+              }
+          in
+          let seg =
+            { seg_node = src; pa = Endpoint ep; pb = out_port; seg_alive = true }
+          in
+          ep.ep_seg <- Some seg;
+          Hashtbl.replace sw.sw_table (out_iface, out_vci) seg;
+          ep.ep_setup_timer <-
+            Some
+              (Engine.Timer.start t.eng ~after:t.cfg.setup_timeout_us
+                 (fun () ->
+                   ep.ep_setup_timer <- None;
+                   if not ep.ep_open then
+                     clear_seg t seg Cell.No_route ~skip:None));
+          send_cell t src out_iface
+            (Cell.Setup { vci = out_vci; src; path = rest })));
+  ep
+
+let send ep payload =
+  let t = ep.ep_fabric in
+  match ep.ep_seg with
+  | Some seg when is_open ep && seg.seg_alive -> (
+      match other_port seg (port_of_endpoint seg ep) with
+      | Link lp -> hop_send t ep.ep_node lp payload
+      | Endpoint _ -> false)
+  | Some _ | None -> false
+
+let max_payload t ep =
+  match ep.ep_seg with
+  | Some seg -> (
+      match other_port seg (port_of_endpoint seg ep) with
+      | Link lp ->
+          Netsim.iface_mtu t.net ep.ep_node lp.lp_iface - Cell.data_header_size
+      | Endpoint _ -> 0)
+  | None -> 0
+
+let clear ep =
+  let t = ep.ep_fabric in
+  match ep.ep_seg with
+  | Some seg -> clear_seg t seg Cell.Remote_clear ~skip:None
+  | None -> clear_endpoint t ep Cell.Remote_clear
+
+let switch_state_count t node = Hashtbl.length (switch_of t node).sw_table
+
+let total_switch_state t =
+  Hashtbl.fold (fun _ sw acc -> acc + Hashtbl.length sw.sw_table) t.switches 0

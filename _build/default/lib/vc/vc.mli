@@ -1,0 +1,96 @@
+(** The virtual-circuit baseline network (X.25/ARPANET-host-protocol
+    shaped) — the architecture the DARPA internet deliberately rejected.
+
+    Two properties distinguish it from the datagram internet built in
+    {!Ip}/{!Tcp}, and both are implemented faithfully so the experiments
+    contrast them honestly:
+
+    - {b State in the network}: a call installs a virtual-circuit entry in
+      every switch on the path.  When a switch or link on the path dies,
+      the call is cleared — the conversation cannot survive (no
+      fate-sharing).  Experiments E1/E2.
+    - {b Hop-by-hop reliability}: each link leg runs go-back-N
+      retransmission, so switches also buffer unacknowledged cells.
+      Experiment E5 measures what this costs and what it fails to
+      guarantee end-to-end.
+
+    On the honest side of the ledger: data cells carry 5-byte headers
+    against TCP/IP's 40, and delivery within a surviving circuit is
+    ordered without end-to-end retransmission. *)
+
+module Cell = Cell
+
+type t
+(** A virtual-circuit fabric over a {!Netsim} topology. *)
+
+type circuit
+(** One endpoint's handle on an established (or establishing) call. *)
+
+type stats = {
+  mutable calls_attempted : int;
+  mutable calls_established : int;
+  mutable calls_cleared : int;
+  mutable data_cells : int;  (** First transmissions, fabric-wide. *)
+  mutable hop_retransmits : int;
+  mutable hop_acks : int;
+  mutable cells_delivered : int;  (** Payload cells handed to endpoints. *)
+}
+
+type config = {
+  hop_window : int;  (** Go-back-N window per hop (default 16). *)
+  hop_rto_us : int;  (** Per-hop retransmit timer (default 200 ms). *)
+  hop_retries : int;  (** Give up and clear after (default 10). *)
+  setup_timeout_us : int;  (** Caller abandons an unanswered call (2 s). *)
+  carrier_poll_us : int;  (** Link-liveness poll (default 100 ms). *)
+  switch_buffer_cells : int;  (** Per-hop send queue bound (default 4096). *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Netsim.t -> t
+(** Build a fabric.  Every node subsequently {!attach}ed becomes a VC
+    switch; the fabric computes call paths from global topology (central
+    routing, as in the early public data networks). *)
+
+val attach : t -> Netsim.node_id -> unit
+(** Make a node a switch (installs its frame handler — a node cannot host
+    both an IP stack and a VC switch). *)
+
+val listen : t -> Netsim.node_id -> (circuit -> unit) -> unit
+(** Accept incoming calls at a node; the callback receives the new
+    circuit (already accepted). *)
+
+val call :
+  t ->
+  src:Netsim.node_id ->
+  dst:Netsim.node_id ->
+  ?on_accept:(unit -> unit) ->
+  ?on_clear:(Cell.clear_reason -> unit) ->
+  unit ->
+  circuit
+(** Place a call.  The circuit is usable for {!send} once [on_accept] has
+    fired. *)
+
+val on_data : circuit -> (bytes -> unit) -> unit
+val on_clear : circuit -> (Cell.clear_reason -> unit) -> unit
+
+val send : circuit -> bytes -> bool
+(** Send one message as a data cell (the caller segments to cell size;
+    see {!max_payload}).  [false] if the circuit is not open or the local
+    hop buffer is full (backpressure). *)
+
+val max_payload : t -> circuit -> int
+(** Largest payload the first hop's MTU admits. *)
+
+val clear : circuit -> unit
+(** Hang up (clears state along the whole path). *)
+
+val is_open : circuit -> bool
+
+val switch_state_count : t -> Netsim.node_id -> int
+(** Live circuit-table entries at a switch: the "state in the network"
+    that fate-sharing eliminates. *)
+
+val total_switch_state : t -> int
+
+val stats : t -> stats

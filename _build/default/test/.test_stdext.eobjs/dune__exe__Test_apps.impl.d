@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Bytes Catenet Engine List Netsim QCheck QCheck_alcotest Stdext Tcp

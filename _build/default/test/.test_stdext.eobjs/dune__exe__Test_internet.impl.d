@@ -1,0 +1,1 @@
+test/test_internet.ml: Alcotest Apps Bytes Catenet Engine Hashtbl Ip List Netsim Packet Printf Routing Stdext Udp

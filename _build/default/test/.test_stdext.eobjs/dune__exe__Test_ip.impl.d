@@ -1,0 +1,1 @@
+test/test_ip.ml: Alcotest Array Bytes Char Engine Ip List Netsim Packet QCheck QCheck_alcotest Stdext Udp

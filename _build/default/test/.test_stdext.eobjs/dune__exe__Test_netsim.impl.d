@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bytes Engine Int32 List Netsim String

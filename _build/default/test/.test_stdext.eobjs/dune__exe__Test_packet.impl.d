@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Format Int32 List Packet QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Bytes Catenet Engine Gen Hashtbl Int32 Ip List Netsim Option Packet QCheck QCheck_alcotest Routing Stdext Udp

@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Array Bytes Char Fun Gen Int64 List QCheck QCheck_alcotest Stdext

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Apps Buffer Bytes Catenet Char Engine Format Ip List Netsim Packet Printf QCheck QCheck_alcotest String Tcp

@@ -1,0 +1,1 @@
+test/test_tcp_conformance.ml: Alcotest Buffer Bytes Engine Ip Netsim Option Packet Tcp

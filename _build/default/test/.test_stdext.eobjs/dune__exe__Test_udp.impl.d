@@ -1,0 +1,1 @@
+test/test_udp.ml: Alcotest Bytes Char Engine Ip List Netsim Packet Udp

@@ -1,0 +1,1 @@
+test/test_vc.ml: Alcotest Bytes Engine Format List Netsim Printf Vc

@@ -1,0 +1,262 @@
+(* Tests for the workload applications: pattern checking, bulk transfer,
+   CBR voice, interactive echo, request/response. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+module Internet = Catenet.Internet
+module Pattern = Apps.Pattern
+module Samples = Stdext.Stats.Samples
+
+(* --- Pattern ---------------------------------------------------------------- *)
+
+let test_pattern_deterministic () =
+  let a = Pattern.make ~seed:3 ~off:100 64 in
+  let b = Pattern.make ~seed:3 ~off:100 64 in
+  check Alcotest.bool "equal" true (Bytes.equal a b);
+  let c = Pattern.make ~seed:4 ~off:100 64 in
+  check Alcotest.bool "seed-sensitive" false (Bytes.equal a c)
+
+let test_pattern_checker_accepts_stream () =
+  let chk = Pattern.checker ~seed:9 in
+  let off = ref 0 in
+  for _ = 1 to 10 do
+    let n = 37 in
+    ignore (Pattern.check chk (Pattern.make ~seed:9 ~off:!off n));
+    off := !off + n
+  done;
+  check Alcotest.bool "ok" true (Pattern.ok chk);
+  check Alcotest.int "count" 370 (Pattern.checked chk)
+
+let test_pattern_checker_detects_corruption () =
+  let chk = Pattern.checker ~seed:9 in
+  let good = Pattern.make ~seed:9 ~off:0 50 in
+  ignore (Pattern.check chk good);
+  let bad = Pattern.make ~seed:9 ~off:50 50 in
+  Bytes.set bad 10 '\xff';
+  ignore (Pattern.check chk bad);
+  check Alcotest.bool "caught" false (Pattern.ok chk);
+  (* Sticky: later good data does not clear the flag. *)
+  ignore (Pattern.check chk (Pattern.make ~seed:9 ~off:100 10));
+  check Alcotest.bool "sticky" false (Pattern.ok chk)
+
+let prop_pattern_split_invariance =
+  QCheck.Test.make ~name:"checker is split-invariant" ~count:100
+    QCheck.(pair (1 -- 500) (1 -- 50))
+    (fun (total, cut) ->
+      let chk = Pattern.checker ~seed:5 in
+      let data = Pattern.make ~seed:5 ~off:0 total in
+      let rec feed off =
+        if off < total then begin
+          let n = min cut (total - off) in
+          ignore (Pattern.check chk (Bytes.sub data off n));
+          feed (off + n)
+        end
+      in
+      feed 0;
+      Pattern.ok chk && Pattern.checked chk = total)
+
+(* --- Fixtures ---------------------------------------------------------------- *)
+
+let world ?(profile = Netsim.profile "wire" ~delay_us:3_000) () =
+  let t = Internet.create () in
+  let a = Internet.add_host t "a" in
+  let b = Internet.add_host t "b" in
+  ignore (Internet.connect t profile a.Internet.h_node b.Internet.h_node);
+  Internet.start t;
+  (t, a, b)
+
+(* --- Bulk ---------------------------------------------------------------------- *)
+
+let test_bulk_end_to_end () =
+  let t, a, b = world () in
+  let server = Apps.Bulk.serve b.Internet.h_tcp ~port:20 ~seed:1 in
+  let sender =
+    Apps.Bulk.start a.Internet.h_tcp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:20 ~seed:1 ~total:100_000 ()
+  in
+  Internet.run_for t 30.0;
+  check Alcotest.bool "finished" true (Apps.Bulk.finished sender);
+  check Alcotest.bool "goodput reported" true
+    (match Apps.Bulk.goodput_bps sender with Some g -> g > 0.0 | None -> false);
+  match Apps.Bulk.transfers server with
+  | [ tr ] ->
+      check Alcotest.int "received" 100_000 tr.Apps.Bulk.received;
+      check Alcotest.bool "intact" true tr.Apps.Bulk.intact
+  | l -> Alcotest.failf "expected 1 transfer, got %d" (List.length l)
+
+let test_bulk_detects_failure () =
+  let t, a, b = world () in
+  ignore (Apps.Bulk.serve b.Internet.h_tcp ~port:20 ~seed:1);
+  let cfg = { Tcp.default_config with Tcp.max_retransmits = 2 } in
+  let sender =
+    Apps.Bulk.start a.Internet.h_tcp ~config:cfg
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:20 ~seed:1 ~total:500_000 ()
+  in
+  (* Cut the only link shortly into the transfer. *)
+  Engine.after (Internet.engine t) 200_000 (fun () -> Internet.fail_link t 0);
+  Internet.run_for t 60.0;
+  check Alcotest.bool "not finished" false (Apps.Bulk.finished sender);
+  check Alcotest.bool "failure reported" true (Apps.Bulk.failed sender <> None)
+
+let test_bulk_multiple_transfers () =
+  let t, a, b = world () in
+  let server = Apps.Bulk.serve b.Internet.h_tcp ~port:20 ~seed:2 in
+  let s1 =
+    Apps.Bulk.start a.Internet.h_tcp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:20 ~seed:2 ~total:30_000 ()
+  in
+  let s2 =
+    Apps.Bulk.start a.Internet.h_tcp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:20 ~seed:2 ~total:30_000 ()
+  in
+  Internet.run_for t 30.0;
+  check Alcotest.bool "both finished" true
+    (Apps.Bulk.finished s1 && Apps.Bulk.finished s2);
+  check Alcotest.int "two transfers" 2 (List.length (Apps.Bulk.transfers server));
+  List.iter
+    (fun tr -> check Alcotest.bool "intact" true tr.Apps.Bulk.intact)
+    (Apps.Bulk.transfers server)
+
+(* --- CBR --------------------------------------------------------------------- *)
+
+let test_cbr_clean_path () =
+  let t, a, b = world () in
+  let sink = Apps.Cbr.sink b.Internet.h_udp ~port:30 ~deadline_us:100_000 in
+  let source =
+    Apps.Cbr.source a.Internet.h_udp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:30 ~payload_bytes:160 ~period_us:20_000 ~count:100 ()
+  in
+  Internet.run_for t 5.0;
+  check Alcotest.bool "source done" true (Apps.Cbr.done_sending source);
+  check Alcotest.int "sent" 100 (Apps.Cbr.sent source);
+  let r = Apps.Cbr.report sink in
+  check Alcotest.int "all received" 100 r.Apps.Cbr.received;
+  check Alcotest.int "no loss" 0 r.Apps.Cbr.lost;
+  check Alcotest.int "no misses" 0 r.Apps.Cbr.deadline_misses;
+  check Alcotest.bool "delay ~3ms" true
+    (let d = Samples.mean r.Apps.Cbr.delay in
+     d > 0.002 && d < 0.020)
+
+let test_cbr_lossy_path_counts_loss () =
+  let t, a, b = world ~profile:(Netsim.profile "lossy" ~loss:0.2) () in
+  let sink = Apps.Cbr.sink b.Internet.h_udp ~port:30 ~deadline_us:100_000 in
+  ignore
+    (Apps.Cbr.source a.Internet.h_udp
+       ~dst:(Internet.addr_of t b.Internet.h_node)
+       ~dst_port:30 ~payload_bytes:160 ~period_us:20_000 ~count:200 ());
+  Internet.run_for t 10.0;
+  let r = Apps.Cbr.report sink in
+  (* With 20% loss we expect roughly 160 received, 40 lost; no recovery is
+     attempted (that is the point of the datagram service). *)
+  check Alcotest.bool "significant loss observed" true (r.Apps.Cbr.lost > 10);
+  check Alcotest.bool "most arrive" true (r.Apps.Cbr.received > 120);
+  check Alcotest.int "no duplicates" 0 r.Apps.Cbr.duplicates
+
+let test_cbr_deadline_misses_under_queueing () =
+  (* Slow bottleneck: standing queue pushes one-way delay past the voice
+     deadline. *)
+  let t, a, b =
+    world
+      ~profile:
+        (Netsim.profile "thin" ~bandwidth_bps:128_000 ~delay_us:5_000
+           ~queue_capacity:64)
+      ()
+  in
+  let sink = Apps.Cbr.sink b.Internet.h_udp ~port:30 ~deadline_us:30_000 in
+  (* 160-byte voice packets every 10 ms = 128 kb/s exactly saturates the
+     link before headers; with headers it exceeds it, building a queue. *)
+  ignore
+    (Apps.Cbr.source a.Internet.h_udp
+       ~dst:(Internet.addr_of t b.Internet.h_node)
+       ~dst_port:30 ~payload_bytes:160 ~period_us:10_000 ~count:300 ());
+  Internet.run_for t 10.0;
+  let r = Apps.Cbr.report sink in
+  check Alcotest.bool "deadline misses occur" true (r.Apps.Cbr.deadline_misses > 0)
+
+(* --- Echo ---------------------------------------------------------------------- *)
+
+let test_echo_rtt () =
+  let t, a, b = world ~profile:(Netsim.profile "wire" ~delay_us:10_000) () in
+  Apps.Echo.serve b.Internet.h_tcp ~port:40;
+  let client =
+    Apps.Echo.client a.Internet.h_tcp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:40 ~message_bytes:64 ~period_us:50_000 ~count:20 ()
+  in
+  Internet.run_for t 10.0;
+  check Alcotest.int "all echoed" 20 (Apps.Echo.completed client);
+  check Alcotest.bool "no failure" false (Apps.Echo.failed client);
+  let rtts = Apps.Echo.rtts client in
+  check Alcotest.int "20 samples" 20 (Samples.count rtts);
+  (* One-way 10 ms: RTT must be at least 20 ms and not wildly more. *)
+  check Alcotest.bool "rtt sane" true
+    (Samples.median rtts >= 0.020 && Samples.median rtts < 0.100)
+
+(* --- Reqrep -------------------------------------------------------------------- *)
+
+let test_reqrep () =
+  let t, a, b = world () in
+  Apps.Reqrep.serve b.Internet.h_tcp ~port:50 ~request_bytes:100
+    ~response_bytes:2_000;
+  let client =
+    Apps.Reqrep.client a.Internet.h_tcp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:50 ~request_bytes:100 ~response_bytes:2_000 ~count:15 ()
+  in
+  Internet.run_for t 10.0;
+  check Alcotest.int "all answered" 15 (Apps.Reqrep.completed client);
+  check Alcotest.bool "ok" false (Apps.Reqrep.failed client);
+  check Alcotest.int "latencies recorded" 15
+    (Samples.count (Apps.Reqrep.latencies client))
+
+let test_reqrep_with_gap () =
+  let t, a, b = world () in
+  Apps.Reqrep.serve b.Internet.h_tcp ~port:50 ~request_bytes:10
+    ~response_bytes:10;
+  let client =
+    Apps.Reqrep.client a.Internet.h_tcp
+      ~dst:(Internet.addr_of t b.Internet.h_node)
+      ~dst_port:50 ~request_bytes:10 ~response_bytes:10 ~count:5
+      ~gap_us:100_000 ()
+  in
+  Internet.run_for t 10.0;
+  check Alcotest.int "all answered" 5 (Apps.Reqrep.completed client)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "deterministic" `Quick test_pattern_deterministic;
+          Alcotest.test_case "accepts stream" `Quick test_pattern_checker_accepts_stream;
+          Alcotest.test_case "detects corruption" `Quick
+            test_pattern_checker_detects_corruption;
+          qcheck prop_pattern_split_invariance;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "end to end" `Quick test_bulk_end_to_end;
+          Alcotest.test_case "detects failure" `Quick test_bulk_detects_failure;
+          Alcotest.test_case "multiple transfers" `Quick test_bulk_multiple_transfers;
+        ] );
+      ( "cbr",
+        [
+          Alcotest.test_case "clean path" `Quick test_cbr_clean_path;
+          Alcotest.test_case "lossy path" `Quick test_cbr_lossy_path_counts_loss;
+          Alcotest.test_case "queueing misses deadlines" `Quick
+            test_cbr_deadline_misses_under_queueing;
+        ] );
+      ( "echo",
+        [ Alcotest.test_case "rtt measurement" `Quick test_echo_rtt ] );
+      ( "reqrep",
+        [
+          Alcotest.test_case "pipelined" `Quick test_reqrep;
+          Alcotest.test_case "with gap" `Quick test_reqrep_with_gap;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Tests for the discrete-event engine: time ordering, determinism,
+   cancellable timers, bounded runs. *)
+
+let check = Alcotest.check
+
+
+let test_time_starts_at_zero () =
+  let e = Engine.create () in
+  check Alcotest.int "t=0" 0 (Engine.now e)
+
+let test_events_run_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:30 (fun () -> log := 30 :: !log);
+  Engine.schedule e ~at:10 (fun () -> log := 10 :: !log);
+  Engine.schedule e ~at:20 (fun () -> log := 20 :: !log);
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "order" [ 10; 20; 30 ] (List.rev !log);
+  check Alcotest.int "clock at last event" 30 (Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~at:5 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_schedule_in_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:10 (fun () -> ());
+  Engine.run e;
+  try
+    Engine.schedule e ~at:5 (fun () -> ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_after_relative () =
+  let e = Engine.create () in
+  let fired_at = ref (-1) in
+  Engine.schedule e ~at:100 (fun () ->
+      Engine.after e 50 (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  check Alcotest.int "at 150" 150 !fired_at
+
+let test_run_until_stops_clock () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.after e 1000 (fun () -> fired := true);
+  Engine.run ~until:500 e;
+  check Alcotest.bool "not fired" false !fired;
+  check Alcotest.int "clock clamped" 500 (Engine.now e);
+  check Alcotest.int "still pending" 1 (Engine.pending e);
+  Engine.run ~until:1000 e;
+  check Alcotest.bool "fired at boundary" true !fired
+
+let test_max_events_guard () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec loop () =
+    incr count;
+    Engine.after e 1 loop
+  in
+  Engine.after e 1 loop;
+  Engine.run ~max_events:100 e;
+  check Alcotest.int "bounded" 100 !count
+
+let test_timer_fires () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.Timer.start e ~after:10 (fun () -> fired := true) in
+  check Alcotest.bool "active before" true (Engine.Timer.active h);
+  Engine.run e;
+  check Alcotest.bool "fired" true !fired;
+  check Alcotest.bool "inactive after" false (Engine.Timer.active h)
+
+let test_timer_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.Timer.start e ~after:10 (fun () -> fired := true) in
+  Engine.Timer.cancel h;
+  check Alcotest.bool "inactive" false (Engine.Timer.active h);
+  Engine.run e;
+  check Alcotest.bool "not fired" false !fired
+
+let test_timer_cancel_idempotent () =
+  let e = Engine.create () in
+  let h = Engine.Timer.start e ~after:10 (fun () -> ()) in
+  Engine.Timer.cancel h;
+  Engine.Timer.cancel h;
+  Engine.run e
+
+let test_step () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  Engine.after e 1 (fun () -> incr n);
+  Engine.after e 2 (fun () -> incr n);
+  check Alcotest.bool "step 1" true (Engine.step e);
+  check Alcotest.int "one ran" 1 !n;
+  check Alcotest.bool "step 2" true (Engine.step e);
+  check Alcotest.bool "step empty" false (Engine.step e)
+
+let test_nested_scheduling_determinism () =
+  (* Two identical engines given the same program must agree exactly. *)
+  let trace e =
+    let log = Buffer.create 64 in
+    let rec tick i =
+      Buffer.add_string log (Printf.sprintf "%d@%d;" i (Engine.now e));
+      if i < 20 then begin
+        Engine.after e ((i mod 3) + 1) (fun () -> tick (i + 1));
+        Engine.after e 2 (fun () -> Buffer.add_string log "x;")
+      end
+    in
+    Engine.after e 5 (fun () -> tick 0);
+    Engine.run e;
+    Buffer.contents log
+  in
+  check Alcotest.string "identical traces"
+    (trace (Engine.create ()))
+    (trace (Engine.create ()))
+
+let test_unit_conversions () =
+  check Alcotest.int "ms" 2_000 (Engine.ms 2);
+  check Alcotest.int "sec" 1_500_000 (Engine.sec 1.5);
+  check (Alcotest.float 1e-9) "to_sec" 0.25 (Engine.to_sec 250_000)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "starts at zero" `Quick test_time_starts_at_zero;
+          Alcotest.test_case "time order" `Quick test_events_run_in_time_order;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;
+          Alcotest.test_case "after relative" `Quick test_after_relative;
+          Alcotest.test_case "run until" `Quick test_run_until_stops_clock;
+          Alcotest.test_case "max events" `Quick test_max_events_guard;
+          Alcotest.test_case "units" `Quick test_unit_conversions;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "fires" `Quick test_timer_fires;
+          Alcotest.test_case "cancel" `Quick test_timer_cancel;
+          Alcotest.test_case "cancel idempotent" `Quick test_timer_cancel_idempotent;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "determinism" `Quick test_nested_scheduling_determinism;
+        ] );
+    ]

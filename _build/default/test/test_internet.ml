@@ -1,0 +1,353 @@
+(* Integration tests over the assembled catenet: addressing, multi-hop
+   reachability, and the architecture's headline behaviours — TCP
+   conversations surviving link failures and gateway crashes (goals 1 and
+   the fate-sharing decision), plus minimal-host attachment (goal 6). *)
+
+let check = Alcotest.check
+
+module Internet = Catenet.Internet
+module Addr = Packet.Addr
+module Samples = Stdext.Stats.Samples
+
+(* h1 - g1 - g2 - g3 - h2, with a backup path g1 - gb - g3. *)
+type net = {
+  t : Internet.t;
+  h1 : Internet.host;
+  h2 : Internet.host;
+  g1 : Internet.gateway;
+  g2 : Internet.gateway;
+  g3 : Internet.gateway;
+  gb : Internet.gateway;
+  l_12 : Netsim.link_id;
+  l_23 : Netsim.link_id;
+  l_1b : Netsim.link_id;
+  l_b3 : Netsim.link_id;
+}
+
+let build ?(routing = Internet.Static) () =
+  let dv_config =
+    {
+      Routing.Dv.default_config with
+      Routing.Dv.period_us = 1_000_000;
+      timeout_us = 3_500_000;
+      gc_us = 2_000_000;
+      carrier_poll_us = 200_000;
+    }
+  in
+  let t = Internet.create ~routing ~dv_config () in
+  let h1 = Internet.add_host t "h1" in
+  let h2 = Internet.add_host t "h2" in
+  let g1 = Internet.add_gateway t "g1" in
+  let g2 = Internet.add_gateway t "g2" in
+  let g3 = Internet.add_gateway t "g3" in
+  let gb = Internet.add_gateway t "gb" in
+  let p = Netsim.profile "core" ~delay_us:2_000 in
+  ignore (Internet.connect t p h1.Internet.h_node g1.Internet.g_node);
+  let l_12 = Internet.connect t p g1.Internet.g_node g2.Internet.g_node in
+  let l_23 = Internet.connect t p g2.Internet.g_node g3.Internet.g_node in
+  let l_1b = Internet.connect t p g1.Internet.g_node gb.Internet.g_node in
+  let l_b3 = Internet.connect t p gb.Internet.g_node g3.Internet.g_node in
+  ignore (Internet.connect t p g3.Internet.g_node h2.Internet.h_node);
+  Internet.start t;
+  { t; h1; h2; g1; g2; g3; gb; l_12; l_23; l_1b; l_b3 }
+
+(* --- Assembly ---------------------------------------------------------------- *)
+
+let test_addressing_scheme () =
+  let n = build () in
+  (* Link 0 is h1-g1: subnet 10.0.1.0/24, endpoints .1/.2. *)
+  check Alcotest.string "subnet" "10.0.1.0/24"
+    (Addr.Prefix.to_string (Internet.link_subnet n.t 0));
+  let a_h1 = Internet.addr_on_link n.t 0 n.h1.Internet.h_node in
+  let a_g1 = Internet.addr_on_link n.t 0 n.g1.Internet.g_node in
+  check Alcotest.bool "distinct" false (Addr.equal a_h1 a_g1);
+  check Alcotest.bool "both in subnet" true
+    (Addr.Prefix.mem a_h1 (Internet.link_subnet n.t 0)
+    && Addr.Prefix.mem a_g1 (Internet.link_subnet n.t 0))
+
+let test_name_lookup () =
+  let n = build () in
+  let h = Internet.host n.t "h1" in
+  check Alcotest.bool "host found" true (h.Internet.h_node = n.h1.Internet.h_node);
+  let g = Internet.gateway n.t "g2" in
+  check Alcotest.bool "gateway found" true (g.Internet.g_node = n.g2.Internet.g_node);
+  (try
+     ignore (Internet.host n.t "nonesuch");
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ());
+  try
+    ignore (Internet.host n.t "g1");
+    Alcotest.fail "host lookup of gateway should fail"
+  with Not_found -> ()
+
+let test_multihop_ping () =
+  let n = build () in
+  let samples =
+    Internet.ping n.t ~from:n.h1
+      (Internet.addr_of n.t n.h2.Internet.h_node)
+      ~count:10 ~interval_us:50_000
+  in
+  Internet.run_for n.t 3.0;
+  check Alcotest.int "all replies" 10 (Samples.count samples);
+  (* 4 hops of 2 ms each way = at least 16 ms RTT. *)
+  check Alcotest.bool "rtt sane" true
+    (Samples.median samples >= 0.016 && Samples.median samples < 0.050)
+
+(* --- Survivability (experiment E1's mechanism, at test scale) ----------------- *)
+
+let test_tcp_survives_link_failure_with_dv () =
+  let n = build ~routing:Internet.Distance_vector () in
+  Internet.run_for n.t 6.0 (* let routing converge *);
+  let server = Apps.Bulk.serve n.h2.Internet.h_tcp ~port:99 ~seed:8 in
+  let sender =
+    Apps.Bulk.start n.h1.Internet.h_tcp
+      ~dst:(Internet.addr_of n.t n.h2.Internet.h_node)
+      ~dst_port:99 ~seed:8 ~total:400_000 ()
+  in
+  (* Kill the primary path mid-transfer. *)
+  Engine.after (Internet.engine n.t) (Engine.sec 1.0) (fun () ->
+      Internet.fail_link n.t n.l_12);
+  Internet.run_for n.t 120.0;
+  check Alcotest.bool "transfer survived the failure" true
+    (Apps.Bulk.finished sender);
+  (match Apps.Bulk.transfers server with
+  | [ tr ] ->
+      check Alcotest.int "all bytes" 400_000 tr.Apps.Bulk.received;
+      check Alcotest.bool "intact" true tr.Apps.Bulk.intact
+  | l -> Alcotest.failf "expected 1 transfer, got %d" (List.length l));
+  (* The connection was never reset: it is the same conn object, closed
+     gracefully. *)
+  check Alcotest.bool "no reset" true (Apps.Bulk.failed sender = None)
+
+let test_tcp_survives_gateway_crash_with_dv () =
+  (* Fate-sharing (E2's mechanism): the transit gateway g2 crashes and
+     never comes back; the conversation reroutes via gb and completes,
+     because no connection state lived in g2. *)
+  let n = build ~routing:Internet.Distance_vector () in
+  Internet.run_for n.t 6.0;
+  let server = Apps.Bulk.serve n.h2.Internet.h_tcp ~port:99 ~seed:8 in
+  let sender =
+    Apps.Bulk.start n.h1.Internet.h_tcp
+      ~dst:(Internet.addr_of n.t n.h2.Internet.h_node)
+      ~dst_port:99 ~seed:8 ~total:400_000 ()
+  in
+  Engine.after (Internet.engine n.t) (Engine.sec 1.0) (fun () ->
+      Internet.crash_node n.t n.g2.Internet.g_node);
+  Internet.run_for n.t 120.0;
+  check Alcotest.bool "survived gateway crash" true (Apps.Bulk.finished sender);
+  match Apps.Bulk.transfers server with
+  | [ tr ] -> check Alcotest.bool "intact" true tr.Apps.Bulk.intact
+  | _ -> Alcotest.fail "expected one transfer"
+
+let test_partition_then_heal () =
+  let n = build ~routing:Internet.Distance_vector () in
+  Internet.run_for n.t 6.0;
+  (* Cut every path: TCP keeps retrying (it does not give up quickly), the
+     partition heals, the transfer completes. *)
+  let server = Apps.Bulk.serve n.h2.Internet.h_tcp ~port:99 ~seed:8 in
+  let sender =
+    Apps.Bulk.start n.h1.Internet.h_tcp
+      ~dst:(Internet.addr_of n.t n.h2.Internet.h_node)
+      ~dst_port:99 ~seed:8 ~total:150_000 ()
+  in
+  let eng = Internet.engine n.t in
+  Engine.after eng (Engine.sec 1.0) (fun () ->
+      Internet.fail_link n.t n.l_12;
+      Internet.fail_link n.t n.l_1b);
+  Engine.after eng (Engine.sec 8.0) (fun () ->
+      Internet.heal_link n.t n.l_12);
+  Internet.run_for n.t 180.0;
+  check Alcotest.bool "survived the partition" true (Apps.Bulk.finished sender);
+  match Apps.Bulk.transfers server with
+  | [ tr ] -> check Alcotest.bool "intact" true tr.Apps.Bulk.intact
+  | _ -> Alcotest.fail "expected one transfer"
+
+(* --- Minimal host (goal 6) ------------------------------------------------------ *)
+
+let test_minimal_udp_only_host () =
+  (* A "minimal" host runs nothing but IP + UDP — no TCP, no routing
+     protocol, one default route.  It must interoperate with a full host
+     through a gateway.  This is the low-effort-attachment story. *)
+  let t = Internet.create () in
+  let full = Internet.add_host t "full" in
+  let g = Internet.add_gateway t "g" in
+  let p = Netsim.profile "p" in
+  ignore (Internet.connect t p full.Internet.h_node g.Internet.g_node);
+  (* Hand-rolled minimal node, below the Internet builder's host notion. *)
+  let mini_node = Netsim.add_node (Internet.net t) "mini" in
+  let link = Netsim.add_link (Internet.net t) p mini_node g.Internet.g_node in
+  let mini_ip = Ip.Stack.create (Internet.net t) mini_node in
+  let mini_addr = Addr.v 172 16 0 1 in
+  Ip.Stack.configure_iface mini_ip 0 ~addr:mini_addr ~prefix_len:24;
+  (* The gateway's new interface needs an address + connected route. *)
+  let _, g_iface = Netsim.peer (Internet.net t) mini_node 0 in
+  Ip.Stack.configure_iface g.Internet.g_ip g_iface ~addr:(Addr.v 172 16 0 2)
+    ~prefix_len:24;
+  Ip.Route_table.add (Ip.Stack.table mini_ip)
+    {
+      Ip.Route_table.prefix = Addr.Prefix.default;
+      iface = 0;
+      next_hop = Some (Addr.v 172 16 0 2);
+      metric = 1;
+    };
+  let mini_udp = Udp.create mini_ip in
+  Internet.start t;
+  ignore link;
+  (* Full host answers on a UDP port. *)
+  let answered = ref false in
+  ignore
+    (Udp.bind full.Internet.h_udp ~port:7
+       ~recv:(fun ~src ~src_port payload ->
+         let s = Udp.bind full.Internet.h_udp ~recv:(fun ~src:_ ~src_port:_ _ -> ()) () in
+         ignore (Udp.sendto s ~dst:src ~dst_port:src_port payload))
+       ());
+  let sock =
+    Udp.bind mini_udp
+      ~recv:(fun ~src:_ ~src_port:_ payload ->
+        answered := Bytes.to_string payload = "minimal")
+      ()
+  in
+  ignore
+    (Udp.sendto sock
+       ~dst:(Internet.addr_of t full.Internet.h_node)
+       ~dst_port:7 (Bytes.of_string "minimal"));
+  Internet.run_for t 2.0;
+  check Alcotest.bool "minimal host interoperates" true !answered
+
+(* --- ToS end-to-end -------------------------------------------------------------- *)
+
+let test_tos_carried_end_to_end () =
+  let t = Internet.create () in
+  let a = Internet.add_host t "a" in
+  let b = Internet.add_host t "b" in
+  ignore (Internet.connect t (Netsim.profile "p") a.Internet.h_node b.Internet.h_node);
+  Internet.start t;
+  let seen = ref None in
+  Ip.Stack.register_proto b.Internet.h_ip (Packet.Ipv4.Proto.Other 50)
+    (fun h _ -> seen := Some h.Packet.Ipv4.tos);
+  ignore
+    (Ip.Stack.send a.Internet.h_ip ~tos:Packet.Ipv4.Tos.Low_delay
+       ~proto:(Packet.Ipv4.Proto.Other 50)
+       ~dst:(Internet.addr_of t b.Internet.h_node)
+       (Bytes.make 4 'q'));
+  Internet.run_for t 1.0;
+  check Alcotest.bool "low-delay ToS arrived" true
+    (!seen = Some Packet.Ipv4.Tos.Low_delay)
+
+
+(* --- Diagnostics and type-of-service mechanisms -------------------------------- *)
+
+let test_traceroute () =
+  let n = build () in
+  let reports =
+    Internet.traceroute n.t ~from:n.h1
+      (Internet.addr_of n.t n.h2.Internet.h_node)
+      ~max_ttl:10 ()
+  in
+  Internet.run_for n.t 10.0;
+  (* Path h1 -> g1 -> (g2|gb) -> g3 -> h2: three gateway hops then the
+     destination. *)
+  let hops = !reports in
+  check Alcotest.int "four hops" 4 (List.length hops);
+  let last = List.nth hops 3 in
+  check Alcotest.bool "destination reached" true last.Internet.hop_reached;
+  List.iteri
+    (fun i r ->
+      check Alcotest.int "ttl ordering" (i + 1) r.Internet.hop_ttl;
+      check Alcotest.bool "hop identified" true (r.Internet.hop_addr <> None);
+      check Alcotest.bool "rtt recorded" true (r.Internet.hop_rtt <> None))
+    hops;
+  (* The first hop must be g1 (one of its addresses). *)
+  match (List.hd hops).Internet.hop_addr with
+  | Some a ->
+      check Alcotest.bool "first hop is g1" true
+        (Ip.Stack.has_addr n.g1.Internet.g_ip a)
+  | None -> Alcotest.fail "no first hop"
+
+let test_tos_priority_beats_queueing () =
+  (* A congested bottleneck: low-delay ToS pings overtake the bulk queue;
+     routine pings wait in line.  This is the per-hop half of goal 2. *)
+  let run tos =
+    let t = Internet.create () in
+    let a = Internet.add_host t "a" in
+    let b = Internet.add_host t "b" in
+    let g1 = Internet.add_gateway t "g1" in
+    let g2 = Internet.add_gateway t "g2" in
+    ignore
+      (Internet.connect t Netsim.Profiles.ethernet a.Internet.h_node
+         g1.Internet.g_node);
+    ignore
+      (Internet.connect t
+         (Netsim.profile "thin" ~bandwidth_bps:256_000 ~delay_us:5_000
+            ~queue_capacity:40)
+         g1.Internet.g_node g2.Internet.g_node);
+    ignore
+      (Internet.connect t Netsim.Profiles.ethernet g2.Internet.g_node
+         b.Internet.h_node);
+    Internet.start t;
+    (* Saturating background bulk. *)
+    ignore (Apps.Bulk.serve b.Internet.h_tcp ~port:21 ~seed:3);
+    ignore
+      (Apps.Bulk.start a.Internet.h_tcp
+         ~dst:(Internet.addr_of t b.Internet.h_node)
+         ~dst_port:21 ~seed:3 ~total:3_000_000 ());
+    (* Probes with the requested ToS, sent during congestion. *)
+    let delays = Stdext.Stats.Samples.create () in
+    let sent = Hashtbl.create 16 in
+    Ip.Stack.set_echo_reply_handler a.Internet.h_ip (fun ~id:_ ~seq ~payload:_ ->
+        match Hashtbl.find_opt sent seq with
+        | Some at ->
+            Stdext.Stats.Samples.add delays
+              (Engine.to_sec (Engine.now (Internet.engine t) - at))
+        | None -> ());
+    let eng = Internet.engine t in
+    for i = 0 to 19 do
+      Engine.after eng (Engine.sec (2.0 +. (0.2 *. float_of_int i))) (fun () ->
+          Hashtbl.replace sent i (Engine.now eng);
+          let msg =
+            Packet.Icmp_wire.Echo_request
+              { id = 7; seq = i; payload = Bytes.make 16 'q' }
+          in
+          ignore
+            (Ip.Stack.send a.Internet.h_ip ~tos
+               ~proto:Packet.Ipv4.Proto.Icmp
+               ~dst:(Internet.addr_of t b.Internet.h_node)
+               (Packet.Icmp_wire.encode msg)))
+    done;
+    Internet.run_for t 15.0;
+    Stdext.Stats.Samples.median delays
+  in
+  let routine = run Packet.Ipv4.Tos.Routine in
+  let low_delay = run Packet.Ipv4.Tos.Low_delay in
+  check Alcotest.bool
+    (Printf.sprintf "low-delay (%.1fms) beats routine (%.1fms)"
+       (low_delay *. 1e3) (routine *. 1e3))
+    true
+    (low_delay < routine /. 2.0)
+
+let () =
+  Alcotest.run "internet"
+    [
+      ( "assembly",
+        [
+          Alcotest.test_case "addressing" `Quick test_addressing_scheme;
+          Alcotest.test_case "name lookup" `Quick test_name_lookup;
+          Alcotest.test_case "multihop ping" `Quick test_multihop_ping;
+          Alcotest.test_case "tos end to end" `Quick test_tos_carried_end_to_end;
+        ] );
+      ( "survivability",
+        [
+          Alcotest.test_case "link failure" `Slow
+            test_tcp_survives_link_failure_with_dv;
+          Alcotest.test_case "gateway crash" `Slow
+            test_tcp_survives_gateway_crash_with_dv;
+          Alcotest.test_case "partition and heal" `Slow test_partition_then_heal;
+        ] );
+      ( "attachment",
+        [ Alcotest.test_case "minimal host" `Quick test_minimal_udp_only_host ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "traceroute" `Quick test_traceroute;
+          Alcotest.test_case "tos priority" `Quick test_tos_priority_beats_queueing;
+        ] );
+    ]

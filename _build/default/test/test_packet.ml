@@ -1,0 +1,441 @@
+(* Tests for wire formats: checksum algebra, addresses/prefixes, IPv4, TCP,
+   UDP and ICMP encode/decode with corruption detection. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+module Checksum = Packet.Checksum
+module Addr = Packet.Addr
+module Prefix = Packet.Addr.Prefix
+module Ipv4 = Packet.Ipv4
+module Tcpw = Packet.Tcp_wire
+module Udpw = Packet.Udp_wire
+module Icmp = Packet.Icmp_wire
+
+let bytes_gen =
+  QCheck.Gen.(map Bytes.of_string (string_size ~gen:printable (0 -- 200)))
+
+let arb_bytes = QCheck.make ~print:(fun b -> Bytes.to_string b) bytes_gen
+
+(* --- Checksum ------------------------------------------------------------ *)
+
+let test_checksum_rfc1071_example () =
+  (* The classic example from RFC 1071 §3: words 0001 f203 f4f5 f6f7. *)
+  let b = Bytes.create 8 in
+  Bytes.set_uint16_be b 0 0x0001;
+  Bytes.set_uint16_be b 2 0xf203;
+  Bytes.set_uint16_be b 4 0xf4f5;
+  Bytes.set_uint16_be b 6 0xf6f7;
+  check Alcotest.int "checksum" (lnot 0xddf2 land 0xffff)
+    (Checksum.of_bytes b ~pos:0 ~len:8)
+
+let test_checksum_zero_buffer () =
+  let b = Bytes.make 10 '\000' in
+  check Alcotest.int "all zero" 0xffff (Checksum.of_bytes b ~pos:0 ~len:10)
+
+let test_checksum_odd_length () =
+  (* A trailing odd byte is padded with zero on the right. *)
+  let b = Bytes.of_string "\x12\x34\x56" in
+  let expected = lnot (0x1234 + 0x5600) land 0xffff in
+  check Alcotest.int "odd pad" expected (Checksum.of_bytes b ~pos:0 ~len:3)
+
+let prop_checksum_verifies =
+  QCheck.Test.make ~name:"buffer including own checksum sums to 0xFFFF"
+    ~count:300 arb_bytes (fun payload ->
+      (* Append the checksum (even offset) and verify. *)
+      let n = Bytes.length payload in
+      let padded = if n mod 2 = 0 then n else n + 1 in
+      let buf = Bytes.make (padded + 2) '\000' in
+      Bytes.blit payload 0 buf 0 n;
+      let c = Checksum.of_bytes buf ~pos:0 ~len:padded in
+      Bytes.set_uint16_be buf padded c;
+      Checksum.valid buf ~pos:0 ~len:(padded + 2))
+
+let prop_checksum_detects_single_flip =
+  QCheck.Test.make ~name:"single-byte corruption detected" ~count:300
+    QCheck.(pair arb_bytes small_nat)
+    (fun (payload, idx) ->
+      let n = Bytes.length payload in
+      QCheck.assume (n > 0 && n mod 2 = 0);
+      let buf = Bytes.make (n + 2) '\000' in
+      Bytes.blit payload 0 buf 0 n;
+      Bytes.set_uint16_be buf n (Checksum.of_bytes buf ~pos:0 ~len:n);
+      let i = idx mod n in
+      Bytes.set_uint8 buf i (Bytes.get_uint8 buf i lxor 0x5a);
+      not (Checksum.valid buf ~pos:0 ~len:(n + 2)))
+
+let prop_checksum_chunking =
+  QCheck.Test.make ~name:"accumulation is chunk-invariant (even splits)"
+    ~count:300
+    QCheck.(pair arb_bytes small_nat)
+    (fun (b, k) ->
+      let n = Bytes.length b in
+      QCheck.assume (n >= 4);
+      let cut = max 2 (k mod n) in
+      let cut = if cut mod 2 = 1 then cut - 1 else cut in
+      QCheck.assume (cut > 0 && cut < n);
+      let whole = Checksum.of_bytes b ~pos:0 ~len:n in
+      let acc = Checksum.add_bytes Checksum.zero b ~pos:0 ~len:cut in
+      let split =
+        Checksum.finish (Checksum.add_bytes acc b ~pos:cut ~len:(n - cut))
+      in
+      whole = split)
+
+(* --- Addr ---------------------------------------------------------------- *)
+
+let test_addr_parse_print () =
+  check Alcotest.string "roundtrip" "10.1.2.3"
+    (Addr.to_string (Addr.of_string "10.1.2.3"));
+  check Alcotest.string "zeros" "0.0.0.0" (Addr.to_string Addr.any);
+  check Alcotest.string "max" "255.255.255.255"
+    (Addr.to_string (Addr.v 255 255 255 255))
+
+let test_addr_invalid () =
+  List.iter
+    (fun s ->
+      match Addr.of_string_opt s with
+      | None -> ()
+      | Some _ -> Alcotest.failf "accepted %S" s)
+    [ "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "1.2.3.x"; ""; "-1.2.3.4" ]
+
+let test_addr_compare_unsigned () =
+  (* 200.0.0.0 must compare greater than 100.0.0.0 despite the sign bit. *)
+  check Alcotest.bool "unsigned order" true
+    (Addr.compare (Addr.v 200 0 0 0) (Addr.v 100 0 0 0) > 0)
+
+let test_prefix_membership () =
+  let p = Prefix.of_string "10.1.0.0/16" in
+  check Alcotest.bool "inside" true (Prefix.mem (Addr.of_string "10.1.200.3") p);
+  check Alcotest.bool "outside" false (Prefix.mem (Addr.of_string "10.2.0.1") p);
+  check Alcotest.bool "default matches all" true
+    (Prefix.mem (Addr.v 1 2 3 4) Prefix.default);
+  let host = Prefix.host (Addr.v 9 9 9 9) in
+  check Alcotest.bool "host route self" true (Prefix.mem (Addr.v 9 9 9 9) host);
+  check Alcotest.bool "host route other" false
+    (Prefix.mem (Addr.v 9 9 9 8) host)
+
+let test_prefix_normalizes_host_bits () =
+  let p = Prefix.make (Addr.of_string "10.1.2.3") 16 in
+  check Alcotest.string "network" "10.1.0.0" (Addr.to_string (Prefix.network p));
+  check Alcotest.string "print" "10.1.0.0/16" (Prefix.to_string p)
+
+let arb_addr =
+  QCheck.make
+    ~print:(fun a -> Addr.to_string a)
+    QCheck.Gen.(map (fun i -> Addr.of_int32 (Int32.of_int i)) (0 -- 0xFFFFFF))
+
+let prop_addr_string_roundtrip =
+  QCheck.Test.make ~name:"addr to_string/of_string roundtrip" ~count:300
+    arb_addr (fun a -> Addr.equal a (Addr.of_string (Addr.to_string a)))
+
+let prop_prefix_mem_matches_mask =
+  QCheck.Test.make ~name:"prefix membership equals mask arithmetic" ~count:500
+    QCheck.(triple arb_addr arb_addr (int_bound 32))
+    (fun (a, b, len) ->
+      let p = Prefix.make a len in
+      let mask = if len = 0 then 0l else Int32.shift_left (-1l) (32 - len) in
+      let expected =
+        Int32.equal
+          (Int32.logand (Addr.to_int32 b) mask)
+          (Int32.logand (Addr.to_int32 a) mask)
+      in
+      Prefix.mem b p = expected)
+
+(* --- IPv4 ---------------------------------------------------------------- *)
+
+let mk_header ?(tos = Ipv4.Tos.Routine) ?(id = 77) ?(ttl = 64) ?(df = false)
+    ?(mf = false) ?(off = 0) () =
+  Ipv4.make_header ~tos ~id ~dont_fragment:df ~more_fragments:mf
+    ~frag_offset:off ~ttl ~proto:Ipv4.Proto.Udp ~src:(Addr.v 10 0 0 1)
+    ~dst:(Addr.v 10 0 0 2) ()
+
+let test_ipv4_roundtrip () =
+  let h =
+    mk_header ~tos:Ipv4.Tos.Low_delay ~id:4242 ~ttl:17 ~mf:true ~off:1480 ()
+  in
+  let payload = Bytes.of_string "some payload" in
+  match Ipv4.decode (Ipv4.encode h ~payload) with
+  | Error e -> Alcotest.failf "decode: %a" Ipv4.pp_error e
+  | Ok (h', p') ->
+      check Alcotest.bool "header equal" true (h = h');
+      check Alcotest.string "payload" "some payload" (Bytes.to_string p')
+
+let test_ipv4_checksum_detects_corruption () =
+  let buf = Ipv4.encode (mk_header ()) ~payload:(Bytes.make 8 'x') in
+  Bytes.set_uint8 buf 8 (Bytes.get_uint8 buf 8 lxor 0xff);
+  match Ipv4.decode buf with
+  | Error `Bad_checksum -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Ipv4.pp_error e
+  | Ok _ -> Alcotest.fail "accepted corrupt header"
+
+let test_ipv4_truncated () =
+  match Ipv4.decode (Bytes.make 10 '\000') with
+  | Error `Truncated -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Truncated"
+
+let test_ipv4_bad_version () =
+  let buf = Ipv4.encode (mk_header ()) ~payload:Bytes.empty in
+  Bytes.set_uint8 buf 0 ((6 lsl 4) lor 5);
+  (* Fix the checksum so only the version is wrong. *)
+  Bytes.set_uint16_be buf 10 0;
+  let c = Checksum.of_bytes buf ~pos:0 ~len:20 in
+  Bytes.set_uint16_be buf 10 c;
+  match Ipv4.decode buf with
+  | Error (`Bad_version 6) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Ipv4.pp_error e
+  | Ok _ -> Alcotest.fail "accepted v6"
+
+let test_ipv4_rejects_bad_fields () =
+  let fails f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "oversize payload" true
+    (fails (fun () ->
+         Ipv4.encode (mk_header ()) ~payload:(Bytes.make 65530 'x')));
+  check Alcotest.bool "odd frag offset" true
+    (fails (fun () -> Ipv4.encode (mk_header ~off:7 ()) ~payload:Bytes.empty));
+  check Alcotest.bool "ttl range" true
+    (fails (fun () -> Ipv4.encode (mk_header ~ttl:300 ()) ~payload:Bytes.empty))
+
+let test_ipv4_tos_coding () =
+  List.iter
+    (fun tos ->
+      check Alcotest.bool "tos roundtrip" true
+        (Ipv4.Tos.of_int (Ipv4.Tos.to_int tos) = tos))
+    [
+      Ipv4.Tos.Routine;
+      Ipv4.Tos.Low_delay;
+      Ipv4.Tos.High_throughput;
+      Ipv4.Tos.High_reliability;
+    ]
+
+let test_proto_coding () =
+  check Alcotest.int "icmp" 1 (Ipv4.Proto.to_int Ipv4.Proto.Icmp);
+  check Alcotest.int "tcp" 6 (Ipv4.Proto.to_int Ipv4.Proto.Tcp);
+  check Alcotest.int "udp" 17 (Ipv4.Proto.to_int Ipv4.Proto.Udp);
+  check Alcotest.bool "other" true (Ipv4.Proto.of_int 89 = Ipv4.Proto.Other 89)
+
+let prop_ipv4_roundtrip =
+  QCheck.Test.make ~name:"ipv4 encode/decode roundtrip" ~count:300
+    QCheck.(quad (int_bound 0xffff) (int_bound 255) (int_bound 8000) arb_bytes)
+    (fun (id, ttl, off8, payload) ->
+      let h =
+        Ipv4.make_header ~id ~ttl ~frag_offset:(off8 * 8)
+          ~more_fragments:(off8 mod 2 = 0) ~proto:Ipv4.Proto.Tcp
+          ~src:(Addr.v 1 2 3 4) ~dst:(Addr.v 5 6 7 8) ()
+      in
+      match Ipv4.decode (Ipv4.encode h ~payload) with
+      | Ok (h', p') -> h = h' && Bytes.equal p' payload
+      | Error _ -> false)
+
+(* --- TCP wire ------------------------------------------------------------ *)
+
+let src = Addr.v 10 0 0 1
+let dst = Addr.v 10 0 0 2
+
+let test_tcp_roundtrip () =
+  let seg =
+    Tcpw.make ~seq:123456 ~ack_n:654321
+      ~flags:(Tcpw.flags ~ack:true ~psh:true ())
+      ~window:8192 ~mss:(Some 1460)
+      ~payload:(Bytes.of_string "data!") ~src_port:1000 ~dst_port:80 ()
+  in
+  match Tcpw.decode ~src ~dst (Tcpw.encode ~src ~dst seg) with
+  | Error e -> Alcotest.failf "decode: %a" Tcpw.pp_error e
+  | Ok seg' ->
+      check Alcotest.bool "equal" true
+        (seg.Tcpw.seq = seg'.Tcpw.seq
+        && seg.Tcpw.ack_n = seg'.Tcpw.ack_n
+        && seg.Tcpw.flags = seg'.Tcpw.flags
+        && seg.Tcpw.window = seg'.Tcpw.window
+        && seg.Tcpw.mss = seg'.Tcpw.mss
+        && Bytes.equal seg.Tcpw.payload seg'.Tcpw.payload)
+
+let test_tcp_checksum_covers_addresses () =
+  (* A segment carried to the wrong address must fail its checksum: this
+     is the pseudo-header protecting against misdelivery. *)
+  let seg = Tcpw.make ~src_port:1 ~dst_port:2 () in
+  let buf = Tcpw.encode ~src ~dst seg in
+  match Tcpw.decode ~src ~dst:(Addr.v 10 0 0 9) buf with
+  | Error `Bad_checksum -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Bad_checksum"
+
+let test_tcp_corruption_detected () =
+  let seg = Tcpw.make ~payload:(Bytes.make 100 'd') ~src_port:5 ~dst_port:6 () in
+  let buf = Tcpw.encode ~src ~dst seg in
+  Bytes.set_uint8 buf 50 (Bytes.get_uint8 buf 50 lxor 1);
+  match Tcpw.decode ~src ~dst buf with
+  | Error `Bad_checksum -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Bad_checksum"
+
+let test_tcp_header_sizes () =
+  let seg = Tcpw.make ~src_port:1 ~dst_port:2 () in
+  check Alcotest.int "bare header" 20 (Bytes.length (Tcpw.encode ~src ~dst seg));
+  let seg' = Tcpw.make ~mss:(Some 536) ~src_port:1 ~dst_port:2 () in
+  check Alcotest.int "with MSS option" 24
+    (Bytes.length (Tcpw.encode ~src ~dst seg'))
+
+let test_tcp_flags_pp () =
+  let s f = Format.asprintf "%a" Tcpw.pp_flags f in
+  check Alcotest.string "syn" "S" (s (Tcpw.flags ~syn:true ()));
+  check Alcotest.string "synack" "SA" (s (Tcpw.flags ~syn:true ~ack:true ()));
+  check Alcotest.string "none" "." (s Tcpw.no_flags)
+
+let prop_tcp_roundtrip =
+  QCheck.Test.make ~name:"tcp segment roundtrip" ~count:300
+    QCheck.(
+      quad (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0xffff) arb_bytes)
+    (fun (seq_lo, ack_lo, window, payload) ->
+      let seq = seq_lo * 65521 land 0xFFFFFFFF in
+      let ack_n = ack_lo * 65519 land 0xFFFFFFFF in
+      let seg =
+        Tcpw.make ~seq ~ack_n
+          ~flags:(Tcpw.flags ~ack:(ack_lo mod 2 = 0) ~fin:(seq_lo mod 3 = 0) ())
+          ~window ~payload ~src_port:1234 ~dst_port:4321 ()
+      in
+      match Tcpw.decode ~src ~dst (Tcpw.encode ~src ~dst seg) with
+      | Ok s ->
+          s.Tcpw.seq = seq && s.Tcpw.ack_n = ack_n && s.Tcpw.window = window
+          && Bytes.equal s.Tcpw.payload payload
+      | Error _ -> false)
+
+(* --- UDP wire ------------------------------------------------------------ *)
+
+let test_udp_roundtrip () =
+  let d = { Udpw.src_port = 53; dst_port = 5353; payload = Bytes.of_string "q" } in
+  match Udpw.decode ~src ~dst (Udpw.encode ~src ~dst d) with
+  | Error e -> Alcotest.failf "decode: %a" Udpw.pp_error e
+  | Ok d' ->
+      check Alcotest.int "sport" 53 d'.Udpw.src_port;
+      check Alcotest.int "dport" 5353 d'.Udpw.dst_port;
+      check Alcotest.string "payload" "q" (Bytes.to_string d'.Udpw.payload)
+
+let test_udp_checksum () =
+  let d = { Udpw.src_port = 1; dst_port = 2; payload = Bytes.make 33 'u' } in
+  let buf = Udpw.encode ~src ~dst d in
+  Bytes.set_uint8 buf 20 (Bytes.get_uint8 buf 20 lxor 4);
+  (match Udpw.decode ~src ~dst buf with
+  | Error `Bad_checksum -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Bad_checksum");
+  (* Wrong pseudo-header also rejected. *)
+  let good = Udpw.encode ~src ~dst d in
+  match Udpw.decode ~src:(Addr.v 9 9 9 9) ~dst good with
+  | Error `Bad_checksum -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected pseudo-header failure"
+
+let prop_udp_roundtrip =
+  QCheck.Test.make ~name:"udp datagram roundtrip" ~count:300
+    QCheck.(triple (1 -- 0xffff) (1 -- 0xffff) arb_bytes)
+    (fun (sp, dp, payload) ->
+      let d = { Udpw.src_port = sp; dst_port = dp; payload } in
+      match Udpw.decode ~src ~dst (Udpw.encode ~src ~dst d) with
+      | Ok d' ->
+          d'.Udpw.src_port = sp && d'.Udpw.dst_port = dp
+          && Bytes.equal d'.Udpw.payload payload
+      | Error _ -> false)
+
+(* --- ICMP ---------------------------------------------------------------- *)
+
+let test_icmp_echo_roundtrip () =
+  let msg = Icmp.Echo_request { id = 7; seq = 3; payload = Bytes.of_string "ping" } in
+  match Icmp.decode (Icmp.encode msg) with
+  | Ok (Icmp.Echo_request { id = 7; seq = 3; payload }) ->
+      check Alcotest.string "payload" "ping" (Bytes.to_string payload)
+  | Ok m -> Alcotest.failf "wrong message: %a" Icmp.pp m
+  | Error e -> Alcotest.failf "decode: %a" Icmp.pp_error e
+
+let test_icmp_unreachable_roundtrip () =
+  let original = Bytes.make 28 '\001' in
+  let msg = Icmp.Dest_unreachable { code = Icmp.Port_unreachable; original } in
+  match Icmp.decode (Icmp.encode msg) with
+  | Ok (Icmp.Dest_unreachable { code = Icmp.Port_unreachable; original = o }) ->
+      check Alcotest.int "original kept" 28 (Bytes.length o)
+  | Ok m -> Alcotest.failf "wrong message: %a" Icmp.pp m
+  | Error e -> Alcotest.failf "decode: %a" Icmp.pp_error e
+
+let test_icmp_time_exceeded () =
+  let msg = Icmp.Time_exceeded { original = Bytes.make 28 'o' } in
+  match Icmp.decode (Icmp.encode msg) with
+  | Ok (Icmp.Time_exceeded _) -> ()
+  | Ok m -> Alcotest.failf "wrong message: %a" Icmp.pp m
+  | Error e -> Alcotest.failf "decode: %a" Icmp.pp_error e
+
+let test_icmp_corruption () =
+  let buf =
+    Icmp.encode (Icmp.Echo_reply { id = 1; seq = 2; payload = Bytes.make 4 'x' })
+  in
+  Bytes.set_uint8 buf 5 (Bytes.get_uint8 buf 5 lxor 0x80);
+  match Icmp.decode buf with
+  | Error `Bad_checksum -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Bad_checksum"
+
+let test_icmp_original_clip () =
+  let big = Bytes.make 100 'z' in
+  check Alcotest.int "clipped to header+8" 28
+    (Bytes.length (Icmp.original_of ~ip_header:big));
+  let small = Bytes.make 10 'z' in
+  check Alcotest.int "small kept whole" 10
+    (Bytes.length (Icmp.original_of ~ip_header:small))
+
+let () =
+  Alcotest.run "packet"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "rfc1071 example" `Quick test_checksum_rfc1071_example;
+          Alcotest.test_case "zero buffer" `Quick test_checksum_zero_buffer;
+          Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+          qcheck prop_checksum_verifies;
+          qcheck prop_checksum_detects_single_flip;
+          qcheck prop_checksum_chunking;
+        ] );
+      ( "addr",
+        [
+          Alcotest.test_case "parse/print" `Quick test_addr_parse_print;
+          Alcotest.test_case "invalid rejected" `Quick test_addr_invalid;
+          Alcotest.test_case "unsigned compare" `Quick test_addr_compare_unsigned;
+          Alcotest.test_case "prefix membership" `Quick test_prefix_membership;
+          Alcotest.test_case "prefix normalization" `Quick
+            test_prefix_normalizes_host_bits;
+          qcheck prop_addr_string_roundtrip;
+          qcheck prop_prefix_mem_matches_mask;
+        ] );
+      ( "ipv4",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "corruption" `Quick test_ipv4_checksum_detects_corruption;
+          Alcotest.test_case "truncated" `Quick test_ipv4_truncated;
+          Alcotest.test_case "bad version" `Quick test_ipv4_bad_version;
+          Alcotest.test_case "field validation" `Quick test_ipv4_rejects_bad_fields;
+          Alcotest.test_case "tos coding" `Quick test_ipv4_tos_coding;
+          Alcotest.test_case "proto coding" `Quick test_proto_coding;
+          qcheck prop_ipv4_roundtrip;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "pseudo-header" `Quick test_tcp_checksum_covers_addresses;
+          Alcotest.test_case "corruption" `Quick test_tcp_corruption_detected;
+          Alcotest.test_case "header sizes" `Quick test_tcp_header_sizes;
+          Alcotest.test_case "flags pp" `Quick test_tcp_flags_pp;
+          qcheck prop_tcp_roundtrip;
+        ] );
+      ( "udp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "checksum" `Quick test_udp_checksum;
+          qcheck prop_udp_roundtrip;
+        ] );
+      ( "icmp",
+        [
+          Alcotest.test_case "echo roundtrip" `Quick test_icmp_echo_roundtrip;
+          Alcotest.test_case "unreachable roundtrip" `Quick
+            test_icmp_unreachable_roundtrip;
+          Alcotest.test_case "time exceeded" `Quick test_icmp_time_exceeded;
+          Alcotest.test_case "corruption" `Quick test_icmp_corruption;
+          Alcotest.test_case "original clip" `Quick test_icmp_original_clip;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+(* Tests for the virtual-circuit baseline: cell formats, call setup and
+   data transfer, hop-by-hop reliability, and the defining weakness —
+   per-path switch state that dies with links and nodes. *)
+
+let check = Alcotest.check
+
+module Cell = Vc.Cell
+
+(* --- Cell formats ------------------------------------------------------- *)
+
+let test_cell_roundtrips () =
+  let cases =
+    [
+      Cell.Setup { vci = 5; src = 1; path = [ 2; 3; 4 ] };
+      Cell.Accept { vci = 5 };
+      Cell.Clear { vci = 9; reason = Cell.Link_failure };
+      Cell.Data { vci = 3; seq = 1234; payload = Bytes.of_string "cells!" };
+      Cell.Hop_ack { vci = 3; seq = 1235 };
+    ]
+  in
+  List.iter
+    (fun cell ->
+      match Cell.decode (Cell.encode cell) with
+      | Ok c ->
+          check Alcotest.bool
+            (Format.asprintf "roundtrip %a" Cell.pp cell)
+            true (c = cell)
+      | Error _ -> Alcotest.failf "decode failed: %a" Cell.pp cell)
+    cases
+
+let test_cell_garbage () =
+  match Cell.decode (Bytes.of_string "\xff\x00") with
+  | Error (`Bad_header _) -> ()
+  | Error `Truncated | Ok _ -> Alcotest.fail "expected Bad_header"
+
+let test_clear_reasons_roundtrip () =
+  List.iter
+    (fun r ->
+      check Alcotest.bool "reason code roundtrip" true
+        (Cell.clear_reason_of_int (Cell.clear_reason_to_int r) = Some r))
+    [
+      Cell.Remote_clear; Cell.Link_failure; Cell.Node_failure; Cell.No_route;
+      Cell.Refused; Cell.Hop_timeout;
+    ]
+
+(* --- Fabric fixtures ------------------------------------------------------ *)
+
+(* A chain: h_a -- s1 -- s2 -- h_b where every node is a switch and the
+   two ends also run endpoints. *)
+type chain = {
+  eng : Engine.t;
+  net : Netsim.t;
+  fabric : Vc.t;
+  a : Netsim.node_id;
+  s1 : Netsim.node_id;
+  s2 : Netsim.node_id;
+  b : Netsim.node_id;
+  l_a1 : Netsim.link_id;
+  l_12 : Netsim.link_id;
+  l_2b : Netsim.link_id;
+}
+
+let chain ?(profile = Netsim.profile "leg" ~delay_us:2_000) ?config () =
+  let eng = Engine.create () in
+  let net = Netsim.create ~seed:11 eng in
+  let a = Netsim.add_node net "a" in
+  let s1 = Netsim.add_node net "s1" in
+  let s2 = Netsim.add_node net "s2" in
+  let b = Netsim.add_node net "b" in
+  let l_a1 = Netsim.add_link net profile a s1 in
+  let l_12 = Netsim.add_link net profile s1 s2 in
+  let l_2b = Netsim.add_link net profile s2 b in
+  let fabric = Vc.create ?config net in
+  List.iter (Vc.attach fabric) [ a; s1; s2; b ];
+  { eng; net; fabric; a; s1; s2; b; l_a1; l_12; l_2b }
+
+let test_call_setup_and_accept () =
+  let c = chain () in
+  let accepted = ref false in
+  let server_circuit = ref None in
+  Vc.listen c.fabric c.b (fun circuit -> server_circuit := Some circuit);
+  let circuit =
+    Vc.call c.fabric ~src:c.a ~dst:c.b
+      ~on_accept:(fun () -> accepted := true)
+      ()
+  in
+  Engine.run ~until:1_000_000 c.eng;
+  check Alcotest.bool "accepted" true !accepted;
+  check Alcotest.bool "open" true (Vc.is_open circuit);
+  check Alcotest.bool "server got circuit" true (!server_circuit <> None);
+  (* Every switch on the path holds state — including the endpoints'
+     own nodes. *)
+  check Alcotest.bool "state at s1" true
+    (Vc.switch_state_count c.fabric c.s1 >= 2);
+  check Alcotest.bool "state at s2" true
+    (Vc.switch_state_count c.fabric c.s2 >= 2);
+  check Alcotest.int "stats" 1 (Vc.stats c.fabric).Vc.calls_established
+
+let test_data_transfer () =
+  let c = chain () in
+  let received = ref [] in
+  Vc.listen c.fabric c.b (fun circuit ->
+      Vc.on_data circuit (fun d -> received := Bytes.to_string d :: !received));
+  let circuit = Vc.call c.fabric ~src:c.a ~dst:c.b () in
+  Engine.after c.eng 100_000 (fun () ->
+      for i = 1 to 10 do
+        ignore (Vc.send circuit (Bytes.of_string (Printf.sprintf "cell-%02d" i)))
+      done);
+  Engine.run ~until:2_000_000 c.eng;
+  check Alcotest.int "all delivered" 10 (List.length !received);
+  (* Ordered delivery. *)
+  check (Alcotest.list Alcotest.string) "in order"
+    (List.init 10 (fun i -> Printf.sprintf "cell-%02d" (i + 1)))
+    (List.rev !received)
+
+let test_bidirectional_data () =
+  let c = chain () in
+  let at_b = ref 0 and at_a = ref 0 in
+  Vc.listen c.fabric c.b (fun circuit ->
+      Vc.on_data circuit (fun _ ->
+          incr at_b;
+          ignore (Vc.send circuit (Bytes.of_string "reply"))));
+  let circuit = Vc.call c.fabric ~src:c.a ~dst:c.b () in
+  Vc.on_data circuit (fun _ -> incr at_a);
+  Engine.after c.eng 100_000 (fun () ->
+      ignore (Vc.send circuit (Bytes.of_string "query")));
+  Engine.run ~until:2_000_000 c.eng;
+  check Alcotest.int "request" 1 !at_b;
+  check Alcotest.int "reply" 1 !at_a
+
+let test_hop_reliability_on_lossy_link () =
+  (* 20% loss per hop: hop-by-hop go-back-N must still deliver every cell
+     in order. *)
+  let c = chain ~profile:(Netsim.profile "lossy" ~delay_us:1_000 ~loss:0.2) () in
+  let received = ref 0 in
+  let last = ref (-1) in
+  let ordered = ref true in
+  Vc.listen c.fabric c.b (fun circuit ->
+      Vc.on_data circuit (fun d ->
+          let n = int_of_string (Bytes.to_string d) in
+          if n <= !last then ordered := false;
+          last := n;
+          incr received));
+  (* Call setup cells are unreliable; on a 20%-loss path the call may need
+     several attempts (as a real subscriber would redial). *)
+  let circuit = ref None in
+  let rec dial attempts =
+    if attempts < 50 then begin
+      let cc =
+        Vc.call c.fabric ~src:c.a ~dst:c.b
+          ~on_clear:(fun _ ->
+            Engine.after c.eng 50_000 (fun () ->
+                match !circuit with
+                | Some cx when Vc.is_open cx -> ()
+                | Some _ | None -> dial (attempts + 1)))
+          ()
+      in
+      circuit := Some cc
+    end
+  in
+  dial 0;
+  let sent = ref 0 in
+  let rec feed () =
+    match !circuit with
+    | Some cx when Vc.is_open cx && !sent < 100 ->
+        ignore (Vc.send cx (Bytes.of_string (string_of_int !sent)));
+        incr sent;
+        Engine.after c.eng 10_000 feed
+    | Some _ | None -> if !sent < 100 then Engine.after c.eng 100_000 feed
+  in
+  Engine.after c.eng 200_000 feed;
+  Engine.run ~until:60_000_000 c.eng;
+  check Alcotest.int "all delivered" 100 !received;
+  check Alcotest.bool "in order" true !ordered;
+  check Alcotest.bool "hop retransmissions happened" true
+    ((Vc.stats c.fabric).Vc.hop_retransmits > 0)
+
+let test_link_failure_clears_call () =
+  let c = chain () in
+  let cleared = ref None in
+  Vc.listen c.fabric c.b (fun _ -> ());
+  let circuit =
+    Vc.call c.fabric ~src:c.a ~dst:c.b
+      ~on_clear:(fun r -> cleared := Some r)
+      ()
+  in
+  Engine.run ~until:500_000 c.eng;
+  check Alcotest.bool "established" true (Vc.is_open circuit);
+  (* Cut the middle link: the circuit must die — state in the network. *)
+  Netsim.set_link_up c.net c.l_12 false;
+  Engine.run ~until:3_000_000 c.eng;
+  check Alcotest.bool "circuit dead" false (Vc.is_open circuit);
+  (match !cleared with
+  | Some Cell.Link_failure -> ()
+  | Some r -> Alcotest.failf "wrong reason: %a" Cell.pp_clear_reason r
+  | None -> Alcotest.fail "never cleared");
+  (* Switch state on the healthy side is released too. *)
+  check Alcotest.int "s1 cleaned" 0 (Vc.switch_state_count c.fabric c.s1)
+
+let test_node_crash_clears_call () =
+  let c = chain () in
+  let cleared = ref None in
+  Vc.listen c.fabric c.b (fun _ -> ());
+  let circuit =
+    Vc.call c.fabric ~src:c.a ~dst:c.b
+      ~on_clear:(fun r -> cleared := Some r)
+      ()
+  in
+  Engine.run ~until:500_000 c.eng;
+  check Alcotest.bool "established" true (Vc.is_open circuit);
+  Netsim.set_node_up c.net c.s2 false;
+  Engine.run ~until:5_000_000 c.eng;
+  check Alcotest.bool "circuit dead" false (Vc.is_open circuit);
+  match !cleared with
+  | Some Cell.Node_failure | Some Cell.Hop_timeout -> ()
+  | Some r -> Alcotest.failf "wrong reason: %a" Cell.pp_clear_reason r
+  | None -> Alcotest.fail "never cleared"
+
+let test_refused_when_no_listener () =
+  let c = chain () in
+  let cleared = ref None in
+  let circuit =
+    Vc.call c.fabric ~src:c.a ~dst:c.b
+      ~on_clear:(fun r -> cleared := Some r)
+      ()
+  in
+  Engine.run ~until:1_000_000 c.eng;
+  check Alcotest.bool "not open" false (Vc.is_open circuit);
+  match !cleared with
+  | Some Cell.Refused -> ()
+  | Some r -> Alcotest.failf "wrong reason: %a" Cell.pp_clear_reason r
+  | None -> Alcotest.fail "never cleared"
+
+let test_no_route () =
+  let eng = Engine.create () in
+  let net = Netsim.create eng in
+  let a = Netsim.add_node net "a" in
+  let b = Netsim.add_node net "b" in
+  (* No link between them at all. *)
+  let fabric = Vc.create net in
+  Vc.attach fabric a;
+  Vc.attach fabric b;
+  let cleared = ref None in
+  let circuit =
+    Vc.call fabric ~src:a ~dst:b ~on_clear:(fun r -> cleared := Some r) ()
+  in
+  Engine.run ~until:100_000 eng;
+  check Alcotest.bool "not open" false (Vc.is_open circuit);
+  match !cleared with
+  | Some Cell.No_route -> ()
+  | Some r -> Alcotest.failf "wrong reason: %a" Cell.pp_clear_reason r
+  | None -> Alcotest.fail "never cleared"
+
+let test_local_clear_propagates () =
+  let c = chain () in
+  let server_cleared = ref false in
+  Vc.listen c.fabric c.b (fun circuit ->
+      Vc.on_clear circuit (fun _ -> server_cleared := true));
+  let circuit = Vc.call c.fabric ~src:c.a ~dst:c.b () in
+  Engine.after c.eng 500_000 (fun () -> Vc.clear circuit);
+  Engine.run ~until:2_000_000 c.eng;
+  check Alcotest.bool "remote notified" true !server_cleared;
+  check Alcotest.int "s1 state gone" 0 (Vc.switch_state_count c.fabric c.s1);
+  check Alcotest.int "s2 state gone" 0 (Vc.switch_state_count c.fabric c.s2);
+  check Alcotest.int "total state" 0 (Vc.total_switch_state c.fabric)
+
+let test_max_payload_positive () =
+  let c = chain () in
+  Vc.listen c.fabric c.b (fun _ -> ());
+  let circuit = Vc.call c.fabric ~src:c.a ~dst:c.b () in
+  Engine.run ~until:500_000 c.eng;
+  check Alcotest.int "mtu minus header" (1500 - Cell.data_header_size)
+    (Vc.max_payload c.fabric circuit)
+
+
+let test_switch_buffer_backpressure () =
+  (* A tiny per-hop buffer: the sender sees [send] refuse once the hop
+     queue fills — bounded switch memory, honestly surfaced. *)
+  let config = { Vc.default_config with Vc.switch_buffer_cells = 4 } in
+  let c =
+    chain ~profile:(Netsim.profile "slow" ~bandwidth_bps:8_000 ~delay_us:0)
+      ~config ()
+  in
+  Vc.listen c.fabric c.b (fun _ -> ());
+  let circuit = Vc.call c.fabric ~src:c.a ~dst:c.b () in
+  Engine.run ~until:500_000 c.eng;
+  check Alcotest.bool "open" true (Vc.is_open circuit);
+  let accepted = ref 0 and refused = ref 0 in
+  for _ = 1 to 20 do
+    if Vc.send circuit (Bytes.make 100 'x') then incr accepted else incr refused
+  done;
+  check Alcotest.int "buffer bound respected" 4 !accepted;
+  check Alcotest.int "rest refused" 16 !refused
+
+let () =
+  Alcotest.run "vc"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_cell_roundtrips;
+          Alcotest.test_case "garbage" `Quick test_cell_garbage;
+          Alcotest.test_case "clear reasons" `Quick test_clear_reasons_roundtrip;
+        ] );
+      ( "calls",
+        [
+          Alcotest.test_case "setup/accept" `Quick test_call_setup_and_accept;
+          Alcotest.test_case "data transfer" `Quick test_data_transfer;
+          Alcotest.test_case "bidirectional" `Quick test_bidirectional_data;
+          Alcotest.test_case "refused" `Quick test_refused_when_no_listener;
+          Alcotest.test_case "no route" `Quick test_no_route;
+          Alcotest.test_case "local clear" `Quick test_local_clear_propagates;
+          Alcotest.test_case "max payload" `Quick test_max_payload_positive;
+          Alcotest.test_case "switch buffer backpressure" `Quick
+            test_switch_buffer_backpressure;
+        ] );
+      ( "reliability-and-failure",
+        [
+          Alcotest.test_case "lossy hops" `Quick test_hop_reliability_on_lossy_link;
+          Alcotest.test_case "link failure clears" `Quick test_link_failure_clears_call;
+          Alcotest.test_case "node crash clears" `Quick test_node_crash_clears_call;
+        ] );
+    ]
