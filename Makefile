@@ -1,0 +1,18 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	bin/check.sh
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -17,6 +17,7 @@ let experiments =
     ("E10", "host attachment with low effort", E10.run);
     ("E11", "bursty multiplexing vs circuits", E11.run);
     ("E12", "micro-costs (bechamel)", E12.run);
+    ("E13", "gateway forwarding fast path", E13.run);
     ("A1", "ablation: delayed acknowledgments", Abl.a1);
     ("A2", "ablation: Nagle on keystrokes", Abl.a2);
     ("A3", "ablation: DV vs LS convergence", Abl.a3);

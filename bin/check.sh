@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repo check: format (when ocamlformat is available), build, tests.
+# Usage: bin/check.sh  (or `make check`)
+set -eu
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== fmt skipped (ocamlformat not installed or no .ocamlformat)"
+fi
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "check: OK"

@@ -49,13 +49,27 @@ end
 
 let pending t = Stdext.Heap.length t.queue
 
-let step t =
-  match Stdext.Heap.pop t.queue with
-  | None -> false
-  | Some (at, _, ev) ->
-      t.clock <- at;
-      if not ev.cancelled then ev.fn ();
+(* Purge-on-pop: cancelled events — overwhelmingly protocol timers that
+   were disarmed before firing (retransmission, delayed ACK) — are
+   discarded here without counting as executed events, so a queue full of
+   dead timer shells costs pops, not steps.  The clock still advances over
+   the shells, exactly as it always has: a run that drains the queue must
+   end at the same instant it did before purging existed, or every
+   `run ~until:(now + w)` window downstream shifts and reproducibility
+   across versions is lost.  [min_key]/[pop_min] keep the loop
+   allocation-free. *)
+let rec step t =
+  if Stdext.Heap.is_empty t.queue then false
+  else begin
+    let at = Stdext.Heap.min_key t.queue in
+    let ev = Stdext.Heap.pop_min t.queue in
+    t.clock <- at;
+    if ev.cancelled then step t
+    else begin
+      ev.fn ();
       true
+    end
+  end
 
 let run ?until ?max_events t =
   let executed = ref 0 in
@@ -64,15 +78,24 @@ let run ?until ?max_events t =
     (match max_events with
     | Some m when !executed >= m -> continue := false
     | Some _ | None -> ());
-    if !continue then
-      match Stdext.Heap.peek t.queue with
-      | None -> continue := false
-      | Some (at, _, _) -> (
-          match until with
-          | Some u when at > u ->
-              t.clock <- u;
-              continue := false
-          | Some _ | None ->
-              ignore (step t);
-              incr executed)
+    if !continue then begin
+      if Stdext.Heap.is_empty t.queue then continue := false
+      else begin
+        let at = Stdext.Heap.min_key t.queue in
+        match until with
+        | Some u when at > u ->
+            t.clock <- u;
+            continue := false
+        | Some _ | None ->
+            (* Inline purge-on-pop: the [until] boundary must be re-checked
+               per event, so [step]'s own purge loop (which would run the
+               next live event regardless) cannot be used here. *)
+            let ev = Stdext.Heap.pop_min t.queue in
+            t.clock <- at;
+            if not ev.cancelled then begin
+              ev.fn ();
+              incr executed
+            end
+      end
+    end
   done

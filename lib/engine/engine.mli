@@ -51,7 +51,8 @@ val pending : t -> int
 (** Number of events still queued (including cancelled timer shells). *)
 
 val step : t -> bool
-(** Execute the next event.  [false] if the queue was empty. *)
+(** Execute the next live event, discarding any cancelled shells ahead of
+    it.  [false] if no live event remained. *)
 
 val run : ?until:int -> ?max_events:int -> t -> unit
 (** Drain the queue.  [until] stops the clock from advancing past the given

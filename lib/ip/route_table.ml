@@ -9,10 +9,16 @@ type route = {
 
 (* Routes bucketed by prefix length: lookup scans from /32 down, so the
    first hit is the longest match.  Tables are small (tens of routes); a
-   trie would be overkill and is benchmarked against this in E12. *)
-type t = { buckets : route list array }
+   trie would be overkill and is benchmarked against this in E12.
 
-let create () = { buckets = Array.make 33 [] }
+   [generation] counts mutations.  Per-stack lookup caches key their memo
+   on it: any add/remove/clear invalidates every cached answer, which is
+   the only correctness condition a forwarding cache needs. *)
+type t = { buckets : route list array; mutable generation : int }
+
+let create () = { buckets = Array.make 33 []; generation = 0 }
+
+let generation t = t.generation
 
 let add t r =
   let len = Addr.Prefix.length r.prefix in
@@ -21,16 +27,20 @@ let add t r =
       (fun r' -> not (Addr.Prefix.equal r'.prefix r.prefix))
       t.buckets.(len)
   in
-  t.buckets.(len) <- r :: others
+  t.buckets.(len) <- r :: others;
+  t.generation <- t.generation + 1
 
 let remove t prefix =
   let len = Addr.Prefix.length prefix in
   t.buckets.(len) <-
     List.filter
       (fun r -> not (Addr.Prefix.equal r.prefix prefix))
-      t.buckets.(len)
+      t.buckets.(len);
+  t.generation <- t.generation + 1
 
-let clear t = Array.fill t.buckets 0 33 []
+let clear t =
+  Array.fill t.buckets 0 33 [];
+  t.generation <- t.generation + 1
 
 let lookup t addr =
   let best = ref None in

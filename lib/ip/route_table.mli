@@ -25,6 +25,12 @@ val remove : t -> Packet.Addr.Prefix.t -> unit
 
 val clear : t -> unit
 
+val generation : t -> int
+(** Monotonic mutation counter, bumped by {!add}, {!remove} and {!clear}.
+    Route-lookup caches (the IP stack keeps one per stack) compare it to
+    decide whether their memoized answers are still valid — cheap enough to
+    check per packet even while a routing protocol churns the table. *)
+
 val lookup : t -> Packet.Addr.t -> route option
 (** Longest-prefix match. *)
 

@@ -42,7 +42,13 @@ type t = {
   eng : Engine.t;
   node : Netsim.node_id;
   mutable fwd : bool;
+  mutable fast : bool;
   table : Route_table.t;
+  (* Destination -> route memo, valid while [cache_gen] matches the
+     table's generation.  Negative answers are cached too: a routing churn
+     bumps the generation, so a later add is never masked. *)
+  route_cache : (Addr.t, Route_table.route option) Hashtbl.t;
+  mutable cache_gen : int;
   mutable iface_addrs : (Netsim.iface * Addr.t) list;
   protos : (int, Ipv4.header -> bytes -> unit) Hashtbl.t;
   mutable error_handlers : (from:Addr.t -> Icmp.t -> unit) list;
@@ -59,7 +65,32 @@ let node_id t = t.node
 let table t = t.table
 let set_forwarding t v = t.fwd <- v
 let forwarding t = t.fwd
+let set_fast_path t v = t.fast <- v
+let fast_path t = t.fast
 let counters t = t.c
+
+(* Route lookup with a per-stack memo.  The memo only pays off on the fast
+   path; with the fast path disabled we hit the table directly so that the
+   legacy path really is the pre-cache baseline (E13 compares the two). *)
+let route_cache_max = 4096
+
+let lookup_route t dst =
+  if not t.fast then Route_table.lookup t.table dst
+  else begin
+    let gen = Route_table.generation t.table in
+    if gen <> t.cache_gen then begin
+      Hashtbl.reset t.route_cache;
+      t.cache_gen <- gen
+    end;
+    match Hashtbl.find_opt t.route_cache dst with
+    | Some r -> r
+    | None ->
+        let r = Route_table.lookup t.table dst in
+        if Hashtbl.length t.route_cache >= route_cache_max then
+          Hashtbl.reset t.route_cache;
+        Hashtbl.add t.route_cache dst r;
+        r
+  end
 
 let iface_addr t i = List.assoc_opt i t.iface_addrs
 
@@ -160,7 +191,7 @@ let send_raw t ~route (h : Ipv4.header) payload =
   ignore (emit t route.Route_table.iface h payload)
 
 let icmp_to t ~dst msg =
-  match Route_table.lookup t.table dst with
+  match lookup_route t dst with
   | None -> () (* cannot even route the error: silently drop *)
   | Some route ->
       let src =
@@ -235,6 +266,9 @@ let deliver_local t (h : Ipv4.header) payload =
 
 (* Forwarding ----------------------------------------------------------- *)
 
+(* Slow (decode/re-encode) forwarding: materialized header and payload in,
+   fresh frame out via [emit].  Still the only road for datagrams that need
+   fragmenting, and the whole road when the fast path is switched off. *)
 let forward t (h : Ipv4.header) payload =
   if h.Ipv4.ttl <= 1 then begin
     t.c.dropped_ttl <- t.c.dropped_ttl + 1;
@@ -242,7 +276,7 @@ let forward t (h : Ipv4.header) payload =
   end
   else begin
     let h = { h with Ipv4.ttl = h.Ipv4.ttl - 1 } in
-    match Route_table.lookup t.table h.Ipv4.dst with
+    match lookup_route t h.Ipv4.dst with
     | None ->
         t.c.dropped_no_route <- t.c.dropped_no_route + 1;
         report_unreachable t h payload Icmp.Net_unreachable
@@ -255,14 +289,51 @@ let forward t (h : Ipv4.header) payload =
             report_unreachable t h payload Icmp.Fragmentation_needed)
   end
 
+(* Fast transit: patch TTL and checksum in the received frame (RFC 1624)
+   and retransmit the very same bytes — two bytes mutated, no payload copy,
+   no re-encode.  Anything off the happy path (TTL expiry, no route, frame
+   larger than the next link's MTU, i.e. fragmentation or a DF drop) bails
+   out to the slow path, which handles every edge already. *)
+let forward_fast t (h : Ipv4.header) frame =
+  match lookup_route t h.Ipv4.dst with
+  | Some route
+    when h.Ipv4.ttl > 1
+         && Bytes.length frame
+            <= Netsim.iface_mtu t.net t.node route.Route_table.iface ->
+      Ipv4.patch_ttl frame;
+      t.c.forwarded <- t.c.forwarded + 1;
+      (match t.accounting with
+      | None -> ()
+      | Some acc ->
+          Accounting.record acc
+            { h with Ipv4.ttl = h.Ipv4.ttl - 1 }
+            ~payload:(Ipv4.payload_of frame)
+            ~wire_bytes:(Bytes.length frame));
+      transmit t route.Route_table.iface
+        ~priority:(h.Ipv4.tos = Ipv4.Tos.Low_delay)
+        frame
+  | Some _ | None -> forward t h (Ipv4.payload_of frame)
+
 let receive t ~iface:_ frame =
-  match Ipv4.decode frame with
-  | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
-  | Ok (h, payload) ->
-      t.c.received <- t.c.received + 1;
-      if has_addr t h.Ipv4.dst then deliver_local t h payload
-      else if t.fwd then forward t h payload
-      else t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1
+  if t.fast then begin
+    match Ipv4.peek frame with
+    | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
+    | Ok h ->
+        t.c.received <- t.c.received + 1;
+        if has_addr t h.Ipv4.dst then
+          (* Only local delivery materializes the payload. *)
+          deliver_local t h (Ipv4.payload_of frame)
+        else if t.fwd then forward_fast t h frame
+        else t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1
+  end
+  else
+    match Ipv4.decode frame with
+    | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
+    | Ok (h, payload) ->
+        t.c.received <- t.c.received + 1;
+        if has_addr t h.Ipv4.dst then deliver_local t h payload
+        else if t.fwd then forward t h payload
+        else t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1
 
 (* Origination ---------------------------------------------------------- *)
 
@@ -270,7 +341,7 @@ let send t ?(tos = Ipv4.Tos.Routine) ?(ttl = 64) ?(dont_fragment = false)
     ?src ~proto ~dst payload =
   if has_addr t dst then begin
     (* Loopback: deliver through the engine so ordering matches the wire. *)
-    let src = match src with Some s -> s | None -> dst in
+    let src = match src with Some s -> s | None -> primary_addr t in
     let h =
       Ipv4.make_header ~tos ~id:(fresh_id t) ~dont_fragment ~ttl ~proto ~src
         ~dst ()
@@ -280,7 +351,7 @@ let send t ?(tos = Ipv4.Tos.Routine) ?(ttl = 64) ?(dont_fragment = false)
     Ok ()
   end
   else
-    match Route_table.lookup t.table dst with
+    match lookup_route t dst with
     | None ->
         t.c.dropped_no_route <- t.c.dropped_no_route + 1;
         Error `No_route
@@ -325,6 +396,9 @@ let create ?(forwarding = false) net node =
       eng;
       node;
       fwd = forwarding;
+      fast = true;
+      route_cache = Hashtbl.create 64;
+      cache_gen = 0;
       table = Route_table.create ();
       iface_addrs = [];
       protos = Hashtbl.create 4;

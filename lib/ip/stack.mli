@@ -52,6 +52,20 @@ val table : t -> Route_table.t
 val set_forwarding : t -> bool -> unit
 val forwarding : t -> bool
 
+val set_fast_path : t -> bool -> unit
+(** The fast path (default on) forwards transit datagrams by patching TTL
+    and checksum in the received frame (RFC 1624) and retransmitting the
+    same bytes, with routes served from a generation-checked lookup cache.
+    Switching it off restores the legacy decode/re-encode path with direct
+    table lookups — kept so E13 can measure one against the other. *)
+
+val fast_path : t -> bool
+
+val receive : t -> iface:Netsim.iface -> bytes -> unit
+(** Hand a raw frame to the stack, exactly as the netsim delivery handler
+    does.  Exposed so tests and instrumentation can interpose on a node's
+    handler (e.g. to observe per-hop frames) and still feed the stack. *)
+
 val register_proto : t -> Ipv4.Proto.t -> (Ipv4.header -> bytes -> unit) -> unit
 (** Install the upcall for a transport protocol.  ICMP is handled
     internally (echo responder, error dispatch) and cannot be overridden. *)

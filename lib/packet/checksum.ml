@@ -23,6 +23,17 @@ let finish acc = lnot (fold_carry acc) land 0xffff
 
 let of_bytes ?(acc = zero) b ~pos ~len = finish (add_bytes acc b ~pos ~len)
 
+(* RFC 1624 (eqn. 3): HC' = ~(~HC + ~m + m').  Folding the carry keeps the
+   result in one's-complement range, so updating a checksum for a one-word
+   change agrees exactly with a recompute over the modified data. *)
+let update_u16 csum ~old_word ~new_word =
+  let sum =
+    (lnot csum land 0xffff)
+    + (lnot old_word land 0xffff)
+    + (new_word land 0xffff)
+  in
+  lnot (fold_carry sum) land 0xffff
+
 let valid ?(acc = zero) b ~pos ~len =
   fold_carry (add_bytes acc b ~pos ~len) = 0xffff
 

@@ -25,6 +25,13 @@ val finish : acc -> int
 val of_bytes : ?acc:acc -> bytes -> pos:int -> len:int -> int
 (** Checksum of a byte range in one call. *)
 
+val update_u16 : int -> old_word:int -> new_word:int -> int
+(** [update_u16 csum ~old_word ~new_word] is the checksum after one 16-bit
+    word of the covered data changes from [old_word] to [new_word], per
+    RFC 1624's incremental-update equation — the trick that lets a gateway
+    repair an IP header checksum after decrementing the TTL without
+    re-summing the header. *)
+
 val valid : ?acc:acc -> bytes -> pos:int -> len:int -> bool
 (** A range that includes its own (correct) checksum field sums to 0xFFFF
     before complementing; [valid] checks exactly that. *)

@@ -94,7 +94,7 @@ let encode h ~payload =
   Bytes.set_uint16_be buf 10 csum;
   buf
 
-let decode buf =
+let peek buf =
   let len = Bytes.length buf in
   if len < header_size then Error `Truncated
   else begin
@@ -114,7 +114,7 @@ let decode buf =
         let proto = Proto.of_int (Bytes.get_uint8 buf 9) in
         let src = Addr.of_int32 (Bytes.get_int32_be buf 12) in
         let dst = Addr.of_int32 (Bytes.get_int32_be buf 16) in
-        let h =
+        Ok
           {
             tos = Tos.of_int (Bytes.get_uint8 buf 1);
             id;
@@ -126,11 +126,28 @@ let decode buf =
             src;
             dst;
           }
-        in
-        Ok (h, Bytes.sub buf header_size (total - header_size))
       end
     end
   end
+
+let payload_of buf =
+  let total = Bytes.get_uint16_be buf 2 in
+  Bytes.sub buf header_size (total - header_size)
+
+let decode buf =
+  match peek buf with
+  | Error e -> Error e
+  | Ok h -> Ok (h, payload_of buf)
+
+let patch_ttl buf =
+  let ttl = Bytes.get_uint8 buf 8 in
+  if ttl = 0 then invalid_arg "Ipv4.patch_ttl: TTL already zero";
+  (* TTL shares a 16-bit checksum word with the protocol byte. *)
+  let old_word = Bytes.get_uint16_be buf 8 in
+  let new_word = old_word - 0x100 in
+  Bytes.set_uint16_be buf 8 new_word;
+  let csum = Bytes.get_uint16_be buf 10 in
+  Bytes.set_uint16_be buf 10 (Checksum.update_u16 csum ~old_word ~new_word)
 
 let pp_header fmt h =
   Format.fprintf fmt "%a -> %a %a ttl=%d id=%d%s%s off=%d tos=%a" Addr.pp

@@ -75,4 +75,21 @@ val decode : bytes -> (header * bytes, error) result
 (** Parse and validate (version, IHL, checksum, total length).  Returns the
     header and a copy of the payload. *)
 
+val peek : bytes -> (header, error) result
+(** Like {!decode} — same validation, byte for byte — but reads only the
+    header and never touches the payload.  This is the gateway fast path's
+    entry point: a transit datagram's payload is dead weight to a forwarder,
+    so it is never copied out of the frame. *)
+
+val payload_of : bytes -> bytes
+(** Copy the payload out of a frame already validated by {!peek} (uses the
+    frame's total-length field; unvalidated input is undefined behaviour).
+    Only the local-delivery path needs this. *)
+
+val patch_ttl : bytes -> unit
+(** Decrement the TTL of a validated frame in place and repair the header
+    checksum incrementally (RFC 1624) — two bytes mutated, nothing
+    allocated, the frame stays wire-valid.  @raise Invalid_argument if the
+    TTL is already zero. *)
+
 val pp_header : Format.formatter -> header -> unit

@@ -74,6 +74,22 @@ let peek t =
     let top = t.data.(0) in
     Some (top.key, top.seq, top.value)
 
+let min_key t =
+  if t.size = 0 then raise Not_found;
+  t.data.(0).key
+
+let pop_min t =
+  if t.size = 0 then raise Not_found;
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t
+  end;
+  top.value
+
 let clear t =
-  t.data <- [||];
+  (* Keep the backing array: a cleared queue is about to be refilled, and
+     regrowing from scratch is churn.  Stale entries above [size] are never
+     read and are overwritten by subsequent pushes. *)
   t.size <- 0

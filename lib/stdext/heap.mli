@@ -27,5 +27,14 @@ val pop : 'a t -> (int * int * 'a) option
 val peek : 'a t -> (int * int * 'a) option
 (** Like {!pop} without removing. *)
 
+val min_key : 'a t -> int
+(** Key of the minimum element without allocating.  @raise Not_found when
+    empty.  The engine's hot loop uses this instead of {!peek} so that
+    inspecting the queue head costs no tuple. *)
+
+val pop_min : 'a t -> 'a
+(** Remove the minimum and return its value without allocating.
+    @raise Not_found when empty. *)
+
 val clear : 'a t -> unit
-(** Drop all elements. *)
+(** Drop all elements, retaining the backing array's capacity. *)

@@ -102,6 +102,43 @@ let test_step () =
   check Alcotest.bool "step 2" true (Engine.step e);
   check Alcotest.bool "step empty" false (Engine.step e)
 
+let test_step_purges_cancelled () =
+  (* A queue holding only cancelled shells yields no step at all. *)
+  let e = Engine.create () in
+  let fired = ref false in
+  let t1 = Engine.Timer.start e ~after:1 (fun () -> fired := true) in
+  let t2 = Engine.Timer.start e ~after:2 (fun () -> fired := true) in
+  Engine.Timer.cancel t1;
+  Engine.Timer.cancel t2;
+  check Alcotest.int "two shells queued" 2 (Engine.pending e);
+  check Alcotest.bool "no live event" false (Engine.step e);
+  check Alcotest.bool "nothing fired" false !fired;
+  check Alcotest.int "queue drained" 0 (Engine.pending e)
+
+let test_step_runs_live_past_cancelled () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  let t = Engine.Timer.start e ~after:1 (fun () -> ran := 10) in
+  Engine.after e 5 (fun () -> ran := !ran + 1);
+  Engine.Timer.cancel t;
+  check Alcotest.bool "one step" true (Engine.step e);
+  check Alcotest.int "live ran, cancelled skipped" 1 !ran;
+  check Alcotest.int "clock at live event" 5 (Engine.now e)
+
+let test_run_until_purge_respects_boundary () =
+  (* A cancelled shell inside the window must not drag an event beyond
+     [until] into the run. *)
+  let e = Engine.create () in
+  let late = ref false in
+  let t = Engine.Timer.start e ~after:10 (fun () -> ()) in
+  Engine.after e 100 (fun () -> late := true);
+  Engine.Timer.cancel t;
+  Engine.run ~until:50 e;
+  check Alcotest.bool "beyond-window event not run" false !late;
+  check Alcotest.int "clock parked at until" 50 (Engine.now e);
+  Engine.run e;
+  check Alcotest.bool "runs once resumed" true !late
+
 let test_nested_scheduling_determinism () =
   (* Two identical engines given the same program must agree exactly. *)
   let trace e =
@@ -146,6 +183,11 @@ let () =
           Alcotest.test_case "cancel" `Quick test_timer_cancel;
           Alcotest.test_case "cancel idempotent" `Quick test_timer_cancel_idempotent;
           Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "purge cancelled" `Quick test_step_purges_cancelled;
+          Alcotest.test_case "purge then live" `Quick
+            test_step_runs_live_past_cancelled;
+          Alcotest.test_case "purge respects until" `Quick
+            test_run_until_purge_respects_boundary;
           Alcotest.test_case "determinism" `Quick test_nested_scheduling_determinism;
         ] );
     ]

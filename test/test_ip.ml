@@ -281,6 +281,151 @@ let test_ping_echo () =
   check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
     "echo reply" [ (9, 1) ] !replies
 
+(* --- Fast path ------------------------------------------------------------ *)
+
+(* a — g1 — g2 — b chain with a spy wrapped around every receiving node's
+   frame handler, recording each frame reference before handing it to the
+   stack.  The netsim delivers frames by reference, so physical equality
+   across hops proves the fast path never copied the transit datagram. *)
+let test_transit_frame_identity () =
+  let eng = Engine.create () in
+  let net = Netsim.create ~seed:3 eng in
+  let na = Netsim.add_node net "a" in
+  let n1 = Netsim.add_node net "g1" in
+  let n2 = Netsim.add_node net "g2" in
+  let nb = Netsim.add_node net "b" in
+  ignore (Netsim.add_link net (Netsim.profile "l1") na n1);
+  ignore (Netsim.add_link net (Netsim.profile "l2") n1 n2);
+  ignore (Netsim.add_link net (Netsim.profile "l3") n2 nb);
+  let a = Ip.Stack.create net na in
+  let g1 = Ip.Stack.create ~forwarding:true net n1 in
+  let g2 = Ip.Stack.create ~forwarding:true net n2 in
+  let b = Ip.Stack.create net nb in
+  Ip.Stack.configure_iface a 0 ~addr:(Addr.v 10 0 1 1) ~prefix_len:24;
+  Ip.Stack.configure_iface g1 0 ~addr:(Addr.v 10 0 1 2) ~prefix_len:24;
+  Ip.Stack.configure_iface g1 1 ~addr:(Addr.v 10 0 2 1) ~prefix_len:24;
+  Ip.Stack.configure_iface g2 0 ~addr:(Addr.v 10 0 2 2) ~prefix_len:24;
+  Ip.Stack.configure_iface g2 1 ~addr:(Addr.v 10 0 3 1) ~prefix_len:24;
+  Ip.Stack.configure_iface b 0 ~addr:(Addr.v 10 0 3 2) ~prefix_len:24;
+  Ip.Route_table.add (Ip.Stack.table a)
+    { Ip.Route_table.prefix = Prefix.default; iface = 0;
+      next_hop = Some (Addr.v 10 0 1 2); metric = 1 };
+  Ip.Route_table.add (Ip.Stack.table g1)
+    { Ip.Route_table.prefix = Prefix.of_string "10.0.3.0/24"; iface = 1;
+      next_hop = Some (Addr.v 10 0 2 2); metric = 1 };
+  let hops = ref [] in
+  let spy stack node =
+    Netsim.set_handler net node (fun ~iface frame ->
+        hops := frame :: !hops;
+        Ip.Stack.receive stack ~iface frame)
+  in
+  spy g1 n1;
+  spy g2 n2;
+  spy b nb;
+  let got = register_sink b in
+  let payload = Bytes.of_string "patched in place, never copied" in
+  (match
+     Ip.Stack.send a ~proto:(Ipv4.Proto.Other 99) ~dst:(Addr.v 10 0 3 2)
+       payload
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send failed");
+  (* Every hop's frame must stay wire-valid the instant it arrives. *)
+  let seen_ttls = ref [] in
+  let observe () =
+    List.iter
+      (fun frame ->
+        match Ipv4.decode frame with
+        | Ok (h, _) ->
+            if not (List.mem h.Ipv4.ttl !seen_ttls) then
+              seen_ttls := h.Ipv4.ttl :: !seen_ttls
+        | Error e -> Alcotest.failf "hop frame invalid: %a" Ipv4.pp_error e)
+      !hops
+  in
+  while Engine.step eng do observe () done;
+  (match !got with
+  | [ (h, p) ] ->
+      check Alcotest.bool "payload intact" true (Bytes.equal p payload);
+      check Alcotest.int "ttl decremented twice" 62 h.Ipv4.ttl
+  | l -> Alcotest.failf "expected 1 datagram, got %d" (List.length l));
+  (match !hops with
+  | [ f3; f2; f1 ] ->
+      check Alcotest.bool "g1->g2 same frame" true (f1 == f2);
+      check Alcotest.bool "g2->b same frame" true (f2 == f3)
+  | l -> Alcotest.failf "expected 3 hop frames, got %d" (List.length l));
+  List.iter
+    (fun ttl ->
+      check Alcotest.bool "hop ttl in 64..62" true (ttl <= 64 && ttl >= 62))
+    !seen_ttls
+
+let test_route_cache_sees_table_changes () =
+  (* Populate the gateway's route cache, then yank the route: the next
+     datagram must get net-unreachable, not a stale cached forward. *)
+  let t = triple () in
+  let got = register_sink t.b in
+  ignore
+    (Ip.Stack.send t.a ~proto:(Ipv4.Proto.Other 99) ~dst:t.b_addr
+       (Bytes.of_string "warm the cache"));
+  Engine.run t.eng;
+  check Alcotest.int "first delivered" 1 (List.length !got);
+  let errors = ref [] in
+  Ip.Stack.add_error_handler t.a (fun ~from:_ msg -> errors := msg :: !errors);
+  Ip.Route_table.remove (Ip.Stack.table t.g) (Prefix.of_string "10.0.2.0/24");
+  ignore
+    (Ip.Stack.send t.a ~proto:(Ipv4.Proto.Other 99) ~dst:t.b_addr
+       (Bytes.of_string "route is gone now"));
+  Engine.run t.eng;
+  check Alcotest.int "no further delivery" 1 (List.length !got);
+  match !errors with
+  | [ Icmpw.Dest_unreachable { code = Icmpw.Net_unreachable; _ } ] -> ()
+  | l -> Alcotest.failf "expected net-unreachable, got %d msgs" (List.length l)
+
+let test_route_table_generation () =
+  let t = Ip.Route_table.create () in
+  let g0 = Ip.Route_table.generation t in
+  Ip.Route_table.add t (route "10.0.0.0/8" 1 1);
+  let g1 = Ip.Route_table.generation t in
+  check Alcotest.bool "add bumps" true (g1 > g0);
+  Ip.Route_table.remove t (Prefix.of_string "10.0.0.0/8");
+  let g2 = Ip.Route_table.generation t in
+  check Alcotest.bool "remove bumps" true (g2 > g1);
+  Ip.Route_table.clear t;
+  check Alcotest.bool "clear bumps" true (Ip.Route_table.generation t > g2)
+
+let test_slow_path_still_forwards () =
+  (* The legacy decode/re-encode path stays behind the flag for the E13
+     comparison; it must keep working end to end. *)
+  let t = triple () in
+  List.iter (fun s -> Ip.Stack.set_fast_path s false) [ t.a; t.g; t.b ];
+  check Alcotest.bool "flag off" false (Ip.Stack.fast_path t.g);
+  let got = register_sink t.b in
+  ignore
+    (Ip.Stack.send t.a ~proto:(Ipv4.Proto.Other 99) ~dst:t.b_addr
+       (Bytes.of_string "the long way round"));
+  Engine.run t.eng;
+  match !got with
+  | [ (h, p) ] ->
+      check Alcotest.string "payload" "the long way round" (Bytes.to_string p);
+      check Alcotest.int "ttl decremented" 63 h.Ipv4.ttl
+  | l -> Alcotest.failf "expected 1 datagram, got %d" (List.length l)
+
+let test_loopback_src_defaults_to_primary () =
+  (* A multihomed node sending to one of its own addresses: the defaulted
+     source must be the node's primary address, not a copy of the
+     destination. *)
+  let t = triple () in
+  let got = register_sink t.g in
+  let g_right = Addr.v 10 0 2 1 in
+  ignore (Ip.Stack.send t.g ~proto:(Ipv4.Proto.Other 99) ~dst:g_right Bytes.empty);
+  Engine.run t.eng;
+  match !got with
+  | [ (h, _) ] ->
+      check Alcotest.string "src is primary" (Addr.to_string t.g_left)
+        (Addr.to_string h.Ipv4.src);
+      check Alcotest.string "dst preserved" (Addr.to_string g_right)
+        (Addr.to_string h.Ipv4.dst)
+  | l -> Alcotest.failf "expected 1 datagram, got %d" (List.length l)
+
 (* --- Fragmentation -------------------------------------------------------- *)
 
 let test_fragmentation_across_small_mtu () =
@@ -477,6 +622,19 @@ let () =
           Alcotest.test_case "net unreachable" `Quick test_net_unreachable_icmp;
           Alcotest.test_case "protocol unreachable" `Quick test_protocol_unreachable;
           Alcotest.test_case "ping" `Quick test_ping_echo;
+        ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "transit frame identity" `Quick
+            test_transit_frame_identity;
+          Alcotest.test_case "route cache invalidation" `Quick
+            test_route_cache_sees_table_changes;
+          Alcotest.test_case "table generation" `Quick
+            test_route_table_generation;
+          Alcotest.test_case "slow path still forwards" `Quick
+            test_slow_path_still_forwards;
+          Alcotest.test_case "loopback src" `Quick
+            test_loopback_src_defaults_to_primary;
         ] );
       ( "fragmentation",
         [

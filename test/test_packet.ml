@@ -231,6 +231,43 @@ let prop_ipv4_roundtrip =
       | Ok (h', p') -> h = h' && Bytes.equal p' payload
       | Error _ -> false)
 
+let prop_ipv4_peek_matches_decode =
+  QCheck.Test.make ~name:"peek agrees with decode" ~count:300
+    QCheck.(pair (int_bound 255) arb_bytes)
+    (fun (ttl, payload) ->
+      let h = mk_header ~ttl () in
+      let buf = Ipv4.encode h ~payload in
+      match (Ipv4.peek buf, Ipv4.decode buf) with
+      | Ok ph, Ok (dh, dp) ->
+          ph = dh && Bytes.equal (Ipv4.payload_of buf) dp
+          && Bytes.equal dp payload
+      | _ -> false)
+
+let prop_patch_ttl_matches_recompute =
+  (* The gateway fast path patches TTL and checksum in place (RFC 1624);
+     the result must be byte-identical to a full re-encode with the
+     decremented TTL — checksum included. *)
+  QCheck.Test.make ~name:"patch_ttl equals full recompute" ~count:500
+    QCheck.(quad (int_bound 0xffff) (int_range 1 255) (int_bound 255) arb_bytes)
+    (fun (id, ttl, tos_bits, payload) ->
+      let h =
+        Ipv4.make_header ~tos:(Ipv4.Tos.of_int tos_bits) ~id ~ttl
+          ~proto:Ipv4.Proto.Udp ~src:(Addr.v 10 0 0 1) ~dst:(Addr.v 10 9 8 7)
+          ()
+      in
+      let patched = Ipv4.encode h ~payload in
+      Ipv4.patch_ttl patched;
+      let reencoded = Ipv4.encode { h with Ipv4.ttl = ttl - 1 } ~payload in
+      Bytes.equal patched reencoded
+      && Checksum.valid patched ~pos:0 ~len:Ipv4.header_size)
+
+let test_patch_ttl_rejects_zero () =
+  let buf = Ipv4.encode (mk_header ~ttl:0 ()) ~payload:Bytes.empty in
+  check Alcotest.bool "raises" true
+    (match Ipv4.patch_ttl buf with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 (* --- TCP wire ------------------------------------------------------------ *)
 
 let src = Addr.v 10 0 0 1
@@ -413,6 +450,10 @@ let () =
           Alcotest.test_case "tos coding" `Quick test_ipv4_tos_coding;
           Alcotest.test_case "proto coding" `Quick test_proto_coding;
           qcheck prop_ipv4_roundtrip;
+          qcheck prop_ipv4_peek_matches_decode;
+          qcheck prop_patch_ttl_matches_recompute;
+          Alcotest.test_case "patch_ttl rejects ttl=0" `Quick
+            test_patch_ttl_rejects_zero;
         ] );
       ( "tcp",
         [
