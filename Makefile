@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-smoke clean
 
 all: build
 
@@ -13,6 +13,11 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Scaled-down pass over every experiment: proves the benches still build
+# and run in seconds, without overwriting the real BENCH_*.json numbers.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke --out=_smoke
 
 clean:
 	dune clean

@@ -17,7 +17,7 @@ open Catenet
 module Addr = Packet.Addr
 
 let hops = 6
-let datagrams = 50_000
+let full_datagrams = 50_000
 let payload_size = 1_400
 let pace_us = 15 (* > tx time of a 1420B frame at 1 Gb/s, so queues stay shallow *)
 let proto = Packet.Ipv4.Proto.Other 99
@@ -44,7 +44,7 @@ let add_filler_routes table =
 
 type outcome = { dps : float; words_per_pkt : float }
 
-let run_once ~fast =
+let run_once ~fast ~datagrams =
   let t = Internet.create ~seed:42 () in
   let a = Internet.add_host t "a" in
   let b = Internet.add_host t "b" in
@@ -107,8 +107,8 @@ let run_once ~fast =
     words_per_pkt = alloc /. 8.0 /. float_of_int datagrams;
   }
 
-let write_json ~slow ~fast ~speedup =
-  let oc = open_out "BENCH_forwarding.json" in
+let write_json ~slow ~fast ~speedup ~datagrams =
+  let oc = open_out (Util.out_path "BENCH_forwarding.json") in
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"E13\",\n\
@@ -127,8 +127,9 @@ let run () =
   Util.banner "E13" "gateway forwarding fast path"
     "in-place TTL/checksum patching plus route caching beats \
      decode/re-encode forwarding by >=2x on a transit chain";
-  let slow = run_once ~fast:false in
-  let fast = run_once ~fast:true in
+  let datagrams = Util.scaled full_datagrams in
+  let slow = run_once ~fast:false ~datagrams in
+  let fast = run_once ~fast:true ~datagrams in
   let speedup = fast.dps /. slow.dps in
   Util.table
     [ "path"; "datagrams/s"; "words/packet" ]
@@ -140,4 +141,4 @@ let run () =
     ];
   Util.note "speedup %.2fx over %d datagrams crossing %d gateways" speedup
     datagrams hops;
-  write_json ~slow ~fast ~speedup
+  write_json ~slow ~fast ~speedup ~datagrams

@@ -18,6 +18,7 @@ let experiments =
     ("E11", "bursty multiplexing vs circuits", E11.run);
     ("E12", "micro-costs (bechamel)", E12.run);
     ("E13", "gateway forwarding fast path", E13.run);
+    ("E14", "transport (end-host) fast path", E14.run);
     ("A1", "ablation: delayed acknowledgments", Abl.a1);
     ("A2", "ablation: Nagle on keystrokes", Abl.a2);
     ("A3", "ablation: DV vs LS convergence", Abl.a3);
@@ -27,6 +28,12 @@ let experiments =
 
 let () =
   let args = Array.to_list Sys.argv in
+  List.iter
+    (fun a ->
+      if a = "--smoke" then Util.smoke := true
+      else if String.length a > 6 && String.sub a 0 6 = "--out=" then
+        Util.out_dir := String.sub a 6 (String.length a - 6))
+    args;
   if List.mem "--list" args then
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) experiments
   else begin

@@ -3,6 +3,31 @@
 
 open Catenet
 
+(* --- run modes ------------------------------------------------------------ *)
+
+(* Smoke mode (`--smoke`): every experiment runs at a fraction of its
+   workload so the whole harness finishes in seconds — enough to prove
+   the benches still build and run, not to produce meaningful numbers.
+   Set before any experiment runs; consult it via [scaled] at use sites
+   (not in module-level constants, which are evaluated before the flag
+   is parsed). *)
+let smoke = ref false
+
+let scaled n = if !smoke then max 1 (n / 32) else n
+
+(* `--out=DIR` redirects the machine-readable BENCH_*.json files; the
+   default is the current directory (the historical filenames), so smoke
+   runs can point their throwaway outputs somewhere gitignored. *)
+let out_dir = ref "."
+
+let out_path name =
+  if !out_dir = "." then name
+  else begin
+    (try Unix.mkdir !out_dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Filename.concat !out_dir name
+  end
+
 (* --- output -------------------------------------------------------------- *)
 
 let banner id title claim =

@@ -17,4 +17,7 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== bench smoke"
+dune exec bench/main.exe -- --smoke --out=_smoke >/dev/null
+
 echo "check: OK"

@@ -1,12 +1,35 @@
-type event = { mutable cancelled : bool; fn : unit -> unit }
+(* The event record doubles as the timer handle: [cancelled] is the
+   disarm flag, [fired] records execution so [Timer.active] needs no
+   separate closure-captured cell.  Arming a timer therefore costs one
+   record (plus the queue entry), not the ref + wrapper closure it used
+   to. *)
+type event = { mutable cancelled : bool; mutable fired : bool; fn : unit -> unit }
 
 type t = {
   mutable clock : int;
   mutable seq : int;
   queue : event Stdext.Heap.t;
+  (* Near-future timers live on a hashed timing wheel: O(1) arm (no
+     sifting) and O(1) disarm (flag set).  Far-future timers and plain
+     scheduled events stay on the heap.  The two queues are merged in
+     exact (time, seq) order and cancelled shells surface and are skipped
+     identically on both, so every observable — firing order, clock
+     advance over shells, pending counts — matches the single-heap
+     engine exactly. *)
+  wheel : event Stdext.Wheel.t;
+  mutable use_wheel : bool;
+  mutable timer_starts : int;
 }
 
-let create () = { clock = 0; seq = 0; queue = Stdext.Heap.create () }
+let create () =
+  {
+    clock = 0;
+    seq = 0;
+    queue = Stdext.Heap.create ();
+    wheel = Stdext.Wheel.create ();
+    use_wheel = true;
+    timer_starts = 0;
+  }
 
 let now t = t.clock
 
@@ -15,11 +38,15 @@ let ms d = d * 1_000
 let sec s = int_of_float ((s *. 1e6) +. 0.5)
 let to_sec us = float_of_int us /. 1e6
 
+let set_timer_wheel t v = t.use_wheel <- v
+let timer_wheel t = t.use_wheel
+let timer_starts t = t.timer_starts
+
 let schedule_event t ~at fn =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at t.clock);
-  let ev = { cancelled = false; fn } in
+  let ev = { cancelled = false; fired = false; fn } in
   Stdext.Heap.push t.queue ~key:at ~seq:t.seq ev;
   t.seq <- t.seq + 1;
   ev
@@ -29,25 +56,50 @@ let schedule t ~at fn = ignore (schedule_event t ~at fn)
 let after t d fn = schedule t ~at:(t.clock + d) fn
 
 module Timer = struct
-  type handle = { ev : event; mutable fired : bool }
+  type handle = event
 
   let start t ~after fn =
-    let h = ref None in
-    let ev =
-      schedule_event t ~at:(t.clock + after) (fun () ->
-          (match !h with Some handle -> handle.fired <- true | None -> ());
-          fn ())
-    in
-    let handle = { ev; fired = false } in
-    h := Some handle;
-    handle
+    if after < 0 then
+      invalid_arg (Printf.sprintf "Engine.Timer.start: after=%d" after);
+    t.timer_starts <- t.timer_starts + 1;
+    if t.use_wheel && after < Stdext.Wheel.horizon t.wheel then begin
+      let ev = { cancelled = false; fired = false; fn } in
+      Stdext.Wheel.add t.wheel ~at:(t.clock + after) ~seq:t.seq ev;
+      t.seq <- t.seq + 1;
+      ev
+    end
+    else schedule_event t ~at:(t.clock + after) fn
 
-  let cancel h = h.ev.cancelled <- true
+  let cancel (h : handle) = h.cancelled <- true
 
-  let active h = (not h.fired) && not h.ev.cancelled
+  let active (h : handle) = (not h.fired) && not h.cancelled
 end
 
-let pending t = Stdext.Heap.length t.queue
+let pending t = Stdext.Heap.length t.queue + Stdext.Wheel.length t.wheel
+
+(* Merge helpers: the next event overall is the (key, seq) minimum across
+   heap and wheel.  [max_int] stands for "no event"; seq numbers are
+   globally unique so ties resolve exactly as the single-heap engine
+   did. *)
+let next_key t =
+  let wk = Stdext.Wheel.min_key t.wheel in
+  if Stdext.Heap.is_empty t.queue then wk
+  else min wk (Stdext.Heap.min_key t.queue)
+
+(* Remove and return the globally next (event, time), merging the two
+   queues; allocation-free min inspection via [min_key]/[min_seq]. *)
+let pop_next t =
+  let wk = Stdext.Wheel.min_key t.wheel in
+  let hk =
+    if Stdext.Heap.is_empty t.queue then max_int
+    else Stdext.Heap.min_key t.queue
+  in
+  if wk = max_int && hk = max_int then None
+  else if
+    wk < hk
+    || (wk = hk && Stdext.Wheel.min_seq t.wheel < Stdext.Heap.min_seq t.queue)
+  then Some (wk, Stdext.Wheel.pop_min t.wheel)
+  else Some (hk, Stdext.Heap.pop_min t.queue)
 
 (* Purge-on-pop: cancelled events — overwhelmingly protocol timers that
    were disarmed before firing (retransmission, delayed ACK) — are
@@ -56,20 +108,18 @@ let pending t = Stdext.Heap.length t.queue
    the shells, exactly as it always has: a run that drains the queue must
    end at the same instant it did before purging existed, or every
    `run ~until:(now + w)` window downstream shifts and reproducibility
-   across versions is lost.  [min_key]/[pop_min] keep the loop
-   allocation-free. *)
+   across versions is lost. *)
 let rec step t =
-  if Stdext.Heap.is_empty t.queue then false
-  else begin
-    let at = Stdext.Heap.min_key t.queue in
-    let ev = Stdext.Heap.pop_min t.queue in
-    t.clock <- at;
-    if ev.cancelled then step t
-    else begin
-      ev.fn ();
-      true
-    end
-  end
+  match pop_next t with
+  | None -> false
+  | Some (at, ev) ->
+      t.clock <- at;
+      if ev.cancelled then step t
+      else begin
+        ev.fired <- true;
+        ev.fn ();
+        true
+      end
 
 let run ?until ?max_events t =
   let executed = ref 0 in
@@ -79,23 +129,26 @@ let run ?until ?max_events t =
     | Some m when !executed >= m -> continue := false
     | Some _ | None -> ());
     if !continue then begin
-      if Stdext.Heap.is_empty t.queue then continue := false
-      else begin
-        let at = Stdext.Heap.min_key t.queue in
+      let at = next_key t in
+      if at = max_int then continue := false
+      else
         match until with
         | Some u when at > u ->
             t.clock <- u;
             continue := false
-        | Some _ | None ->
-            (* Inline purge-on-pop: the [until] boundary must be re-checked
-               per event, so [step]'s own purge loop (which would run the
-               next live event regardless) cannot be used here. *)
-            let ev = Stdext.Heap.pop_min t.queue in
-            t.clock <- at;
-            if not ev.cancelled then begin
-              ev.fn ();
-              incr executed
-            end
-      end
+        | Some _ | None -> (
+            (* Inline purge-on-pop: the [until] boundary must be
+               re-checked per event, so [step]'s own purge loop (which
+               would run the next live event regardless) cannot be used
+               here. *)
+            match pop_next t with
+            | None -> continue := false
+            | Some (at, ev) ->
+                t.clock <- at;
+                if not ev.cancelled then begin
+                  ev.fired <- true;
+                  ev.fn ();
+                  incr executed
+                end)
     end
   done

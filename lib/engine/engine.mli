@@ -33,7 +33,14 @@ val after : t -> int -> (unit -> unit) -> unit
 (** [after t d f] runs [f] [d] microseconds from now. *)
 
 (** Cancellable timers, used for protocol timeouts that are usually
-    cancelled before firing (retransmission, delayed ACK, reassembly). *)
+    cancelled before firing (retransmission, delayed ACK, reassembly).
+
+    Near-future timers are kept on a hashed timing wheel (O(1) arm, no
+    sifting; O(1) disarm, a flag) rather than the main event heap;
+    far-future timers fall back to the heap.  The two queues are merged
+    in exact (time, sequence) order and cancelled shells are discarded
+    identically on both, so firing order — and therefore every
+    simulation — is identical to a single-heap engine. *)
 module Timer : sig
   type handle
 
@@ -46,6 +53,18 @@ module Timer : sig
   val active : handle -> bool
   (** [true] while armed and not yet fired. *)
 end
+
+val set_timer_wheel : t -> bool -> unit
+(** Route subsequent {!Timer.start} calls through the timing wheel ([true],
+    the default) or the event heap ([false]).  Affects performance only;
+    firing order is identical either way.  Existing armed timers stay
+    where they are. *)
+
+val timer_wheel : t -> bool
+(** Current {!set_timer_wheel} setting. *)
+
+val timer_starts : t -> int
+(** Cumulative count of {!Timer.start} calls, for instrumentation. *)
 
 val pending : t -> int
 (** Number of events still queued (including cancelled timer shells). *)

@@ -51,6 +51,7 @@ type t = {
   mutable cache_gen : int;
   mutable iface_addrs : (Netsim.iface * Addr.t) list;
   protos : (int, Ipv4.header -> bytes -> unit) Hashtbl.t;
+  frame_protos : (int, Ipv4.header -> bytes -> pos:int -> unit) Hashtbl.t;
   mutable error_handlers : (from:Addr.t -> Icmp.t -> unit) list;
   mutable echo_reply_handler : (id:int -> seq:int -> payload:bytes -> unit) option;
   reasm : Reassembly.t;
@@ -117,6 +118,16 @@ let register_proto t proto f =
   let n = Ipv4.Proto.to_int proto in
   if n = 1 then invalid_arg "Ip.Stack.register_proto: ICMP is built in";
   Hashtbl.replace t.protos n f
+
+(* A frame handler is an optimisation overlay, not a replacement: the
+   receive fast path hands it the whole frame (payload at [pos]) when the
+   datagram needs no reassembly and no accounting; every other road —
+   fragments, slow path, loopback — still goes through the [register_proto]
+   handler, which therefore must also be registered. *)
+let register_proto_frame t proto f =
+  let n = Ipv4.Proto.to_int proto in
+  if n = 1 then invalid_arg "Ip.Stack.register_proto_frame: ICMP is built in";
+  Hashtbl.replace t.frame_protos n f
 
 let add_error_handler t f = t.error_handlers <- t.error_handlers @ [ f ]
 let set_echo_reply_handler t f = t.echo_reply_handler <- Some f
@@ -320,9 +331,24 @@ let receive t ~iface:_ frame =
     | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
     | Ok h ->
         t.c.received <- t.c.received + 1;
-        if has_addr t h.Ipv4.dst then
-          (* Only local delivery materializes the payload. *)
-          deliver_local t h (Ipv4.payload_of frame)
+        if has_addr t h.Ipv4.dst then begin
+          (* Hand complete datagrams to a frame handler in place; only
+             delivery roads a frame handler cannot take (fragments, plain
+             handlers) materialize the payload. *)
+          let frame_handler =
+            if
+              h.Ipv4.frag_offset = 0
+              && (not h.Ipv4.more_fragments)
+              && Option.is_none t.accounting
+            then Hashtbl.find_opt t.frame_protos (Ipv4.Proto.to_int h.Ipv4.proto)
+            else None
+          in
+          match frame_handler with
+          | Some f ->
+              t.c.delivered <- t.c.delivered + 1;
+              f h frame ~pos:Ipv4.header_size
+          | None -> deliver_local t h (Ipv4.payload_of frame)
+        end
         else if t.fwd then forward_fast t h frame
         else t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1
   end
@@ -371,6 +397,57 @@ let send t ?(tos = Ipv4.Tos.Routine) ?(ttl = 64) ?(dont_fragment = false)
         t.c.sent <- t.c.sent + 1;
         emit t route.Route_table.iface h payload
 
+(* Origination without the payload copy: the caller hands over a full
+   frame whose first [Ipv4.header_size] bytes are a reserved prefix and
+   whose transport segment is already in place after it.  On the common
+   road — routed out an interface, fits the MTU — the IP header is written
+   into the prefix and the very same buffer is transmitted.  Loopback and
+   fragmentation fall back to the [send]/[emit] machinery (both need a
+   materialized payload anyway).  Counters match [send] exactly. *)
+let send_frame t ?(tos = Ipv4.Tos.Routine) ?(ttl = 64) ?(dont_fragment = false)
+    ?src ~proto ~dst frame =
+  let payload_of_frame () =
+    Bytes.sub frame Ipv4.header_size (Bytes.length frame - Ipv4.header_size)
+  in
+  if has_addr t dst then begin
+    (* Loopback: deliver through the engine so ordering matches the wire. *)
+    let src = match src with Some s -> s | None -> primary_addr t in
+    let h =
+      Ipv4.make_header ~tos ~id:(fresh_id t) ~dont_fragment ~ttl ~proto ~src
+        ~dst ()
+    in
+    t.c.sent <- t.c.sent + 1;
+    let payload = payload_of_frame () in
+    Engine.after t.eng 1 (fun () -> deliver_local t h payload);
+    Ok ()
+  end
+  else
+    match lookup_route t dst with
+    | None ->
+        t.c.dropped_no_route <- t.c.dropped_no_route + 1;
+        Error `No_route
+    | Some route ->
+        let src =
+          match src with
+          | Some s -> s
+          | None -> (
+              match iface_addr t route.Route_table.iface with
+              | Some a -> a
+              | None -> primary_addr t)
+        in
+        let h =
+          Ipv4.make_header ~tos ~id:(fresh_id t) ~dont_fragment ~ttl ~proto
+            ~src ~dst ()
+        in
+        t.c.sent <- t.c.sent + 1;
+        let iface = route.Route_table.iface in
+        if Bytes.length frame <= Netsim.iface_mtu t.net t.node iface then begin
+          Ipv4.encode_into h frame;
+          transmit t iface ~priority:(tos = Ipv4.Tos.Low_delay) frame;
+          Ok ()
+        end
+        else emit t iface h (payload_of_frame ())
+
 let icmp_unreachable t h payload code = report_unreachable t h payload code
 
 let send_echo_request t ~dst ~id ~seq ~payload =
@@ -402,6 +479,7 @@ let create ?(forwarding = false) net node =
       table = Route_table.create ();
       iface_addrs = [];
       protos = Hashtbl.create 4;
+      frame_protos = Hashtbl.create 4;
       error_handlers = [];
       echo_reply_handler = None;
       reasm = Reassembly.create eng;

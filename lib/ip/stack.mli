@@ -70,6 +70,15 @@ val register_proto : t -> Ipv4.Proto.t -> (Ipv4.header -> bytes -> unit) -> unit
 (** Install the upcall for a transport protocol.  ICMP is handled
     internally (echo responder, error dispatch) and cannot be overridden. *)
 
+val register_proto_frame :
+  t -> Ipv4.Proto.t -> (Ipv4.header -> bytes -> pos:int -> unit) -> unit
+(** Optional zero-copy overlay on {!register_proto}: on the receive fast
+    path, an unfragmented datagram for a protocol with a frame handler is
+    delivered as the whole received frame with the payload starting at
+    [pos], sparing the payload copy.  Fragmented datagrams, accounting
+    runs, loopback sends and the slow path still use the plain
+    [register_proto] handler, which must also be installed. *)
+
 val add_error_handler :
   t -> (from:Addr.t -> Packet.Icmp_wire.t -> unit) -> unit
 (** Subscribe to decoded ICMP error messages (unreachables, time-exceeded)
@@ -93,6 +102,24 @@ val send :
 (** Originate a datagram.  The source address defaults to the outgoing
     interface's address.  Local destinations loop back through the engine
     (asynchronously, like everything else). *)
+
+val send_frame :
+  t ->
+  ?tos:Ipv4.Tos.t ->
+  ?ttl:int ->
+  ?dont_fragment:bool ->
+  ?src:Addr.t ->
+  proto:Ipv4.Proto.t ->
+  dst:Addr.t ->
+  bytes ->
+  (unit, send_error) result
+(** Like {!send}, but the argument is a whole frame: the first
+    [Ipv4.header_size] bytes are a reserved prefix the stack fills in, and
+    the transport payload already sits after it.  When the datagram is
+    routed out an interface and fits the MTU, the frame is transmitted as
+    is — no payload copy, no re-encode.  Loopback and fragmentation fall
+    back to the copying path.  Transports use this to emit segments built
+    allocation-free with the wire modules' [encode_into]. *)
 
 val send_echo_request : t -> dst:Addr.t -> id:int -> seq:int -> payload:bytes -> unit
 

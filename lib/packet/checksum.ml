@@ -4,12 +4,26 @@ let zero = 0
 
 let add_u16 acc v = acc + (v land 0xffff)
 
+(* The inner loop sums 32-bit big-endian reads: each contributes its two
+   16-bit columns as [hi·2^16 + lo], and the final carry fold collapses
+   the deferred [hi] sums back into the 16-bit one's-complement total.
+   With 63-bit native ints this cannot overflow for any 16-bit [len]
+   (at most 2^14 addends of < 2^32).  Halving the reads matters: every
+   TCP/UDP segment is summed twice (sender compute, receiver verify), so
+   this loop is the per-segment cost floor of both transport paths. *)
 let add_bytes acc b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Checksum.add_bytes";
   let acc = ref acc in
   let i = ref pos in
   let stop = pos + len in
+  while !i + 8 <= stop do
+    acc :=
+      !acc
+      + (Int32.to_int (Bytes.get_int32_be b !i) land 0xFFFFFFFF)
+      + (Int32.to_int (Bytes.get_int32_be b (!i + 4)) land 0xFFFFFFFF);
+    i := !i + 8
+  done;
   while !i + 1 < stop do
     acc := !acc + Bytes.get_uint16_be b !i;
     i := !i + 2

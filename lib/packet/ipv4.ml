@@ -94,6 +94,35 @@ let encode h ~payload =
   Bytes.set_uint16_be buf 10 csum;
   buf
 
+(* Allocation-free counterpart of {!encode}: [frame] already carries the
+   IP payload at [header_size]; write the header into the reserved prefix.
+   Byte-for-byte identical output to {!encode}. *)
+let encode_into h frame =
+  let total = Bytes.length frame in
+  if total < header_size || total > max_datagram then
+    invalid_arg "Ipv4.encode_into: bad frame size";
+  if h.id < 0 || h.id > 0xffff then invalid_arg "Ipv4.encode_into: bad id";
+  if h.ttl < 0 || h.ttl > 255 then invalid_arg "Ipv4.encode_into: bad ttl";
+  if h.frag_offset < 0 || h.frag_offset > 0xffff * 8 || h.frag_offset mod 8 <> 0
+  then invalid_arg "Ipv4.encode_into: bad fragment offset";
+  Bytes.set_uint8 frame 0 ((4 lsl 4) lor 5);
+  Bytes.set_uint8 frame 1 (Tos.to_int h.tos);
+  Bytes.set_uint16_be frame 2 total;
+  Bytes.set_uint16_be frame 4 h.id;
+  let flags =
+    (if h.dont_fragment then 0x4000 else 0)
+    lor (if h.more_fragments then 0x2000 else 0)
+    lor (h.frag_offset / 8)
+  in
+  Bytes.set_uint16_be frame 6 flags;
+  Bytes.set_uint8 frame 8 h.ttl;
+  Bytes.set_uint8 frame 9 (Proto.to_int h.proto);
+  Bytes.set_uint16_be frame 10 0 (* checksum placeholder *);
+  Bytes.set_int32_be frame 12 (Addr.to_int32 h.src);
+  Bytes.set_int32_be frame 16 (Addr.to_int32 h.dst);
+  let csum = Checksum.of_bytes frame ~pos:0 ~len:header_size in
+  Bytes.set_uint16_be frame 10 csum
+
 let peek buf =
   let len = Bytes.length buf in
   if len < header_size then Error `Truncated

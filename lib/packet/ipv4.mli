@@ -71,6 +71,14 @@ val encode : header -> payload:bytes -> bytes
     @raise Invalid_argument if a field is out of range or the result would
     exceed {!max_datagram}. *)
 
+val encode_into : header -> bytes -> unit
+(** Allocation-free {!encode}: the frame's first {!header_size} bytes are
+    a reserved prefix and the IP payload already sits after them; the
+    header is written into the prefix in place.  The frame length is the
+    datagram's total length.  Output is byte-for-byte identical to
+    {!encode}.
+    @raise Invalid_argument as {!encode}. *)
+
 val decode : bytes -> (header * bytes, error) result
 (** Parse and validate (version, IHL, checksum, total length).  Returns the
     header and a copy of the payload. *)

@@ -103,6 +103,48 @@ let encode ~src ~dst t =
   Bytes.set_uint16_be buf 16 csum;
   buf
 
+let header_bytes ~mss = match mss with None -> 20 | Some _ -> 24
+
+(* Allocation-free counterpart of {!encode}: the caller has already placed
+   the payload at [pos + header_bytes ~mss] in [buf] and we fill in the
+   header around it, checksumming header and payload in a single pass.
+   Byte-for-byte identical output to {!encode}. *)
+let encode_into ~src ~dst ~src_port ~dst_port ~seq ~ack_n ~flags ~window
+    ?(urgent = 0) ?(mss = None) ~payload_len buf ~pos =
+  check_range "src_port" src_port 0xffff;
+  check_range "dst_port" dst_port 0xffff;
+  check_range "seq" seq 0xFFFFFFFF;
+  check_range "ack" ack_n 0xFFFFFFFF;
+  check_range "window" window 0xffff;
+  check_range "urgent" urgent 0xffff;
+  let hsize = header_bytes ~mss in
+  let total = hsize + payload_len in
+  if pos < 0 || payload_len < 0 || pos + total > Bytes.length buf then
+    invalid_arg "Tcp_wire.encode_into: buffer too small";
+  Bytes.set_uint16_be buf pos src_port;
+  Bytes.set_uint16_be buf (pos + 2) dst_port;
+  Bytes.set_int32_be buf (pos + 4) (Int32.of_int seq);
+  Bytes.set_int32_be buf (pos + 8) (Int32.of_int ack_n);
+  let data_offset = hsize / 4 in
+  Bytes.set_uint16_be buf (pos + 12) ((data_offset lsl 12) lor flags_bits flags);
+  Bytes.set_uint16_be buf (pos + 14) window;
+  Bytes.set_uint16_be buf (pos + 16) 0 (* checksum placeholder *);
+  Bytes.set_uint16_be buf (pos + 18) urgent;
+  (match mss with
+  | None -> ()
+  | Some m ->
+      check_range "mss" m 0xffff;
+      Bytes.set_uint8 buf (pos + 20) 2;
+      Bytes.set_uint8 buf (pos + 21) 4;
+      Bytes.set_uint16_be buf (pos + 22) m);
+  let acc =
+    Checksum.pseudo_header ~src:(Addr.to_int32 src) ~dst:(Addr.to_int32 dst)
+      ~proto:6 ~len:total
+  in
+  let csum = Checksum.of_bytes ~acc buf ~pos ~len:total in
+  Bytes.set_uint16_be buf (pos + 16) csum;
+  total
+
 (* Parse the option block, accepting MSS, NOP and end-of-options and
    skipping unknown options by their declared length. *)
 let parse_options buf ~pos ~len =
@@ -129,11 +171,15 @@ let parse_options buf ~pos ~len =
   done;
   match !bad with Some m -> Error (`Bad_header m) | None -> Ok !mss
 
-let decode ~src ~dst buf =
-  let len = Bytes.length buf in
+(* Validate the fixed header and checksum without building a [t]; the
+   receive fast path reads the few fields it needs straight from the
+   buffer via the [peek_*] accessors below and only falls back to
+   {!of_peeked} when full dispatch is required. *)
+let peek ~src ~dst ?(pos = 0) buf =
+  let len = Bytes.length buf - pos in
   if len < 20 then Error `Truncated
   else begin
-    let off_flags = Bytes.get_uint16_be buf 12 in
+    let off_flags = Bytes.get_uint16_be buf (pos + 12) in
     let data_offset = (off_flags lsr 12) * 4 in
     if data_offset < 20 || data_offset > len then
       Error (`Bad_header "bad data offset")
@@ -142,39 +188,54 @@ let decode ~src ~dst buf =
         Checksum.pseudo_header ~src:(Addr.to_int32 src)
           ~dst:(Addr.to_int32 dst) ~proto:6 ~len
       in
-      if not (Checksum.valid ~acc buf ~pos:0 ~len) then Error `Bad_checksum
-      else
-        match parse_options buf ~pos:20 ~len:(data_offset - 20) with
-        | Error _ as e -> e
-        | Ok mss ->
-            let bits = off_flags land 0x3f in
-            let flags =
-              {
-                urg = bits land 0x20 <> 0;
-                ack = bits land 0x10 <> 0;
-                psh = bits land 0x08 <> 0;
-                rst = bits land 0x04 <> 0;
-                syn = bits land 0x02 <> 0;
-                fin = bits land 0x01 <> 0;
-              }
-            in
-            let u32_int p =
-              Int32.to_int (Bytes.get_int32_be buf p) land 0xFFFFFFFF
-            in
-            Ok
-              {
-                src_port = Bytes.get_uint16_be buf 0;
-                dst_port = Bytes.get_uint16_be buf 2;
-                seq = u32_int 4;
-                ack_n = u32_int 8;
-                flags;
-                window = Bytes.get_uint16_be buf 14;
-                urgent = Bytes.get_uint16_be buf 18;
-                mss;
-                payload = Bytes.sub buf data_offset (len - data_offset);
-              }
+      if not (Checksum.valid ~acc buf ~pos ~len) then Error `Bad_checksum
+      else Ok data_offset
     end
   end
+
+let peek_src_port ?(pos = 0) buf = Bytes.get_uint16_be buf pos
+let peek_dst_port ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 2)
+
+let peek_u32 buf p = Int32.to_int (Bytes.get_int32_be buf p) land 0xFFFFFFFF
+
+let peek_seq ?(pos = 0) buf = peek_u32 buf (pos + 4)
+let peek_ack_n ?(pos = 0) buf = peek_u32 buf (pos + 8)
+let peek_flag_bits ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 12) land 0x3f
+let peek_window ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 14)
+
+let of_peeked buf ~data_offset =
+  let len = Bytes.length buf in
+  match parse_options buf ~pos:20 ~len:(data_offset - 20) with
+  | Error _ as e -> e
+  | Ok mss ->
+      let bits = Bytes.get_uint16_be buf 12 land 0x3f in
+      let flags =
+        {
+          urg = bits land 0x20 <> 0;
+          ack = bits land 0x10 <> 0;
+          psh = bits land 0x08 <> 0;
+          rst = bits land 0x04 <> 0;
+          syn = bits land 0x02 <> 0;
+          fin = bits land 0x01 <> 0;
+        }
+      in
+      Ok
+        {
+          src_port = peek_src_port buf;
+          dst_port = peek_dst_port buf;
+          seq = peek_seq buf;
+          ack_n = peek_ack_n buf;
+          flags;
+          window = peek_window buf;
+          urgent = Bytes.get_uint16_be buf 18;
+          mss;
+          payload = Bytes.sub buf data_offset (len - data_offset);
+        }
+
+let decode ~src ~dst buf =
+  match peek ~src ~dst buf with
+  | Error _ as e -> e
+  | Ok data_offset -> of_peeked buf ~data_offset
 
 let pp fmt t =
   Format.fprintf fmt "%d>%d %a seq=%d ack=%d win=%d len=%d%s" t.src_port

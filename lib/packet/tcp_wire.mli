@@ -67,4 +67,53 @@ val header_size : t -> int
 (** Bytes of TCP header this segment carries on the wire (20, or 24 with
     an MSS option). *)
 
+val header_bytes : mss:int option -> int
+(** {!header_size} from the option set alone, for sizing an
+    {!encode_into} buffer before the segment exists. *)
+
+val encode_into :
+  src:Addr.t ->
+  dst:Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  seq:int ->
+  ack_n:int ->
+  flags:flags ->
+  window:int ->
+  ?urgent:int ->
+  ?mss:int option ->
+  payload_len:int ->
+  bytes ->
+  pos:int ->
+  int
+(** Allocation-free {!encode}: the payload must already occupy
+    [pos + header_bytes ~mss .. pos + header_bytes ~mss + payload_len) in
+    the buffer; the header is written around it and the checksum computed
+    over the whole segment in one pass.  Returns the total segment length.
+    Output is byte-for-byte identical to {!encode}. *)
+
+val peek : src:Addr.t -> dst:Addr.t -> ?pos:int -> bytes -> (int, error) result
+(** Validate length, data offset and checksum — everything {!decode}
+    checks — without allocating a [t]; returns the data offset (payload
+    start, relative to the segment).  [pos] (default 0) is where the
+    segment begins in the buffer, so a whole IP frame can be peeked
+    without first carving the TCP payload out of it.  Combined with the
+    [peek_*] accessors this lets a receive fast path read header fields
+    in place. *)
+
+val of_peeked : bytes -> data_offset:int -> (t, error) result
+(** Finish a {!peek} into a full [t] (option parse + payload copy); the
+    checksum is not re-validated.  [decode = peek >>= of_peeked]. *)
+
+val peek_src_port : ?pos:int -> bytes -> int
+val peek_dst_port : ?pos:int -> bytes -> int
+val peek_seq : ?pos:int -> bytes -> int
+val peek_ack_n : ?pos:int -> bytes -> int
+val peek_window : ?pos:int -> bytes -> int
+
+val peek_flag_bits : ?pos:int -> bytes -> int
+(** Low six flag bits of the offset/flags word: URG 0x20, ACK 0x10,
+    PSH 0x08, RST 0x04, SYN 0x02, FIN 0x01.  A predictable segment in the
+    header-prediction sense is [0x10] (pure ACK) or [0x18] (ACK|PSH). *)
+
 val pp : Format.formatter -> t -> unit

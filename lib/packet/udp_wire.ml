@@ -32,6 +32,29 @@ let encode ~src ~dst t =
   Bytes.set_uint16_be buf 6 (if csum = 0 then 0xffff else csum);
   buf
 
+(* Allocation-free counterpart of {!encode}: the payload already sits at
+   [pos + header_size] in [buf]; fill in the header and checksum in place.
+   Byte-for-byte identical output to {!encode}. *)
+let encode_into ~src ~dst ~src_port ~dst_port ~payload_len buf ~pos =
+  if src_port < 0 || src_port > 0xffff || dst_port < 0 || dst_port > 0xffff
+  then invalid_arg "Udp_wire.encode_into: port out of range";
+  let total = header_size + payload_len in
+  if total > 0xffff then invalid_arg "Udp_wire.encode_into: datagram too large";
+  if pos < 0 || payload_len < 0 || pos + total > Bytes.length buf then
+    invalid_arg "Udp_wire.encode_into: buffer too small";
+  Bytes.set_uint16_be buf pos src_port;
+  Bytes.set_uint16_be buf (pos + 2) dst_port;
+  Bytes.set_uint16_be buf (pos + 4) total;
+  Bytes.set_uint16_be buf (pos + 6) 0 (* checksum placeholder *);
+  let acc =
+    Checksum.pseudo_header ~src:(Addr.to_int32 src) ~dst:(Addr.to_int32 dst)
+      ~proto:17 ~len:total
+  in
+  let csum = Checksum.of_bytes ~acc buf ~pos ~len:total in
+  (* RFC 768: a computed checksum of zero is transmitted as all ones. *)
+  Bytes.set_uint16_be buf (pos + 6) (if csum = 0 then 0xffff else csum);
+  total
+
 let decode ~src ~dst buf =
   let len = Bytes.length buf in
   if len < header_size then Error `Truncated

@@ -19,6 +19,20 @@ val encode : src:Addr.t -> dst:Addr.t -> t -> bytes
 (** Serialize with the pseudo-header checksum (always computed; the
     all-zero "no checksum" escape is not used). *)
 
+val encode_into :
+  src:Addr.t ->
+  dst:Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  payload_len:int ->
+  bytes ->
+  pos:int ->
+  int
+(** Allocation-free {!encode}: the payload must already occupy
+    [pos + header_size .. pos + header_size + payload_len) in the buffer;
+    the header is written around it.  Returns the total datagram length.
+    Output is byte-for-byte identical to {!encode}. *)
+
 val decode : src:Addr.t -> dst:Addr.t -> bytes -> (t, error) result
 
 val pp : Format.formatter -> t -> unit

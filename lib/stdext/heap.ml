@@ -78,6 +78,10 @@ let min_key t =
   if t.size = 0 then raise Not_found;
   t.data.(0).key
 
+let min_seq t =
+  if t.size = 0 then raise Not_found;
+  t.data.(0).seq
+
 let pop_min t =
   if t.size = 0 then raise Not_found;
   let top = t.data.(0) in

@@ -32,6 +32,11 @@ val min_key : 'a t -> int
     empty.  The engine's hot loop uses this instead of {!peek} so that
     inspecting the queue head costs no tuple. *)
 
+val min_seq : 'a t -> int
+(** Sequence of the minimum element without allocating.  @raise Not_found
+    when empty.  With {!min_key} this lets the engine merge the heap with
+    the timer wheel in exact (key, seq) order. *)
+
 val pop_min : 'a t -> 'a
 (** Remove the minimum and return its value without allocating.
     @raise Not_found when empty. *)

@@ -1,0 +1,200 @@
+(* Hashed timing wheel (Varghese & Lauck 1987).
+
+   Entries are keyed by absolute deadline and a tie-breaking sequence
+   number; each slot holds an unsorted singly-linked list of the entries
+   whose deadline hashes there ([at / granularity mod slots]).  Insertion
+   is O(1) — no sifting, no restructuring — which is what makes wheels
+   beat heaps for timer-heavy workloads where most entries are cancelled
+   (the owner just flags its value dead and discards it when it surfaces,
+   paying nothing at cancel time).
+
+   [min_key]/[min_seq]/[pop_min] expose exact (deadline, seq) ordering, so
+   a caller merging the wheel with another queue (the engine's binary
+   heap) preserves global deterministic pop order.  Ordered draining is
+   amortised by batch extraction: when the earliest entry is needed, the
+   whole current tick's worth of cells is unlinked from its slot in one
+   pass, sorted, and then served pop by pop — each cell is touched O(1)
+   times on its way through, instead of the slot chain being re-scanned
+   for every pop. *)
+
+type 'a cell = {
+  c_at : int;
+  c_seq : int;
+  c_v : 'a;
+  mutable c_next : 'a cell option;
+}
+
+type 'a t = {
+  slots : 'a cell option array;
+  granularity : int;
+  mutable count : int;
+  mutable hint : int; (* lower bound on the earliest deadline in the slots *)
+  mutable due : 'a cell list; (* extracted batch, sorted: one tick's cells *)
+  mutable due_tick : int; (* the batch's tick; meaningless when [due] = [] *)
+}
+
+let create ?(slots = 1024) ?(granularity = 2048) () =
+  if slots <= 0 || granularity <= 0 then invalid_arg "Wheel.create";
+  {
+    slots = Array.make slots None;
+    granularity;
+    count = 0;
+    hint = max_int;
+    due = [];
+    due_tick = 0;
+  }
+
+let horizon t = Array.length t.slots * t.granularity
+let length t = t.count
+
+let slot_of t at = at / t.granularity mod Array.length t.slots
+
+let cell_order a b =
+  if a.c_at <> b.c_at then compare a.c_at b.c_at else compare a.c_seq b.c_seq
+
+(* The batch invariants: [due] holds every resident cell of tick
+   [due_tick] and nothing else, and [hint] is a lower bound on the
+   deadlines still in the slots.  [add] keeps the first invariant by
+   diverting same-tick insertions into the batch (bounded: one tick's
+   worth), and the second by lowering [hint].  The batch is the global
+   minimum whenever its head is strictly below [hint]; if an insertion
+   undercuts the batch's tick, [min_cell] rescans and either re-extracts
+   or pushes the premature batch back into its slot. *)
+let rec insert_sorted cell = function
+  | [] -> [ cell ]
+  | c :: _ as l when cell_order cell c < 0 -> cell :: l
+  | c :: rest -> c :: insert_sorted cell rest
+
+let add t ~at ~seq v =
+  if at < 0 then invalid_arg "Wheel.add: negative deadline";
+  let cell = { c_at = at; c_seq = seq; c_v = v; c_next = None } in
+  t.count <- t.count + 1;
+  if t.due <> [] && at / t.granularity = t.due_tick then
+    t.due <- insert_sorted cell t.due
+  else begin
+    let i = slot_of t at in
+    cell.c_next <- t.slots.(i);
+    t.slots.(i) <- Some cell;
+    if at < t.hint then t.hint <- at
+  end
+
+(* Unlink every cell of round [tick] from slot [i]; returns them sorted.
+   Cells of other rounds sharing the slot are left chained in place. *)
+let extract_tick t i ~tick =
+  let batch = ref [] in
+  let keep_head = ref None in
+  let keep_tail = ref None in
+  let rec walk = function
+    | None -> ()
+    | Some c ->
+        let next = c.c_next in
+        if c.c_at / t.granularity = tick then batch := c :: !batch
+        else begin
+          c.c_next <- None;
+          (match !keep_tail with
+          | None -> keep_head := Some c
+          | Some p -> p.c_next <- Some c);
+          keep_tail := Some c
+        end;
+        walk next
+  in
+  walk t.slots.(i);
+  t.slots.(i) <- !keep_head;
+  List.sort cell_order !batch
+
+(* Earliest occupied slot tick: scan forward from the hint for at most
+   one rotation, then fall back to a full sweep for the sparse
+   all-far-future case.  [max_int] when the slots are empty. *)
+let earliest_slot_tick t =
+  let n = Array.length t.slots in
+  let t0 = t.hint / t.granularity in
+  let tick = ref t0 in
+  let found = ref false in
+  while (not !found) && !tick < t0 + n do
+    let i = !tick mod n in
+    let rec hit = function
+      | None -> false
+      | Some c -> c.c_at / t.granularity = !tick || hit c.c_next
+    in
+    if hit t.slots.(i) then found := true else incr tick
+  done;
+  if not !found then begin
+    (* Every slot entry is more than a rotation past the hint: locate
+       the global minimum directly. *)
+    let best = ref max_int in
+    Array.iter
+      (fun head ->
+        let rec walk = function
+          | None -> ()
+          | Some c ->
+              if c.c_at < !best then best := c.c_at;
+              walk c.c_next
+        in
+        walk head)
+      t.slots;
+    if !best < max_int then begin
+      tick := !best / t.granularity;
+      found := true
+    end
+  end;
+  if !found then !tick else max_int
+
+let extract_into_due t tick =
+  let n = Array.length t.slots in
+  let batch = extract_tick t (tick mod n) ~tick in
+  t.due <- batch;
+  t.due_tick <- tick;
+  (* The slots now hold nothing earlier than the next tick. *)
+  t.hint <- (tick + 1) * t.granularity
+
+let min_cell t =
+  (match t.due with
+  | [] ->
+      if t.count > 0 then begin
+        let tick = earliest_slot_tick t in
+        if tick < max_int then extract_into_due t tick else t.hint <- max_int
+      end
+  | head :: _ ->
+      (* The batch head rules while it is strictly below the slot lower
+         bound; once an insertion undercuts that, rescan. *)
+      if t.hint <= head.c_at then begin
+        let tick = earliest_slot_tick t in
+        if tick > t.due_tick then
+          (* Nothing in the slots precedes the batch after all; the scan
+             bought a tighter bound. *)
+          t.hint <- (if tick = max_int then max_int else tick * t.granularity)
+        else if tick = t.due_tick then begin
+          (* Same tick: fold the slot cells into the batch. *)
+          let n = Array.length t.slots in
+          let more = extract_tick t (tick mod n) ~tick in
+          t.due <- List.merge cell_order t.due more;
+          t.hint <- (tick + 1) * t.granularity
+        end
+        else begin
+          (* The batch was extracted prematurely (a far-future tick);
+             push it back into its slot and take the nearer one. *)
+          let i = slot_of t (t.due_tick * t.granularity) in
+          List.iter
+            (fun c ->
+              c.c_next <- t.slots.(i);
+              t.slots.(i) <- Some c)
+            t.due;
+          t.due <- [];
+          extract_into_due t tick
+        end
+      end);
+  match t.due with [] -> None | c :: _ -> Some c
+
+let min_key t = match min_cell t with Some c -> c.c_at | None -> max_int
+let min_seq t = match min_cell t with Some c -> c.c_seq | None -> max_int
+
+let pop_min t =
+  match min_cell t with
+  | None -> raise Not_found
+  | Some cell ->
+      (match t.due with
+      | _ :: rest -> t.due <- rest
+      | [] -> assert false);
+      t.count <- t.count - 1;
+      if t.count = 0 then t.hint <- max_int;
+      cell.c_v

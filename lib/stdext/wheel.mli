@@ -1,0 +1,42 @@
+(** Hashed timing wheel (Varghese & Lauck): a priority structure with O(1)
+    insertion, for timers.
+
+    Unlike the binary heap, [add] does no sifting — a cell is prepended to
+    the slot its deadline hashes to — so arming a timer is constant-time,
+    and a cancelled timer costs nothing until it surfaces at [pop_min]
+    (the owner flags its value and discards it then, exactly as it does
+    for cancelled heap entries).  [min_key]/[min_seq]/[pop_min] expose
+    exact (deadline, sequence) ordering so the wheel can be merged
+    deterministically with another event queue. *)
+
+type 'a t
+
+val create : ?slots:int -> ?granularity:int -> unit -> 'a t
+(** [slots] (default 1024) and [granularity] (default 2048, microseconds
+    per tick) fix the wheel geometry.  Entries beyond one full rotation
+    are still ordered correctly (they wait for their round), but callers
+    get the best behaviour keeping deadlines within {!horizon}. *)
+
+val horizon : 'a t -> int
+(** [slots * granularity]: one full rotation. *)
+
+val length : 'a t -> int
+(** Resident entries. *)
+
+val add : 'a t -> at:int -> seq:int -> 'a -> unit
+(** Insert with absolute deadline [at]; [seq] breaks deadline ties (lower
+    pops first) and must be unique across resident entries. *)
+
+val min_key : 'a t -> int
+(** Deadline of the earliest entry, or [max_int] when empty. *)
+
+val min_seq : 'a t -> int
+(** Sequence of the earliest entry, or [max_int] when empty. *)
+
+val pop_min : 'a t -> 'a
+(** Remove and return the earliest entry.
+    @raise Not_found when empty. *)
+
+
+
+

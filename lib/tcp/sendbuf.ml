@@ -38,6 +38,11 @@ let get t ~off ~len =
     invalid_arg "Sendbuf.get: range out of buffer";
   Bytes.sub t.data (t.start + off - t.base_off) len
 
+let blit t ~off ~len dst ~pos =
+  if off < t.base_off || off + len > tail t || len < 0 then
+    invalid_arg "Sendbuf.blit: range out of buffer";
+  Bytes.blit t.data (t.start + off - t.base_off) dst pos len
+
 let drop_until t off =
   if off > t.base_off then begin
     let n = min (off - t.base_off) t.len in

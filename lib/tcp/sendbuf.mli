@@ -26,6 +26,11 @@ val get : t -> off:int -> len:int -> bytes
 (** Copy a slice by absolute offset.  The range must be within
     [\[base, tail)]. *)
 
+val blit : t -> off:int -> len:int -> bytes -> pos:int -> unit
+(** Copy a slice by absolute offset straight into [dst] at [pos] — the
+    segment-emission path uses this to place payload into a frame without
+    an intermediate copy.  Same range rules as {!get}. *)
+
 val drop_until : t -> int -> unit
 (** Acknowledge: discard everything before the given absolute offset.
     Offsets at or below [base] are no-ops. *)

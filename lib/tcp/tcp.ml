@@ -88,6 +88,8 @@ type conn_stats = {
   mutable fast_retransmits : int;
   mutable dupacks : int;
   mutable bytes_retransmitted : int;
+  mutable fast_path_acks : int;
+  mutable fast_path_data : int;
 }
 
 type stats = {
@@ -111,6 +113,10 @@ type t = {
   mutable next_ephemeral : int;
   rng : Stdext.Rng.t;
   gstats : stats;
+  (* Fast path switch: header-predicted receive and allocation-free
+     emission.  Off = the reference RFC 793 dispatch everywhere; protocol
+     behaviour is identical either way (property-tested). *)
+  mutable fast : bool;
 }
 
 and listener = {
@@ -183,12 +189,16 @@ let new_conn_stats () =
     fast_retransmits = 0;
     dupacks = 0;
     bytes_retransmitted = 0;
+    fast_path_acks = 0;
+    fast_path_data = 0;
   }
 
 (* Accessors ------------------------------------------------------------ *)
 
 let stack t = t.ip
 let instance_stats t = t.gstats
+let set_fast_path t v = t.fast <- v
+let fast_path t = t.fast
 let connection_count t = Hashtbl.length t.conns
 let state c = c.st
 let stats c = c.cstats
@@ -253,14 +263,15 @@ let destroy c reason =
 
 (* Segment emission ------------------------------------------------------ *)
 
-let emit_segment c ?(payload = Bytes.empty) ?(mss_opt = None) ~flags ~seq () =
-  let seg =
-    Wire.make ~seq
-      ~ack_n:(if flags.Wire.ack then c.rcv_nxt else 0)
-      ~flags ~window:(rcv_window c) ~mss:mss_opt ~payload
-      ~src_port:c.local_port ~dst_port:c.remote_port ()
-  in
-  let bytes = Wire.encode ~src:c.local_addr ~dst:c.remote_addr seg in
+(* Payload is referenced by send-buffer offset, not passed as bytes: on the
+   fast path the stream slice is blitted once, straight into its final
+   place in the outgoing frame (reserved IP-header prefix + TCP header +
+   payload), headers are written around it in place, and the very same
+   buffer goes down the stack.  The slow path is the original copying
+   [Wire.make]/[Wire.encode]/[Stack.send] chain; both produce identical
+   wire bytes. *)
+let emit_segment c ?(payload_off = 0) ?(payload_len = 0) ?(mss_opt = None)
+    ~flags ~seq () =
   c.cstats.segs_out <- c.cstats.segs_out + 1;
   (* An ACK-bearing segment satisfies any pending delayed ACK. *)
   if flags.Wire.ack then begin
@@ -268,9 +279,39 @@ let emit_segment c ?(payload = Bytes.empty) ?(mss_opt = None) ~flags ~seq () =
     c.delack_timer <- None;
     c.ack_pending <- 0
   end;
-  ignore
-    (Ip.Stack.send c.tcp.ip ~tos:c.cfg.tos ~src:c.local_addr
-       ~proto:Ipv4.Proto.Tcp ~dst:c.remote_addr bytes)
+  if c.tcp.fast then begin
+    let hsize = Wire.header_bytes ~mss:mss_opt in
+    let frame = Bytes.create (Ipv4.header_size + hsize + payload_len) in
+    if payload_len > 0 then
+      Sendbuf.blit c.sndbuf ~off:payload_off ~len:payload_len frame
+        ~pos:(Ipv4.header_size + hsize);
+    ignore
+      (Wire.encode_into ~src:c.local_addr ~dst:c.remote_addr
+         ~src_port:c.local_port ~dst_port:c.remote_port ~seq
+         ~ack_n:(if flags.Wire.ack then c.rcv_nxt else 0)
+         ~flags ~window:(rcv_window c) ~mss:mss_opt ~payload_len frame
+         ~pos:Ipv4.header_size);
+    ignore
+      (Ip.Stack.send_frame c.tcp.ip ~tos:c.cfg.tos ~src:c.local_addr
+         ~proto:Ipv4.Proto.Tcp ~dst:c.remote_addr frame)
+  end
+  else begin
+    let payload =
+      if payload_len > 0 then
+        Sendbuf.get c.sndbuf ~off:payload_off ~len:payload_len
+      else Bytes.empty
+    in
+    let seg =
+      Wire.make ~seq
+        ~ack_n:(if flags.Wire.ack then c.rcv_nxt else 0)
+        ~flags ~window:(rcv_window c) ~mss:mss_opt ~payload
+        ~src_port:c.local_port ~dst_port:c.remote_port ()
+    in
+    let bytes = Wire.encode ~src:c.local_addr ~dst:c.remote_addr seg in
+    ignore
+      (Ip.Stack.send c.tcp.ip ~tos:c.cfg.tos ~src:c.local_addr
+         ~proto:Ipv4.Proto.Tcp ~dst:c.remote_addr bytes)
+  end
 
 let send_ack c =
   emit_segment c ~flags:(Wire.flags ~ack:true ()) ~seq:c.snd_nxt ()
@@ -343,11 +384,10 @@ and retransmit_one c =
       let data_left = Sendbuf.tail c.sndbuf - off in
       if data_left > 0 then begin
         let len = min c.eff_mss data_left in
-        let payload = Sendbuf.get c.sndbuf ~off ~len in
         c.cstats.bytes_retransmitted <- c.cstats.bytes_retransmitted + len;
         emit_segment c
           ~flags:(Wire.flags ~ack:true ~psh:(len = data_left) ())
-          ~seq:c.snd_una ~payload ()
+          ~seq:c.snd_una ~payload_off:off ~payload_len:len ()
       end
       else if c.fin_sent then
         emit_segment c
@@ -423,11 +463,10 @@ let rec output c =
           && not c.fin_pending
         in
         if chunk > 0 && not nagle_hold then begin
-          let payload = Sendbuf.get c.sndbuf ~off:nxt_off ~len:chunk in
           let psh = chunk = avail in
           emit_segment c
             ~flags:(Wire.flags ~ack:true ~psh ())
-            ~seq:c.snd_nxt ~payload ();
+            ~seq:c.snd_nxt ~payload_off:nxt_off ~payload_len:chunk ();
           if Seq.lt c.snd_nxt c.snd_max then begin
             c.cstats.retransmits <- c.cstats.retransmits + 1;
             c.cstats.bytes_retransmitted <-
@@ -488,10 +527,9 @@ and maybe_arm_persist c =
              if c.snd_wnd = 0 && flight c = 0 && can_send_data c then begin
                let nxt_off = off_of_seq c c.snd_nxt in
                if Sendbuf.tail c.sndbuf > nxt_off then begin
-                 let payload = Sendbuf.get c.sndbuf ~off:nxt_off ~len:1 in
                  emit_segment c
                    ~flags:(Wire.flags ~ack:true ())
-                   ~seq:c.snd_nxt ~payload ();
+                   ~seq:c.snd_nxt ~payload_off:nxt_off ~payload_len:1 ();
                  c.cstats.bytes_out <- c.cstats.bytes_out + 1;
                  c.snd_nxt <- Seq.add c.snd_nxt 1;
                  c.snd_max <- Seq.max c.snd_max c.snd_nxt;
@@ -1018,35 +1056,161 @@ let passive_open t l ~(ip : Ipv4.header) (seg : Wire.t) =
     ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ();
   arm_rto c
 
-(* IP upcall. *)
-let handle t (ip : Ipv4.header) payload =
-  match Wire.decode ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst payload with
-  | Error _ -> t.gstats.bad_segments <- t.gstats.bad_segments + 1
-  | Ok seg -> (
-      let key : key =
-        ( Addr.to_int32 ip.Ipv4.dst,
-          seg.Wire.dst_port,
-          Addr.to_int32 ip.Ipv4.src,
-          seg.Wire.src_port )
-      in
-      match Hashtbl.find_opt t.conns key with
-      | Some c -> (
-          match c.st with
-          | Syn_sent -> process_syn_sent c seg
-          | Closed | Listen -> ()
-          | Syn_received | Established | Fin_wait_1 | Fin_wait_2
-          | Close_wait | Closing | Last_ack | Time_wait ->
-              process_segment c seg)
-      | None -> (
-          match Hashtbl.find_opt t.listeners seg.Wire.dst_port with
-          | Some l
-            when l.l_open && seg.Wire.flags.Wire.syn
-                 && (not seg.Wire.flags.Wire.ack)
-                 && not seg.Wire.flags.Wire.rst ->
-              passive_open t l ~ip seg
-          | Some _ | None ->
-              t.gstats.no_listener <- t.gstats.no_listener + 1;
-              send_rst_for t ~ip seg))
+(* Header prediction (Van Jacobson): in ESTABLISHED, bulk traffic is a run
+   of segments that are either the next in-sequence pure data or a pure ACK
+   advancing snd_una, both with an unchanged window.  For exactly those,
+   update the connection directly from the raw segment buffer — no [Wire.t],
+   no option parse, no payload-trim copies.  Every guard below restates a
+   condition under which the full RFC 793 dispatch ([process_segment])
+   would take the same actions, so any mismatch just falls back to it and
+   behaviour is byte-identical (property-tested against the slow path). *)
+
+(* Pure ACK advancing snd_una: the new-ack branch of [process_ack], the
+   window-update test, then [output] — nothing else in [process_segment]
+   applies (no text, no FIN, and in ESTABLISHED our own FIN is unsent). *)
+let fast_ack c ~seq ~ack =
+  c.cstats.segs_in <- c.cstats.segs_in + 1;
+  c.cstats.fast_path_acks <- c.cstats.fast_path_acks + 1;
+  let acked = Seq.diff ack c.snd_una in
+  c.snd_una <- ack;
+  if Seq.lt c.snd_nxt c.snd_una then c.snd_nxt <- c.snd_una;
+  let new_base = min (off_of_seq c ack) (Sendbuf.tail c.sndbuf) in
+  Sendbuf.drop_until c.sndbuf new_base;
+  (match c.timing with
+  | Some (tseq, at) when Seq.gt ack tseq ->
+      Rto.sample c.rto (Engine.now c.tcp.eng - at);
+      c.timing <- None
+  | Some _ | None -> ());
+  c.retries <- 0;
+  Rto.reset_backoff c.rto;
+  cc_on_new_ack c acked;
+  if Seq.ge ack c.recover then c.dupacks <- 0;
+  if c.snd_una = c.snd_nxt then begin
+    cancel_timer c.rto_timer;
+    c.rto_timer <- None
+  end
+  else arm_rto c;
+  (* RFC 793 wl1/wl2 test; the window value itself is unchanged by the
+     prediction guard, so only the bookkeeping moves. *)
+  if Seq.lt c.snd_wl1 seq || (c.snd_wl1 = seq && Seq.le c.snd_wl2 ack) then begin
+    c.snd_wl1 <- seq;
+    c.snd_wl2 <- ack
+  end;
+  output c
+
+(* Next in-sequence data, nothing else new: the window-update test, text
+   acceptance (no trim needed, no out-of-order queue to drain), the
+   delayed-ACK decision, then [output]. *)
+let fast_data c ~seq ~ack buf ~pos ~plen =
+  c.cstats.segs_in <- c.cstats.segs_in + 1;
+  c.cstats.fast_path_data <- c.cstats.fast_path_data + 1;
+  if Seq.lt c.snd_wl1 seq || (c.snd_wl1 = seq && Seq.le c.snd_wl2 ack) then begin
+    c.snd_wl1 <- seq;
+    c.snd_wl2 <- ack
+  end;
+  c.rcv_nxt <- Seq.add c.rcv_nxt plen;
+  deliver_data c (Bytes.sub buf (pos + 20) plen);
+  c.ack_pending <- c.ack_pending + 1;
+  if c.ack_pending >= 2 then send_ack c
+  else if c.delack_timer = None then
+    c.delack_timer <-
+      Some
+        (Engine.Timer.start c.tcp.eng ~after:c.cfg.delayed_ack_us (fun () ->
+             c.delack_timer <- None;
+             if c.ack_pending > 0 then send_ack c));
+  output c
+
+(* [buf] holds, at [pos], a checksum-valid segment with a bare 20-byte
+   header and only ACK/PSH set.  Returns [true] if it was consumed on the
+   fast path. *)
+let try_fast c buf ~pos =
+  let plen = Bytes.length buf - pos - 20 in
+  let seq = Wire.peek_seq ~pos buf in
+  if seq <> c.rcv_nxt || Wire.peek_window ~pos buf <> c.snd_wnd then false
+  else begin
+    let ack = Wire.peek_ack_n ~pos buf in
+    if plen = 0 then
+      if Seq.gt ack c.snd_una && Seq.le ack c.snd_max then begin
+        fast_ack c ~seq ~ack;
+        true
+      end
+      else false
+    else if ack = c.snd_una && c.ooo = [] && plen <= rcv_window c then begin
+      fast_data c ~seq ~ack buf ~pos ~plen;
+      true
+    end
+    else false
+  end
+
+(* Full dispatch: connection lookup, the RFC 793 state machine, listeners
+   and orphan RSTs. *)
+let dispatch_segment t (ip : Ipv4.header) (seg : Wire.t) =
+  let key : key =
+    ( Addr.to_int32 ip.Ipv4.dst,
+      seg.Wire.dst_port,
+      Addr.to_int32 ip.Ipv4.src,
+      seg.Wire.src_port )
+  in
+  match Hashtbl.find_opt t.conns key with
+  | Some c -> (
+      match c.st with
+      | Syn_sent -> process_syn_sent c seg
+      | Closed | Listen -> ()
+      | Syn_received | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
+      | Closing | Last_ack | Time_wait ->
+          process_segment c seg)
+  | None -> (
+      match Hashtbl.find_opt t.listeners seg.Wire.dst_port with
+      | Some l
+        when l.l_open && seg.Wire.flags.Wire.syn
+             && (not seg.Wire.flags.Wire.ack)
+             && not seg.Wire.flags.Wire.rst ->
+          passive_open t l ~ip seg
+      | Some _ | None ->
+          t.gstats.no_listener <- t.gstats.no_listener + 1;
+          send_rst_for t ~ip seg)
+
+(* IP upcall.  [buf] holds the segment starting at [pos]: the IP layer's
+   frame handler passes the received frame itself ([pos] past the IP
+   header), so a predicted segment goes from wire to receive buffer with
+   a single payload-sized copy; the plain handler passes a materialized
+   segment at [pos] 0.  Off the fast path the segment is carved out once
+   and handed to the legacy decode road. *)
+let handle_at t (ip : Ipv4.header) buf ~pos =
+  let segment () =
+    if pos = 0 then buf else Bytes.sub buf pos (Bytes.length buf - pos)
+  in
+  if t.fast then begin
+    match Wire.peek ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ~pos buf with
+    | Error _ -> t.gstats.bad_segments <- t.gstats.bad_segments + 1
+    | Ok data_offset ->
+        let predicted =
+          data_offset = 20
+          && (let bits = Wire.peek_flag_bits ~pos buf in
+              bits = 0x10 || bits = 0x18)
+          &&
+          let key : key =
+            ( Addr.to_int32 ip.Ipv4.dst,
+              Wire.peek_dst_port ~pos buf,
+              Addr.to_int32 ip.Ipv4.src,
+              Wire.peek_src_port ~pos buf )
+          in
+          match Hashtbl.find_opt t.conns key with
+          | Some c when c.st = Established -> try_fast c buf ~pos
+          | Some _ | None -> false
+        in
+        if not predicted then begin
+          match Wire.of_peeked (segment ()) ~data_offset with
+          | Error _ -> t.gstats.bad_segments <- t.gstats.bad_segments + 1
+          | Ok seg -> dispatch_segment t ip seg
+        end
+  end
+  else
+    match Wire.decode ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst (segment ()) with
+    | Error _ -> t.gstats.bad_segments <- t.gstats.bad_segments + 1
+    | Ok seg -> dispatch_segment t ip seg
+
+let handle t ip payload = handle_at t ip payload ~pos:0
 
 (* ICMP destination-unreachable quoting one of our SYNs is a hard error:
    abort the embryonic connection (BSD semantics).  The quote is the
@@ -1090,9 +1254,12 @@ let create ?(config = default_config) ip =
           bad_segments = 0;
           no_listener = 0;
         };
+      fast = true;
     }
   in
   Ip.Stack.register_proto ip Ipv4.Proto.Tcp (handle t);
+  Ip.Stack.register_proto_frame ip Ipv4.Proto.Tcp (fun h frame ~pos ->
+      handle_at t h frame ~pos);
   Ip.Stack.add_error_handler ip (fun ~from:_ msg -> handle_icmp_error t msg);
   t
 

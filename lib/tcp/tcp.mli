@@ -83,12 +83,26 @@ type conn_stats = {
   mutable fast_retransmits : int;
   mutable dupacks : int;
   mutable bytes_retransmitted : int;
+  mutable fast_path_acks : int;
+      (** Pure ACKs consumed by header prediction. *)
+  mutable fast_path_data : int;
+      (** In-sequence data segments consumed by header prediction. *)
 }
 
 val create : ?config:config -> Ip.Stack.t -> t
 (** Attach TCP to a stack; registers protocol 6. *)
 
 val stack : t -> Ip.Stack.t
+
+val set_fast_path : t -> bool -> unit
+(** Toggle the transport fast path (default on): header-predicted receive
+    for in-sequence ESTABLISHED traffic and allocation-free segment
+    emission.  Off means the reference RFC 793 dispatch and the copying
+    encode everywhere.  Protocol behaviour — every segment, state change
+    and delivered byte — is identical either way; the switch exists for
+    benchmarking and differential testing. *)
+
+val fast_path : t -> bool
 
 val listen : t -> port:int -> accept:(conn -> unit) -> listener
 (** Passive open.  [accept] fires when a handshake completes.

@@ -94,9 +94,17 @@ let sendto s ?tos ?ttl ~dst ~dst_port payload =
     | None -> Ip.Stack.primary_addr t.ip
   in
   let src = if Ip.Stack.has_addr t.ip dst then dst else src in
-  let dgram = { Wire.src_port = s.sock_port; dst_port; payload } in
-  let bytes = Wire.encode ~src ~dst dgram in
-  match Ip.Stack.send t.ip ?tos ?ttl ~src ~proto:Ipv4.Proto.Udp ~dst bytes with
+  (* Assemble the whole frame once — reserved IP-header prefix, UDP header,
+     payload — and hand it to the stack without further copying. *)
+  let plen = Bytes.length payload in
+  let frame = Bytes.create (Ipv4.header_size + Wire.header_size + plen) in
+  Bytes.blit payload 0 frame (Ipv4.header_size + Wire.header_size) plen;
+  ignore
+    (Wire.encode_into ~src ~dst ~src_port:s.sock_port ~dst_port
+       ~payload_len:plen frame ~pos:Ipv4.header_size);
+  match
+    Ip.Stack.send_frame t.ip ?tos ?ttl ~src ~proto:Ipv4.Proto.Udp ~dst frame
+  with
   | Ok () ->
       t.stats.datagrams_out <- t.stats.datagrams_out + 1;
       Ok ()

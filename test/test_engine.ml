@@ -158,6 +158,36 @@ let test_nested_scheduling_determinism () =
     (trace (Engine.create ()))
     (trace (Engine.create ()))
 
+let prop_wheel_heap_equivalence =
+  (* The timing wheel is a pure performance substitution: the same program
+     of timers (near- and far-future), cancellations and plain events must
+     produce the identical firing trace and final clock with the wheel on
+     or off.  Delays straddle the wheel horizon (~2.1 s) so both routes in
+     [Timer.start] are exercised. *)
+  QCheck.Test.make ~name:"timer wheel fires identically to the heap"
+    ~count:100
+    QCheck.(list (triple (0 -- 3_000_000) (0 -- 50) bool))
+    (fun ops ->
+      let trace use_wheel =
+        let e = Engine.create () in
+        Engine.set_timer_wheel e use_wheel;
+        let log = Buffer.create 256 in
+        List.iteri
+          (fun i (delay, cancel_at, do_cancel) ->
+            let h =
+              Engine.Timer.start e ~after:delay (fun () ->
+                  Buffer.add_string log
+                    (Printf.sprintf "t%d@%d;" i (Engine.now e)))
+            in
+            if do_cancel then
+              Engine.schedule e ~at:cancel_at (fun () ->
+                  Engine.Timer.cancel h))
+          ops;
+        Engine.run e;
+        (Buffer.contents log, Engine.now e)
+      in
+      trace true = trace false)
+
 let test_unit_conversions () =
   check Alcotest.int "ms" 2_000 (Engine.ms 2);
   check Alcotest.int "sec" 1_500_000 (Engine.sec 1.5);
@@ -189,5 +219,6 @@ let () =
           Alcotest.test_case "purge respects until" `Quick
             test_run_until_purge_respects_boundary;
           Alcotest.test_case "determinism" `Quick test_nested_scheduling_determinism;
+          QCheck_alcotest.to_alcotest prop_wheel_heap_equivalence;
         ] );
     ]

@@ -339,6 +339,77 @@ let prop_tcp_roundtrip =
           && Bytes.equal s.Tcpw.payload payload
       | Error _ -> false)
 
+let prop_tcp_encode_into_matches_encode =
+  (* The allocation-free emitter must be byte-for-byte the reference
+     encoder, including the checksum and the surrounding buffer bytes. *)
+  QCheck.Test.make ~name:"tcp encode_into equals encode" ~count:300
+    QCheck.(
+      quad (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0xffff) arb_bytes)
+    (fun (seq_lo, ack_lo, window, payload) ->
+      let seq = seq_lo * 65521 land 0xFFFFFFFF in
+      let ack_n = ack_lo * 65519 land 0xFFFFFFFF in
+      let flags = Tcpw.flags ~ack:(ack_lo mod 2 = 0) ~psh:(seq_lo mod 2 = 0) () in
+      let mss = if seq_lo mod 5 = 0 then Some 1460 else None in
+      let reference =
+        Tcpw.encode ~src ~dst
+          (Tcpw.make ~seq ~ack_n ~flags ~window ~mss ~payload ~src_port:1234
+             ~dst_port:4321 ())
+      in
+      let pos = 11 (* deliberately unaligned prefix *) in
+      let hsize = Tcpw.header_bytes ~mss in
+      let plen = Bytes.length payload in
+      let buf = Bytes.make (pos + hsize + plen + 7) '\xee' in
+      Bytes.blit payload 0 buf (pos + hsize) plen;
+      let total =
+        Tcpw.encode_into ~src ~dst ~src_port:1234 ~dst_port:4321 ~seq ~ack_n
+          ~flags ~window ~mss ~payload_len:plen buf ~pos
+      in
+      total = Bytes.length reference
+      && Bytes.equal reference (Bytes.sub buf pos total)
+      && (* bytes outside the segment untouched *)
+      Bytes.sub buf 0 pos = Bytes.make pos '\xee'
+      && Bytes.sub buf (pos + total) 7 = Bytes.make 7 '\xee')
+
+let prop_tcp_peek_matches_decode =
+  QCheck.Test.make ~name:"tcp peek accessors equal decode" ~count:300
+    QCheck.(pair (int_bound 0xFFFF) arb_bytes)
+    (fun (seq_lo, payload) ->
+      let seq = seq_lo * 65521 land 0xFFFFFFFF in
+      let seg =
+        Tcpw.make ~seq ~ack_n:(seq_lo lxor 0xABCD)
+          ~flags:(Tcpw.flags ~ack:true ~psh:(seq_lo mod 2 = 0) ())
+          ~window:(seq_lo land 0xffff) ~payload ~src_port:86 ~dst_port:6502 ()
+      in
+      let buf = Tcpw.encode ~src ~dst seg in
+      match (Tcpw.peek ~src ~dst buf, Tcpw.decode ~src ~dst buf) with
+      | Ok data_offset, Ok d ->
+          data_offset = 20
+          && Tcpw.peek_src_port buf = d.Tcpw.src_port
+          && Tcpw.peek_dst_port buf = d.Tcpw.dst_port
+          && Tcpw.peek_seq buf = d.Tcpw.seq
+          && Tcpw.peek_ack_n buf = d.Tcpw.ack_n
+          && Tcpw.peek_window buf = d.Tcpw.window
+          && Tcpw.peek_flag_bits buf = (if seq_lo mod 2 = 0 then 0x18 else 0x10)
+          && (match Tcpw.of_peeked buf ~data_offset with
+             | Ok d' -> d' = d
+             | Error _ -> false)
+      | _ -> false)
+
+let prop_ipv4_encode_into_matches_encode =
+  QCheck.Test.make ~name:"ipv4 encode_into equals encode" ~count:300
+    QCheck.(pair (int_bound 0xffff) arb_bytes)
+    (fun (id, payload) ->
+      let h =
+        Ipv4.make_header ~tos:Ipv4.Tos.Low_delay ~id ~ttl:((id mod 255) + 1)
+          ~proto:Ipv4.Proto.Tcp ~src:(Addr.v 10 0 0 1) ~dst:(Addr.v 10 9 9 9)
+          ()
+      in
+      let reference = Ipv4.encode h ~payload in
+      let frame = Bytes.create (Ipv4.header_size + Bytes.length payload) in
+      Bytes.blit payload 0 frame Ipv4.header_size (Bytes.length payload);
+      Ipv4.encode_into h frame;
+      Bytes.equal reference frame)
+
 (* --- UDP wire ------------------------------------------------------------ *)
 
 let test_udp_roundtrip () =
@@ -373,6 +444,24 @@ let prop_udp_roundtrip =
           d'.Udpw.src_port = sp && d'.Udpw.dst_port = dp
           && Bytes.equal d'.Udpw.payload payload
       | Error _ -> false)
+
+let prop_udp_encode_into_matches_encode =
+  QCheck.Test.make ~name:"udp encode_into equals encode" ~count:300
+    QCheck.(triple (1 -- 0xffff) (1 -- 0xffff) arb_bytes)
+    (fun (sp, dp, payload) ->
+      let reference =
+        Udpw.encode ~src ~dst { Udpw.src_port = sp; dst_port = dp; payload }
+      in
+      let pos = 20 in
+      let plen = Bytes.length payload in
+      let buf = Bytes.create (pos + Udpw.header_size + plen) in
+      Bytes.blit payload 0 buf (pos + Udpw.header_size) plen;
+      let total =
+        Udpw.encode_into ~src ~dst ~src_port:sp ~dst_port:dp ~payload_len:plen
+          buf ~pos
+      in
+      total = Bytes.length reference
+      && Bytes.equal reference (Bytes.sub buf pos total))
 
 (* --- ICMP ---------------------------------------------------------------- *)
 
@@ -451,6 +540,7 @@ let () =
           Alcotest.test_case "proto coding" `Quick test_proto_coding;
           qcheck prop_ipv4_roundtrip;
           qcheck prop_ipv4_peek_matches_decode;
+          qcheck prop_ipv4_encode_into_matches_encode;
           qcheck prop_patch_ttl_matches_recompute;
           Alcotest.test_case "patch_ttl rejects ttl=0" `Quick
             test_patch_ttl_rejects_zero;
@@ -463,12 +553,15 @@ let () =
           Alcotest.test_case "header sizes" `Quick test_tcp_header_sizes;
           Alcotest.test_case "flags pp" `Quick test_tcp_flags_pp;
           qcheck prop_tcp_roundtrip;
+          qcheck prop_tcp_encode_into_matches_encode;
+          qcheck prop_tcp_peek_matches_decode;
         ] );
       ( "udp",
         [
           Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
           Alcotest.test_case "checksum" `Quick test_udp_checksum;
           qcheck prop_udp_roundtrip;
+          qcheck prop_udp_encode_into_matches_encode;
         ] );
       ( "icmp",
         [

@@ -547,6 +547,38 @@ let test_icmp_unreachable_refuses_syn () =
   | None -> Alcotest.fail "SYN not aborted by ICMP"
 
 
+let test_rst_sourced_from_secondary_address () =
+  (* An orphan SYN addressed to a multi-homed host's second interface must
+     draw a RST sourced from that address — not the host's primary one —
+     or the initiator cannot match the reply to its connection attempt
+     (and the RST's pseudo-header checksum would be computed over the
+     wrong source). *)
+  let t = Internet.create ~routing:Internet.Static () in
+  let a = Internet.add_host t "a" in
+  let b = Internet.add_host t "b" in
+  ignore
+    (Internet.connect t (Netsim.profile "l0") a.Internet.h_node
+       b.Internet.h_node);
+  let l1 =
+    Internet.connect t (Netsim.profile "l1") a.Internet.h_node
+      b.Internet.h_node
+  in
+  Internet.start t;
+  let secondary = Internet.addr_on_link t l1 b.Internet.h_node in
+  check Alcotest.bool "address is not the primary" true
+    (secondary <> Internet.addr_of t b.Internet.h_node);
+  let c = Tcp.connect a.Internet.h_tcp ~dst:secondary ~dst_port:81 () in
+  let reason = ref None in
+  Tcp.on_close c (fun r -> reason := Some r);
+  Internet.run_for t 2.0;
+  (* Refused this quickly means a RST arrived and was accepted, which
+     requires its source to equal [secondary]: the client demuxes replies
+     on the (remote addr, port) pair it connected to, and the checksum
+     covers the source address. *)
+  check Alcotest.bool "refused by rst" true (!reason = Some Tcp.Refused);
+  check Alcotest.int "exactly one rst emitted" 1
+    (Tcp.instance_stats b.Internet.h_tcp).Tcp.resets_out
+
 let test_integrity_across_loss_seeds () =
   (* The headline end-to-end property, swept across substrate randomness:
      for many independent loss patterns, every byte arrives intact and in
@@ -625,6 +657,8 @@ let () =
           Alcotest.test_case "graceful close" `Quick test_graceful_close_reaches_closed;
           Alcotest.test_case "refused" `Quick test_connection_refused;
           Alcotest.test_case "abort/rst" `Quick test_abort_sends_rst;
+          Alcotest.test_case "rst from secondary address" `Quick
+            test_rst_sourced_from_secondary_address;
           Alcotest.test_case "data timeout" `Slow test_retransmission_timeout_kills;
           Alcotest.test_case "syn timeout" `Quick test_syn_timeout_refused;
           Alcotest.test_case "listener closed" `Quick test_listener_close_refuses;
