@@ -108,20 +108,21 @@ let run_once ~fast ~datagrams =
   }
 
 let write_json ~slow ~fast ~speedup ~datagrams =
-  let oc = open_out (Util.out_path "BENCH_forwarding.json") in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"E13\",\n\
-    \  \"topology\": \"a - g1..g%d - b\",\n\
-    \  \"datagrams\": %d,\n\
-    \  \"payload_bytes\": %d,\n\
-    \  \"fast\": { \"datagrams_per_sec\": %.1f, \"words_per_packet\": %.1f },\n\
-    \  \"slow\": { \"datagrams_per_sec\": %.1f, \"words_per_packet\": %.1f },\n\
-    \  \"speedup\": %.2f\n\
-     }\n"
-    hops datagrams payload_size fast.dps fast.words_per_pkt slow.dps
-    slow.words_per_pkt speedup;
-  close_out oc
+  let open Trace.Json in
+  let outcome o =
+    Obj
+      [ ("datagrams_per_sec", Float o.dps);
+        ("words_per_packet", Float o.words_per_pkt) ]
+  in
+  Util.write_json "BENCH_forwarding.json"
+    (Obj
+       [ ("experiment", Str "E13");
+         ("topology", Str (Printf.sprintf "a - g1..g%d - b" hops));
+         ("datagrams", Int datagrams);
+         ("payload_bytes", Int payload_size);
+         ("fast", outcome fast);
+         ("slow", outcome slow);
+         ("speedup", Float speedup) ])
 
 let run () =
   Util.banner "E13" "gateway forwarding fast path"

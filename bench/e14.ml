@@ -133,22 +133,22 @@ let run_churn ~fast ~conns =
   float_of_int starts /. wall
 
 let write_json ~total ~slow ~fast ~slow_tops ~fast_tops ~speedup ~alloc_ratio =
-  let oc = open_out (Util.out_path "BENCH_tcp.json") in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"E14\",\n\
-    \  \"topology\": \"a - g1 - b\",\n\
-    \  \"transfer_bytes\": %d,\n\
-    \  \"fast\": { \"segments_per_sec\": %.1f, \"words_per_segment\": %.1f, \
-     \"timer_ops_per_sec\": %.1f },\n\
-    \  \"slow\": { \"segments_per_sec\": %.1f, \"words_per_segment\": %.1f, \
-     \"timer_ops_per_sec\": %.1f },\n\
-    \  \"speedup\": %.2f,\n\
-    \  \"alloc_ratio\": %.2f\n\
-     }\n"
-    total fast.sps fast.words_per_seg fast_tops slow.sps slow.words_per_seg
-    slow_tops speedup alloc_ratio;
-  close_out oc
+  let open Trace.Json in
+  let outcome o tops =
+    Obj
+      [ ("segments_per_sec", Float o.sps);
+        ("words_per_segment", Float o.words_per_seg);
+        ("timer_ops_per_sec", Float tops) ]
+  in
+  Util.write_json "BENCH_tcp.json"
+    (Obj
+       [ ("experiment", Str "E14");
+         ("topology", Str "a - g1 - b");
+         ("transfer_bytes", Int total);
+         ("fast", outcome fast fast_tops);
+         ("slow", outcome slow slow_tops);
+         ("speedup", Float speedup);
+         ("alloc_ratio", Float alloc_ratio) ])
 
 let run () =
   Util.banner "E14" "transport (end-host) fast path"

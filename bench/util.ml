@@ -28,6 +28,10 @@ let out_path name =
     Filename.concat !out_dir name
   end
 
+(* Machine-readable artifacts all go through the shared JSON tree (one
+   serializer for benches, metrics snapshots and trace dumps alike). *)
+let write_json name json = Trace.Json.write_file (out_path name) json
+
 (* --- output -------------------------------------------------------------- *)
 
 let banner id title claim =

@@ -1,5 +1,7 @@
 #!/bin/sh
-# Repo check: format (when ocamlformat is available), build, tests.
+# Repo check: format (when ocamlformat is available), build, tests, bench
+# smoke, and the observability overhead gate over the committed
+# BENCH_trace.json (DESIGN.md §observability).
 # Usage: bin/check.sh  (or `make check`)
 set -eu
 cd "$(dirname "$0")/.."
@@ -19,5 +21,33 @@ dune runtest
 
 echo "== bench smoke"
 dune exec bench/main.exe -- --smoke --out=_smoke >/dev/null
+
+# The overhead contract: merely carrying the (disabled) tracing
+# instrumentation must not slow the E13/E14 fast paths by more than the
+# budget.  E15 measures this against the same harness run and records it
+# in BENCH_trace.json; gate on the committed artifact so a regression
+# cannot be committed silently.  Smoke-run numbers are too noisy to gate
+# on, so this checks the full-run artifact at the repo root.
+echo "== observability overhead gate (BENCH_trace.json)"
+if [ -f BENCH_trace.json ]; then
+  awk '
+    function num(line,   v) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+    /"regression_budget_pct"/ { budget = num($0) }
+    /"e13_regression_pct"/ { if ($0 !~ /null/) { e13 = num($0); have13 = 1 } }
+    /"e14_regression_pct"/ { if ($0 !~ /null/) { e14 = num($0); have14 = 1 } }
+    END {
+      if (budget == 0) budget = 2.0
+      bad = 0
+      if (have13 && e13 > budget) { printf "FAIL: e13 fast path regressed %.1f%% (> %.1f%%) with tracing disabled\n", e13, budget; bad = 1 }
+      if (have14 && e14 > budget) { printf "FAIL: e14 fast path regressed %.1f%% (> %.1f%%) with tracing disabled\n", e14, budget; bad = 1 }
+      if (!bad) {
+        if (have13) printf "  e13 regression %.1f%% within %.1f%% budget\n", e13, budget
+        if (have14) printf "  e14 regression %.1f%% within %.1f%% budget\n", e14, budget
+      }
+      exit bad
+    }' BENCH_trace.json
+else
+  echo "  skipped (no BENCH_trace.json; run: dune exec bench/main.exe -- --only E13,E14,E15)"
+fi
 
 echo "check: OK"

@@ -7,11 +7,25 @@
    fragmentation handles the small MTUs, TCP's RTT estimation absorbs the
    satellite, retransmission covers the radio losses.
 
-   Run with: dune exec examples/internetwork_tour.exe *)
+   Run with: dune exec examples/internetwork_tour.exe
+
+   Observability (DESIGN.md §observability):
+     --trace        record lifecycle events; print a drop post-mortem and
+                    the last few events at the end
+     --pcap=FILE    capture every link's frames to FILE (classic pcap,
+                    LINKTYPE_RAW — opens in tcpdump/wireshark) *)
 
 open Catenet
 
 let () =
+  let want_trace = ref false and pcap_file = ref None in
+  Array.iter
+    (fun a ->
+      if a = "--trace" then want_trace := true
+      else if String.length a > 7 && String.sub a 0 7 = "--pcap=" then
+        pcap_file := Some (String.sub a 7 (String.length a - 7)))
+    Sys.argv;
+  if !want_trace then Trace.enable ();
   let net = Internet.create ~routing:Internet.Static () in
   let src = Internet.add_host net "src" in
   let dst = Internet.add_host net "dst" in
@@ -44,6 +58,11 @@ let () =
   in
   wire nodes profiles;
   Internet.start net;
+  let capture =
+    match !pcap_file with
+    | Some _ -> Some (Internet.pcap_all_links net)
+    | None -> None
+  in
 
   print_endline "the path:";
   List.iteri
@@ -101,9 +120,42 @@ let () =
   let st = Tcp.stats (Apps.Bulk.conn sender) in
   Printf.printf "radio-hop losses repaired end-to-end: %d retransmits\n"
     st.Tcp.retransmits;
-  match Tcp.srtt_us (Apps.Bulk.conn sender) with
+  (match Tcp.srtt_us (Apps.Bulk.conn sender) with
   | Some us ->
       Printf.printf "tcp settled on srtt = %.0f ms without being told about \
                      the satellite\n"
         (float_of_int us /. 1e3)
-  | None -> ()
+  | None -> ());
+
+  (match (capture, !pcap_file) with
+  | Some p, Some file ->
+      Trace.Pcap.write_file file p;
+      Printf.printf "\nwrote %d frames (%d bytes) to %s — try: tcpdump -r %s\n"
+        (Trace.Pcap.packet_count p) (Trace.Pcap.byte_length p) file file
+  | _ -> ());
+  if !want_trace then begin
+    Printf.printf "\nflight recorder: %d events recorded, %d held\n"
+      (Trace.emitted ()) (Trace.length ());
+    let drops = Trace.drops () in
+    Printf.printf "drop post-mortem (%d drops):\n" (List.length drops);
+    let by_reason = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Trace.entry) ->
+        match Trace.Event.drop_reason_of e.event with
+        | Some r ->
+            Hashtbl.replace by_reason r
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_reason r))
+        | None -> ())
+      drops;
+    Hashtbl.iter
+      (fun r n ->
+        Printf.printf "  %-20s %d\n" (Trace.Event.drop_reason_to_string r) n)
+      by_reason;
+    print_endline "last events:";
+    let tail =
+      let es = Trace.entries () in
+      let n = List.length es in
+      List.filteri (fun i _ -> i >= n - 5) es
+    in
+    List.iter (fun e -> Format.printf "  %a@." Trace.pp_entry e) tail
+  end

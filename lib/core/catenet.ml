@@ -11,7 +11,8 @@
     - {!Routing} — distance-vector and link-state survivability machinery
     - {!Vc} — the virtual-circuit baseline architecture
     - {!Apps} — workload applications
-    - {!Internet} — the builder that assembles a concrete catenet *)
+    - {!Internet} — the builder that assembles a concrete catenet
+    - {!Trace} — flight recorder, metrics registry and pcap export *)
 
 module Engine = Engine
 module Netsim = Netsim
@@ -23,3 +24,4 @@ module Routing = Routing
 module Vc = Vc
 module Apps = Apps
 module Internet = Internet
+module Trace = Trace

@@ -386,6 +386,78 @@ let traceroute t ~from dst ?(max_ttl = 16) () =
   Engine.after t.eng 1 (fun () -> probe 1);
   reports
 
+(* --- observability ------------------------------------------------------ *)
+
+let stack_of_kind = function Host h -> h.h_ip | Gateway g -> g.g_ip
+
+(* Accounting may be switched on after the registry is built, so the
+   source checks the stack live at every snapshot instead of at
+   registration time. *)
+let accounting_source ip () =
+  match Ip.Stack.accounting ip with
+  | Some acc -> Ip.Accounting.metrics_items acc ()
+  | None -> []
+
+let metrics t =
+  let m = Trace.Metrics.create () in
+  List.iter
+    (fun (node, kind) ->
+      let name = Netsim.node_name t.nsim node in
+      let ip = stack_of_kind kind in
+      Trace.Metrics.register m ("ip." ^ name) (Ip.Stack.metrics_items ip);
+      Trace.Metrics.register m ("accounting." ^ name) (accounting_source ip);
+      match kind with
+      | Host h ->
+          Trace.Metrics.register m ("tcp." ^ name)
+            (Tcp.metrics_items h.h_tcp);
+          Trace.Metrics.register m ("udp." ^ name)
+            (Udp.metrics_items h.h_udp)
+      | Gateway g ->
+          Trace.Metrics.register m ("udp." ^ name)
+            (Udp.metrics_items g.g_udp))
+    t.kinds;
+  List.iter
+    (fun l ->
+      Trace.Metrics.register m
+        (Printf.sprintf "link.%d" l.li_id)
+        (Netsim.link_metrics_items t.nsim l.li_id))
+    t.links;
+  Trace.Metrics.register m "links.total" (Netsim.total_metrics_items t.nsim);
+  m
+
+let metrics_json t =
+  let m = metrics t in
+  let ledgers =
+    List.filter_map
+      (fun (node, kind) ->
+        match Ip.Stack.accounting (stack_of_kind kind) with
+        | Some acc ->
+            Some (Netsim.node_name t.nsim node, Ip.Accounting.to_json acc)
+        | None -> None)
+      t.kinds
+  in
+  match (Trace.Metrics.to_json m, ledgers) with
+  | json, [] -> json
+  | Trace.Json.Obj fields, l ->
+      Trace.Json.Obj (fields @ [ ("accounting_flows", Trace.Json.Obj l) ])
+  | json, _ -> json
+
+let tap_into t pcap lid =
+  Netsim.set_link_tap t.nsim lid
+    (Some
+       (fun ~dir:_ frame ->
+         Trace.Pcap.add pcap ~ts_us:(Engine.now t.eng) frame))
+
+let pcap_link t lid =
+  let p = Trace.Pcap.create () in
+  tap_into t p lid;
+  p
+
+let pcap_all_links t =
+  let p = Trace.Pcap.create () in
+  List.iter (fun l -> tap_into t p l.li_id) t.links;
+  p
+
 let ping t ~from dst ~count ~interval_us =
   let samples = Stdext.Stats.Samples.create () in
   let sent_at = Hashtbl.create 16 in

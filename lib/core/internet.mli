@@ -108,3 +108,28 @@ val traceroute :
     returned list fills in (ordered by TTL) as the simulation runs. *)
 
 val link_subnet : t -> Netsim.link_id -> Packet.Addr.Prefix.t
+
+(** {1 Observability} *)
+
+val metrics : t -> Trace.Metrics.t
+(** A fresh registry wired to every live counter in this internetwork:
+    per-node IP stack counters (source [ip.<name>]), TCP and UDP instance
+    stats ([tcp.<name>], [udp.<name>]), per-link and aggregate link stats
+    ([link.<id>], [links.total]) and per-node accounting summaries
+    ([accounting.<name>], empty until accounting is enabled).  Sources
+    read live state: build the registry once and snapshot at will. *)
+
+val metrics_json : t -> Trace.Json.t
+(** [Trace.Metrics.to_json (metrics t)], plus the full per-flow
+    accounting ledgers under ["accounting_flows"] for any stack with
+    accounting enabled — the single-call JSON export of everything the
+    simulation counts. *)
+
+val pcap_link : t -> Netsim.link_id -> Trace.Pcap.t
+(** Attach a capture to one link; every frame transmitted on it (either
+    direction, including frames subsequently lost in flight) is recorded
+    with the virtual-clock timestamp.  Read the capture out with
+    [Trace.Pcap.write_file] after running. *)
+
+val pcap_all_links : t -> Trace.Pcap.t
+(** One merged capture tapping every link created through {!connect}. *)

@@ -3,7 +3,12 @@
    separate closure-captured cell.  Arming a timer therefore costs one
    record (plus the queue entry), not the ref + wrapper closure it used
    to. *)
-type event = { mutable cancelled : bool; mutable fired : bool; fn : unit -> unit }
+type event = {
+  mutable cancelled : bool;
+  mutable fired : bool;
+  is_timer : bool;
+  fn : unit -> unit;
+}
 
 type t = {
   mutable clock : int;
@@ -22,14 +27,21 @@ type t = {
 }
 
 let create () =
-  {
-    clock = 0;
-    seq = 0;
-    queue = Stdext.Heap.create ();
-    wheel = Stdext.Wheel.create ();
-    use_wheel = true;
-    timer_starts = 0;
-  }
+  let t =
+    {
+      clock = 0;
+      seq = 0;
+      queue = Stdext.Heap.create ();
+      wheel = Stdext.Wheel.create ();
+      use_wheel = true;
+      timer_starts = 0;
+    }
+  in
+  (* The most recently created engine stamps flight-recorder events; with
+     one engine per simulation (the universal case) this is simply "the
+     clock". *)
+  Trace.set_now (fun () -> t.clock);
+  t
 
 let now t = t.clock
 
@@ -42,11 +54,11 @@ let set_timer_wheel t v = t.use_wheel <- v
 let timer_wheel t = t.use_wheel
 let timer_starts t = t.timer_starts
 
-let schedule_event t ~at fn =
+let schedule_event ?(is_timer = false) t ~at fn =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at t.clock);
-  let ev = { cancelled = false; fired = false; fn } in
+  let ev = { cancelled = false; fired = false; is_timer; fn } in
   Stdext.Heap.push t.queue ~key:at ~seq:t.seq ev;
   t.seq <- t.seq + 1;
   ev
@@ -62,13 +74,15 @@ module Timer = struct
     if after < 0 then
       invalid_arg (Printf.sprintf "Engine.Timer.start: after=%d" after);
     t.timer_starts <- t.timer_starts + 1;
+    if Trace.want Trace.Cls.timer then
+      Trace.emit (Trace.Event.Timer_arm { at = t.clock + after });
     if t.use_wheel && after < Stdext.Wheel.horizon t.wheel then begin
-      let ev = { cancelled = false; fired = false; fn } in
+      let ev = { cancelled = false; fired = false; is_timer = true; fn } in
       Stdext.Wheel.add t.wheel ~at:(t.clock + after) ~seq:t.seq ev;
       t.seq <- t.seq + 1;
       ev
     end
-    else schedule_event t ~at:(t.clock + after) fn
+    else schedule_event ~is_timer:true t ~at:(t.clock + after) fn
 
   let cancel (h : handle) = h.cancelled <- true
 
@@ -117,6 +131,8 @@ let rec step t =
       if ev.cancelled then step t
       else begin
         ev.fired <- true;
+        if ev.is_timer && Trace.want Trace.Cls.timer then
+          Trace.emit (Trace.Event.Timer_fire { at });
         ev.fn ();
         true
       end
@@ -147,6 +163,8 @@ let run ?until ?max_events t =
                 t.clock <- at;
                 if not ev.cancelled then begin
                   ev.fired <- true;
+                  if ev.is_timer && Trace.want Trace.Cls.timer then
+                    Trace.emit (Trace.Event.Timer_fire { at });
                   ev.fn ();
                   incr executed
                 end)

@@ -9,9 +9,12 @@ type flow = {
   dst_port : int;
 }
 
-type usage = { packets : int; bytes : int }
+(* Mutable fields: [record] runs once per forwarded datagram on a gateway,
+   and bumping in place keeps it allocation-free after a flow's first
+   packet (it used to rebuild the usage record every time). *)
+type usage = { mutable packets : int; mutable bytes : int }
 
-type t = { table : (flow, usage ref) Hashtbl.t }
+type t = { table : (flow, usage) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 32 }
 
@@ -29,21 +32,55 @@ let record t (h : Ipv4.header) ~payload ~wire_bytes =
   let src_port, dst_port = ports_of h payload in
   let flow = { src = h.src; dst = h.dst; proto = h.proto; src_port; dst_port } in
   match Hashtbl.find_opt t.table flow with
-  | Some u -> u := { packets = !u.packets + 1; bytes = !u.bytes + wire_bytes }
-  | None -> Hashtbl.add t.table flow (ref { packets = 1; bytes = wire_bytes })
+  | Some u ->
+      u.packets <- u.packets + 1;
+      u.bytes <- u.bytes + wire_bytes
+  | None -> Hashtbl.add t.table flow { packets = 1; bytes = wire_bytes }
+
+(* The ledger hands out copies so callers cannot alias live counters. *)
+let copy u = { packets = u.packets; bytes = u.bytes }
 
 let flows t =
-  Hashtbl.fold (fun f u acc -> (f, !u) :: acc) t.table []
+  Hashtbl.fold (fun f u acc -> (f, copy u) :: acc) t.table []
   |> List.sort (fun (_, a) (_, b) -> Int.compare b.bytes a.bytes)
 
-let lookup t flow = Option.map ( ! ) (Hashtbl.find_opt t.table flow)
+let lookup t flow = Option.map copy (Hashtbl.find_opt t.table flow)
 
 let total t =
-  Hashtbl.fold
-    (fun _ u acc ->
-      { packets = acc.packets + !u.packets; bytes = acc.bytes + !u.bytes })
-    t.table { packets = 0; bytes = 0 }
+  let acc = { packets = 0; bytes = 0 } in
+  Hashtbl.iter
+    (fun _ u ->
+      acc.packets <- acc.packets + u.packets;
+      acc.bytes <- acc.bytes + u.bytes)
+    t.table;
+  acc
+
+let flow_count t = Hashtbl.length t.table
 
 let pp_flow fmt f =
   Format.fprintf fmt "%a:%d -> %a:%d %a" Addr.pp f.src f.src_port Addr.pp
     f.dst f.dst_port Ipv4.Proto.pp f.proto
+
+let flow_to_string f = Format.asprintf "%a" pp_flow f
+
+let to_json t =
+  let open Trace.Json in
+  let tot = total t in
+  Obj
+    [ ("flow_count", Int (flow_count t));
+      ("total_packets", Int tot.packets);
+      ("total_bytes", Int tot.bytes);
+      ( "flows",
+        List
+          (List.map
+             (fun (f, u) ->
+               Obj
+                 [ ("flow", Str (flow_to_string f));
+                   ("packets", Int u.packets); ("bytes", Int u.bytes) ])
+             (flows t)) ) ]
+
+let metrics_items t () =
+  let tot = total t in
+  [ ("flows", Trace.Metrics.Int (flow_count t));
+    ("packets", Trace.Metrics.Int tot.packets);
+    ("bytes", Trace.Metrics.Int tot.bytes) ]

@@ -16,7 +16,11 @@ type flow = {
   dst_port : int;
 }
 
-type usage = { packets : int; bytes : int }
+type usage = { mutable packets : int; mutable bytes : int }
+(** Mutable so {!record} can bump a flow's tallies in place — one hash
+    probe and two stores per datagram, no allocation after the flow's
+    first packet.  The query functions below always return fresh copies,
+    never the live record. *)
 
 type t
 
@@ -28,10 +32,23 @@ val record : t -> Packet.Ipv4.header -> payload:bytes -> wire_bytes:int -> unit
     is what the gateway actually carried, header included. *)
 
 val flows : t -> (flow * usage) list
-(** Ledger, largest byte counts first. *)
+(** Ledger, largest byte counts first.  Usage values are copies. *)
 
 val lookup : t -> flow -> usage option
+(** A copy of the flow's current usage. *)
 
 val total : t -> usage
 
+val flow_count : t -> int
+
 val pp_flow : Format.formatter -> flow -> unit
+
+val flow_to_string : flow -> string
+
+val to_json : t -> Trace.Json.t
+(** The full ledger (flow count, totals, per-flow usage) as JSON; wired
+    into [Internet.metrics] snapshots. *)
+
+val metrics_items : t -> unit -> (string * Trace.Metrics.value) list
+(** Pull-based summary source (flow count and totals) for
+    [Trace.Metrics.register]. *)

@@ -12,12 +12,13 @@ type buffer = {
 type t = {
   eng : Engine.t;
   timeout_us : int;
+  node : int; (* owning node, for flight-recorder events *)
   buffers : (key, buffer) Hashtbl.t;
   mutable expired : int;
 }
 
-let create ?(timeout_us = 30_000_000) eng =
-  { eng; timeout_us; buffers = Hashtbl.create 16; expired = 0 }
+let create ?(timeout_us = 30_000_000) ?(node = -1) eng =
+  { eng; timeout_us; node; buffers = Hashtbl.create 16; expired = 0 }
 
 type result = Incomplete | Complete of bytes
 
@@ -74,7 +75,13 @@ let push t (h : Ipv4.header) payload =
             Engine.Timer.start t.eng ~after:t.timeout_us (fun () ->
                 if Hashtbl.mem t.buffers k then begin
                   Hashtbl.remove t.buffers k;
-                  t.expired <- t.expired + 1
+                  t.expired <- t.expired + 1;
+                  if Trace.want Trace.Cls.ip then
+                    Trace.emit
+                      (Trace.Event.Ip_drop
+                         { node = t.node; src = Addr.of_int32 k.src;
+                           dst = Addr.of_int32 k.dst;
+                           reason = Trace.Event.Reassembly_timeout })
                 end)
           in
           let b = { fragments = []; total_len = None; timer } in
@@ -89,6 +96,10 @@ let push t (h : Ipv4.header) payload =
     | Some data ->
         Engine.Timer.cancel b.timer;
         Hashtbl.remove t.buffers k;
+        if Trace.want Trace.Cls.frag then
+          Trace.emit
+            (Trace.Event.Ip_reassembled
+               { node = t.node; id = h.id; len = Bytes.length data });
         Complete data
   end
 

@@ -8,7 +8,9 @@
 
 type t
 
-val create : ?timeout_us:int -> Engine.t -> t
+val create : ?timeout_us:int -> ?node:int -> Engine.t -> t
+(** [node] identifies the owning node in flight-recorder events
+    (default [-1], meaning unattributed). *)
 
 type result =
   | Incomplete  (** Stored; waiting for more fragments. *)

@@ -28,7 +28,12 @@ let add t r =
       t.buckets.(len)
   in
   t.buckets.(len) <- r :: others;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  if Trace.want Trace.Cls.route then
+    Trace.emit
+      (Trace.Event.Route_change
+         { prefix = r.prefix; metric = r.metric;
+           action = Trace.Event.Route_add })
 
 let remove t prefix =
   let len = Addr.Prefix.length prefix in
@@ -36,11 +41,20 @@ let remove t prefix =
     List.filter
       (fun r -> not (Addr.Prefix.equal r.prefix prefix))
       t.buckets.(len);
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  if Trace.want Trace.Cls.route then
+    Trace.emit
+      (Trace.Event.Route_change
+         { prefix; metric = 0; action = Trace.Event.Route_remove })
 
 let clear t =
   Array.fill t.buckets 0 33 [];
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  if Trace.want Trace.Cls.route then
+    Trace.emit
+      (Trace.Event.Route_change
+         { prefix = Addr.Prefix.make Addr.any 0; metric = 0;
+           action = Trace.Event.Route_clear })
 
 let lookup t addr =
   let best = ref None in

@@ -13,6 +13,7 @@ type counters = {
   mutable dropped_no_proto : int;
   mutable dropped_not_forwarding : int;
   mutable dropped_df : int;
+  mutable dropped_unroutable_icmp : int;
   mutable fragments_made : int;
   mutable icmp_tx : int;
   mutable echo_replies : int;
@@ -30,6 +31,7 @@ let new_counters () =
     dropped_no_proto = 0;
     dropped_not_forwarding = 0;
     dropped_df = 0;
+    dropped_unroutable_icmp = 0;
     fragments_made = 0;
     icmp_tx = 0;
     echo_replies = 0;
@@ -58,6 +60,9 @@ type t = {
   mutable next_id : int;
   c : counters;
   mutable accounting : Accounting.t option;
+  mutable tap : (rx:bool -> bytes -> unit) option;
+      (* Observes every frame this stack receives or transmits, for pcap
+         capture at the host rather than on a link. *)
 }
 
 let net t = t.net
@@ -69,6 +74,21 @@ let forwarding t = t.fwd
 let set_fast_path t v = t.fast <- v
 let fast_path t = t.fast
 let counters t = t.c
+let accounting t = t.accounting
+let set_tap t tap = t.tap <- tap
+
+(* Drop paths are cold, so the [want] check can live inside the helper;
+   hot-path events guard inline before constructing anything. *)
+let trace_drop t ~src ~dst reason =
+  if Trace.want Trace.Cls.ip then
+    Trace.emit (Trace.Event.Ip_drop { node = t.node; src; dst; reason })
+
+let trace_deliver t (h : Ipv4.header) ~len =
+  if Trace.want Trace.Cls.ip then
+    Trace.emit
+      (Trace.Event.Ip_deliver
+         { node = t.node; src = h.Ipv4.src; dst = h.Ipv4.dst;
+           proto = Ipv4.Proto.to_int h.Ipv4.proto; len })
 
 (* Route lookup with a per-stack memo.  The memo only pays off on the fast
    path; with the fast path disabled we hit the table directly so that the
@@ -162,6 +182,7 @@ let fragment_payload ~mtu (h : Ipv4.header) payload =
   cut 0 []
 
 let transmit t iface ~priority frame =
+  (match t.tap with Some f -> f ~rx:false frame | None -> ());
   ignore (Netsim.send t.net t.node ~priority ~iface frame)
 
 (* Emit (or fragment and emit) one datagram on [iface].  Low-delay ToS
@@ -177,6 +198,7 @@ let emit t iface (h : Ipv4.header) payload =
   end
   else if h.Ipv4.dont_fragment then begin
     t.c.dropped_df <- t.c.dropped_df + 1;
+    trace_drop t ~src:h.Ipv4.src ~dst:h.Ipv4.dst Trace.Event.Df_needed;
     Error `Too_big
   end
   else begin
@@ -184,6 +206,12 @@ let emit t iface (h : Ipv4.header) payload =
     List.iter
       (fun (fh, fp) ->
         t.c.fragments_made <- t.c.fragments_made + 1;
+        if Trace.want Trace.Cls.frag then
+          Trace.emit
+            (Trace.Event.Ip_fragment
+               { node = t.node; id = fh.Ipv4.id;
+                 frag_offset = fh.Ipv4.frag_offset;
+                 len = Bytes.length fp });
         transmit t iface ~priority (Ipv4.encode fh ~payload:fp))
       frags;
     Ok ()
@@ -203,7 +231,16 @@ let send_raw t ~route (h : Ipv4.header) payload =
 
 let icmp_to t ~dst msg =
   match lookup_route t dst with
-  | None -> () (* cannot even route the error: silently drop *)
+  | None ->
+      (* Cannot even route the error back.  The datagram is still dead,
+         but the loss is no longer silent: it is counted and recorded, so
+         a black hole of ICMP errors shows up in the ledger instead of
+         vanishing (the accountability gap this subsystem closes). *)
+      t.c.dropped_unroutable_icmp <- t.c.dropped_unroutable_icmp + 1;
+      let src =
+        match t.iface_addrs with (_, a) :: _ -> a | [] -> Addr.any
+      in
+      trace_drop t ~src ~dst Trace.Event.Unroutable_icmp
   | Some route ->
       let src =
         match iface_addr t route.Route_table.iface with
@@ -245,18 +282,23 @@ let report_time_exceeded t (h : Ipv4.header) payload =
 
 let deliver_icmp t (h : Ipv4.header) data =
   match Icmp.decode data with
-  | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
+  | Error _ ->
+      t.c.dropped_malformed <- t.c.dropped_malformed + 1;
+      trace_drop t ~src:h.Ipv4.src ~dst:h.Ipv4.dst Trace.Event.Malformed
   | Ok (Icmp.Echo_request { id; seq; payload }) ->
       t.c.delivered <- t.c.delivered + 1;
       t.c.echo_replies <- t.c.echo_replies + 1;
+      trace_deliver t h ~len:(Bytes.length data);
       icmp_to t ~dst:h.Ipv4.src (Icmp.Echo_reply { id; seq; payload })
   | Ok (Icmp.Echo_reply { id; seq; payload }) -> (
       t.c.delivered <- t.c.delivered + 1;
+      trace_deliver t h ~len:(Bytes.length data);
       match t.echo_reply_handler with
       | Some f -> f ~id ~seq ~payload
       | None -> ())
   | Ok (Icmp.Dest_unreachable _ as msg) | Ok (Icmp.Time_exceeded _ as msg) ->
       t.c.delivered <- t.c.delivered + 1;
+      trace_deliver t h ~len:(Bytes.length data);
       List.iter (fun f -> f ~from:h.Ipv4.src msg) t.error_handlers
 
 let deliver_local t (h : Ipv4.header) payload =
@@ -270,9 +312,12 @@ let deliver_local t (h : Ipv4.header) payload =
           match Hashtbl.find_opt t.protos (Ipv4.Proto.to_int p) with
           | Some f ->
               t.c.delivered <- t.c.delivered + 1;
+              trace_deliver t h ~len:(Bytes.length data);
               f h data
           | None ->
               t.c.dropped_no_proto <- t.c.dropped_no_proto + 1;
+              trace_drop t ~src:h.Ipv4.src ~dst:h.Ipv4.dst
+                Trace.Event.No_proto;
               report_unreachable t h data Icmp.Protocol_unreachable))
 
 (* Forwarding ----------------------------------------------------------- *)
@@ -283,6 +328,7 @@ let deliver_local t (h : Ipv4.header) payload =
 let forward t (h : Ipv4.header) payload =
   if h.Ipv4.ttl <= 1 then begin
     t.c.dropped_ttl <- t.c.dropped_ttl + 1;
+    trace_drop t ~src:h.Ipv4.src ~dst:h.Ipv4.dst Trace.Event.Ttl_expired;
     report_time_exceeded t h payload
   end
   else begin
@@ -290,9 +336,15 @@ let forward t (h : Ipv4.header) payload =
     match lookup_route t h.Ipv4.dst with
     | None ->
         t.c.dropped_no_route <- t.c.dropped_no_route + 1;
+        trace_drop t ~src:h.Ipv4.src ~dst:h.Ipv4.dst Trace.Event.No_route;
         report_unreachable t h payload Icmp.Net_unreachable
     | Some route -> (
         t.c.forwarded <- t.c.forwarded + 1;
+        if Trace.want Trace.Cls.ip then
+          Trace.emit
+            (Trace.Event.Ip_forward
+               { node = t.node; src = h.Ipv4.src; dst = h.Ipv4.dst;
+                 ttl = h.Ipv4.ttl; len = Bytes.length payload });
         account t h payload;
         match emit t route.Route_table.iface h payload with
         | Ok () -> ()
@@ -313,6 +365,11 @@ let forward_fast t (h : Ipv4.header) frame =
             <= Netsim.iface_mtu t.net t.node route.Route_table.iface ->
       Ipv4.patch_ttl frame;
       t.c.forwarded <- t.c.forwarded + 1;
+      if Trace.want Trace.Cls.ip then
+        Trace.emit
+          (Trace.Event.Ip_forward
+             { node = t.node; src = h.Ipv4.src; dst = h.Ipv4.dst;
+               ttl = h.Ipv4.ttl - 1; len = Bytes.length frame });
       (match t.accounting with
       | None -> ()
       | Some acc ->
@@ -326,9 +383,12 @@ let forward_fast t (h : Ipv4.header) frame =
   | Some _ | None -> forward t h (Ipv4.payload_of frame)
 
 let receive t ~iface:_ frame =
+  (match t.tap with Some f -> f ~rx:true frame | None -> ());
   if t.fast then begin
     match Ipv4.peek frame with
-    | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
+    | Error _ ->
+        t.c.dropped_malformed <- t.c.dropped_malformed + 1;
+        trace_drop t ~src:Addr.any ~dst:Addr.any Trace.Event.Malformed
     | Ok h ->
         t.c.received <- t.c.received + 1;
         if has_addr t h.Ipv4.dst then begin
@@ -346,20 +406,32 @@ let receive t ~iface:_ frame =
           match frame_handler with
           | Some f ->
               t.c.delivered <- t.c.delivered + 1;
+              trace_deliver t h
+                ~len:(Bytes.length frame - Ipv4.header_size);
               f h frame ~pos:Ipv4.header_size
           | None -> deliver_local t h (Ipv4.payload_of frame)
         end
         else if t.fwd then forward_fast t h frame
-        else t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1
+        else begin
+          t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1;
+          trace_drop t ~src:h.Ipv4.src ~dst:h.Ipv4.dst
+            Trace.Event.Not_forwarding
+        end
   end
   else
     match Ipv4.decode frame with
-    | Error _ -> t.c.dropped_malformed <- t.c.dropped_malformed + 1
+    | Error _ ->
+        t.c.dropped_malformed <- t.c.dropped_malformed + 1;
+        trace_drop t ~src:Addr.any ~dst:Addr.any Trace.Event.Malformed
     | Ok (h, payload) ->
         t.c.received <- t.c.received + 1;
         if has_addr t h.Ipv4.dst then deliver_local t h payload
         else if t.fwd then forward t h payload
-        else t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1
+        else begin
+          t.c.dropped_not_forwarding <- t.c.dropped_not_forwarding + 1;
+          trace_drop t ~src:h.Ipv4.src ~dst:h.Ipv4.dst
+            Trace.Event.Not_forwarding
+        end
 
 (* Origination ---------------------------------------------------------- *)
 
@@ -380,6 +452,9 @@ let send t ?(tos = Ipv4.Tos.Routine) ?(ttl = 64) ?(dont_fragment = false)
     match lookup_route t dst with
     | None ->
         t.c.dropped_no_route <- t.c.dropped_no_route + 1;
+        trace_drop t
+          ~src:(match src with Some s -> s | None -> Addr.any)
+          ~dst Trace.Event.No_route;
         Error `No_route
     | Some route ->
         let src =
@@ -425,6 +500,9 @@ let send_frame t ?(tos = Ipv4.Tos.Routine) ?(ttl = 64) ?(dont_fragment = false)
     match lookup_route t dst with
     | None ->
         t.c.dropped_no_route <- t.c.dropped_no_route + 1;
+        trace_drop t
+          ~src:(match src with Some s -> s | None -> Addr.any)
+          ~dst Trace.Event.No_route;
         Error `No_route
     | Some route ->
         let src =
@@ -465,6 +543,25 @@ let enable_accounting t =
 let reassembly_pending t = Reassembly.pending t.reasm
 let reassembly_expired t = Reassembly.expired t.reasm
 
+let metrics_items t () =
+  let i v = Trace.Metrics.Int v in
+  [ ("sent", i t.c.sent);
+    ("received", i t.c.received);
+    ("delivered", i t.c.delivered);
+    ("forwarded", i t.c.forwarded);
+    ("dropped_malformed", i t.c.dropped_malformed);
+    ("dropped_no_route", i t.c.dropped_no_route);
+    ("dropped_ttl", i t.c.dropped_ttl);
+    ("dropped_no_proto", i t.c.dropped_no_proto);
+    ("dropped_not_forwarding", i t.c.dropped_not_forwarding);
+    ("dropped_df", i t.c.dropped_df);
+    ("dropped_unroutable_icmp", i t.c.dropped_unroutable_icmp);
+    ("fragments_made", i t.c.fragments_made);
+    ("icmp_tx", i t.c.icmp_tx);
+    ("echo_replies", i t.c.echo_replies);
+    ("reassembly_pending", i (reassembly_pending t));
+    ("reassembly_expired", i (reassembly_expired t)) ]
+
 let create ?(forwarding = false) net node =
   let eng = Netsim.engine net in
   let t =
@@ -482,10 +579,11 @@ let create ?(forwarding = false) net node =
       frame_protos = Hashtbl.create 4;
       error_handlers = [];
       echo_reply_handler = None;
-      reasm = Reassembly.create eng;
+      reasm = Reassembly.create ~node eng;
       next_id = 1;
       c = new_counters ();
       accounting = None;
+      tap = None;
     }
   in
   Netsim.set_handler net node (fun ~iface frame -> receive t ~iface frame);

@@ -22,6 +22,9 @@ type counters = {
   mutable dropped_no_proto : int;  (** No handler for the protocol. *)
   mutable dropped_not_forwarding : int;
   mutable dropped_df : int;  (** Needed fragmenting but DF was set. *)
+  mutable dropped_unroutable_icmp : int;
+      (** ICMP errors we generated but could not route back — previously a
+          silent drop. *)
   mutable fragments_made : int;
   mutable icmp_tx : int;
   mutable echo_replies : int;
@@ -134,5 +137,17 @@ val enable_accounting : t -> Accounting.t
 (** Start attributing every datagram forwarded (or locally delivered) by
     this stack to flows; returns the live ledger. *)
 
+val accounting : t -> Accounting.t option
+(** The ledger, if {!enable_accounting} has been called. *)
+
 val reassembly_pending : t -> int
 val reassembly_expired : t -> int
+
+val set_tap : t -> (rx:bool -> bytes -> unit) option -> unit
+(** Attach (or detach) a frame observer at this host: fires once for
+    every frame the stack receives ([rx:true]) and every frame it hands
+    to a link ([rx:false]).  Used for host-side pcap capture. *)
+
+val metrics_items : t -> unit -> (string * Trace.Metrics.value) list
+(** Pull-based metrics source over {!counters} (plus reassembly state),
+    for [Trace.Metrics.register]. *)

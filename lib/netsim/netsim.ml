@@ -96,6 +96,9 @@ type link = {
   mutable up : bool;
   dirs : direction array; (* 0: a->b, 1: b->a *)
   rng : Stdext.Rng.t;
+  mutable tap : (dir:int -> bytes -> unit) option;
+      (* Observes every frame at transmission completion — the sender's
+         wire, before the loss draw — for pcap capture. *)
 }
 
 type node = {
@@ -187,6 +190,7 @@ let add_link t prof na nb =
       up = true;
       dirs = [| new_direction (); new_direction () |];
       rng = Stdext.Rng.split t.rng;
+      tap = None;
     }
   in
   if t.n_links = Array.length t.links then begin
@@ -250,6 +254,10 @@ let deliver t l dir_idx frame =
   let n = node t dst in
   if n.node_up then begin
     dir.delivered_frames <- dir.delivered_frames + 1;
+    if Trace.want Trace.Cls.link then
+      Trace.emit
+        (Trace.Event.Link_deliver
+           { link = l.id; dir = dir_idx; len = Bytes.length frame });
     match n.handler with
     | Some h -> h ~iface:dst_iface frame
     | None -> ()
@@ -269,8 +277,22 @@ let rec start_tx t l dir_idx =
           dir.busy <- false;
           dir.tx_frames <- dir.tx_frames + 1;
           dir.tx_bytes <- dir.tx_bytes + len;
-          if Stdext.Rng.bool l.rng l.prof.loss then
-            dir.drops_loss <- dir.drops_loss + 1
+          if Trace.want Trace.Cls.link then
+            Trace.emit
+              (Trace.Event.Link_dequeue { link = l.id; dir = dir_idx; len });
+          (* The tap sees the sender's wire: everything transmitted,
+             including frames the loss draw is about to destroy. *)
+          (match l.tap with
+          | Some f -> f ~dir:dir_idx frame
+          | None -> ());
+          if Stdext.Rng.bool l.rng l.prof.loss then begin
+            dir.drops_loss <- dir.drops_loss + 1;
+            if Trace.want Trace.Cls.link then
+              Trace.emit
+                (Trace.Event.Link_drop
+                   { link = l.id; dir = dir_idx; len;
+                     reason = Trace.Event.Link_loss })
+          end
           else begin
             let jitter =
               if l.prof.jitter_us = 0 then 0
@@ -288,12 +310,20 @@ let send t nid ?(priority = false) ~iface frame =
   let l = link t lid in
   let dir = l.dirs.(side) in
   let n = node t nid in
+  let drop reason =
+    if Trace.want Trace.Cls.link then
+      Trace.emit
+        (Trace.Event.Link_drop
+           { link = lid; dir = side; len = Bytes.length frame; reason })
+  in
   if (not n.node_up) || not l.up then begin
     dir.drops_down <- dir.drops_down + 1;
+    drop Trace.Event.Link_down;
     false
   end
   else if Bytes.length frame > l.prof.mtu then begin
     dir.drops_mtu <- dir.drops_mtu + 1;
+    drop Trace.Event.Link_mtu;
     false
   end
   else if
@@ -301,10 +331,15 @@ let send t nid ?(priority = false) ~iface frame =
     >= l.prof.queue_capacity
   then begin
     dir.drops_queue <- dir.drops_queue + 1;
+    drop Trace.Event.Queue_full;
     false
   end
   else begin
     Queue.push frame (if priority then dir.queue_hi else dir.queue);
+    if Trace.want Trace.Cls.link then
+      Trace.emit
+        (Trace.Event.Link_enqueue
+           { link = lid; dir = side; len = Bytes.length frame; priority });
     start_tx t l side;
     true
   end
@@ -353,6 +388,20 @@ let total_stats t =
     acc := add_stats !acc (link_stats t i)
   done;
   !acc
+
+let set_link_tap t lid tap = (link t lid).tap <- tap
+
+let stats_items (s : link_stats) =
+  [ ("tx_frames", Trace.Metrics.Int s.tx_frames);
+    ("tx_bytes", Trace.Metrics.Int s.tx_bytes);
+    ("delivered_frames", Trace.Metrics.Int s.delivered_frames);
+    ("drops_queue", Trace.Metrics.Int s.drops_queue);
+    ("drops_loss", Trace.Metrics.Int s.drops_loss);
+    ("drops_down", Trace.Metrics.Int s.drops_down);
+    ("drops_mtu", Trace.Metrics.Int s.drops_mtu) ]
+
+let link_metrics_items t lid () = stats_items (link_stats t lid)
+let total_metrics_items t () = stats_items (total_stats t)
 
 let queue_length t lid =
   let l = link t lid in

@@ -132,3 +132,20 @@ val total_stats : t -> link_stats
 
 val queue_length : t -> link_id -> int
 (** Frames currently queued, both directions. *)
+
+(** {1 Observability} *)
+
+val set_link_tap :
+  t -> link_id -> (dir:int -> bytes -> unit) option -> unit
+(** Attach (or detach, with [None]) a frame observer to a link.  The tap
+    fires at transmission completion — the sender's wire, before the
+    random-loss draw — once per frame, with [dir] 0 for a->b and 1 for
+    b->a.  Used by [Internet.pcap_link] for packet capture. *)
+
+val link_metrics_items :
+  t -> link_id -> unit -> (string * Trace.Metrics.value) list
+(** Pull-based metrics source over {!link_stats}, for
+    [Trace.Metrics.register]. *)
+
+val total_metrics_items : t -> unit -> (string * Trace.Metrics.value) list
+(** Same over {!total_stats}. *)

@@ -200,6 +200,17 @@ let instance_stats t = t.gstats
 let set_fast_path t v = t.fast <- v
 let fast_path t = t.fast
 let connection_count t = Hashtbl.length t.conns
+
+let metrics_items t () =
+  let i v = Trace.Metrics.Int v in
+  [ ("active_opens", i t.gstats.active_opens);
+    ("passive_opens", i t.gstats.passive_opens);
+    ("established", i t.gstats.established);
+    ("resets_out", i t.gstats.resets_out);
+    ("resets_in", i t.gstats.resets_in);
+    ("bad_segments", i t.gstats.bad_segments);
+    ("no_listener", i t.gstats.no_listener);
+    ("connections", i (Hashtbl.length t.conns)) ]
 let state c = c.st
 let stats c = c.cstats
 let cwnd c = c.cwnd
@@ -273,6 +284,15 @@ let destroy c reason =
 let emit_segment c ?(payload_off = 0) ?(payload_len = 0) ?(mss_opt = None)
     ~flags ~seq () =
   c.cstats.segs_out <- c.cstats.segs_out + 1;
+  if Trace.want Trace.Cls.tcp then
+    Trace.emit
+      (Trace.Event.Tcp_segment_out
+         { node = Ip.Stack.node_id c.tcp.ip; dst = c.remote_addr;
+           dst_port = c.remote_port; seq; len = payload_len;
+           flags =
+             Trace.Event.tcp_flag_bits ~fin:flags.Wire.fin
+               ~syn:flags.Wire.syn ~rst:flags.Wire.rst ~psh:flags.Wire.psh
+               ~ack:flags.Wire.ack });
   (* An ACK-bearing segment satisfies any pending delayed ACK. *)
   if flags.Wire.ack then begin
     cancel_timer c.delack_timer;
@@ -369,6 +389,15 @@ and retransmit_one c =
   (* Karn's rule: a retransmitted sequence range must not be timed. *)
   c.timing <- None;
   c.cstats.retransmits <- c.cstats.retransmits + 1;
+  if Trace.want Trace.Cls.tcp then
+    Trace.emit
+      (Trace.Event.Tcp_retransmit
+         { node = Ip.Stack.node_id c.tcp.ip; dst = c.remote_addr;
+           seq = c.snd_una;
+           len =
+             max 0
+               (min c.eff_mss
+                  (Sendbuf.tail c.sndbuf - off_of_seq c c.snd_una)) });
   match c.st with
   | Syn_sent ->
       emit_segment c
@@ -399,6 +428,11 @@ and on_rto c =
   c.rto_timer <- None;
   c.cstats.rto_fires <- c.cstats.rto_fires + 1;
   c.retries <- c.retries + 1;
+  if Trace.want Trace.Cls.tcp then
+    Trace.emit
+      (Trace.Event.Tcp_rto_fire
+         { node = Ip.Stack.node_id c.tcp.ip; dst = c.remote_addr;
+           retries = c.retries });
   let limit =
     match c.st with
     | Syn_sent | Syn_received -> c.cfg.syn_retries
@@ -470,7 +504,12 @@ let rec output c =
           if Seq.lt c.snd_nxt c.snd_max then begin
             c.cstats.retransmits <- c.cstats.retransmits + 1;
             c.cstats.bytes_retransmitted <-
-              c.cstats.bytes_retransmitted + chunk
+              c.cstats.bytes_retransmitted + chunk;
+            if Trace.want Trace.Cls.tcp then
+              Trace.emit
+                (Trace.Event.Tcp_retransmit
+                   { node = Ip.Stack.node_id c.tcp.ip;
+                     dst = c.remote_addr; seq = c.snd_nxt; len = chunk })
           end
           else begin
             c.cstats.bytes_out <- c.cstats.bytes_out + chunk;

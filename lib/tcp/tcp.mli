@@ -175,6 +175,10 @@ type stats = {
 
 val instance_stats : t -> stats
 
+val metrics_items : t -> unit -> (string * Trace.Metrics.value) list
+(** Pull-based metrics source over {!instance_stats} plus the live
+    connection count, for [Trace.Metrics.register]. *)
+
 val connection_count : t -> int
 (** Live (non-Closed) connections. *)
 

@@ -1,0 +1,232 @@
+module Addr = Packet.Addr
+
+(* Why a frame or datagram died.  One flat enumeration across layers so a
+   post-mortem can ask "what killed traffic to X" without knowing in
+   advance which layer to blame — the accountability gap (Clark goal 7)
+   this subsystem exists to close. *)
+type drop_reason =
+  | Queue_full  (** Link output queue tail drop (congestion). *)
+  | Link_loss  (** Random in-flight frame loss. *)
+  | Link_down  (** Send attempted while the link or node was down. *)
+  | Link_mtu  (** Frame larger than the link MTU. *)
+  | Malformed  (** Failed header validation. *)
+  | No_route  (** Routing table had no matching entry. *)
+  | Ttl_expired
+  | No_proto  (** No local handler for the protocol. *)
+  | Not_forwarding  (** Transit datagram at a non-forwarding host. *)
+  | Df_needed  (** Needed fragmenting but DF was set. *)
+  | Unroutable_icmp  (** An ICMP error itself had no route back. *)
+  | Reassembly_timeout
+
+let drop_reason_to_string = function
+  | Queue_full -> "queue_full"
+  | Link_loss -> "link_loss"
+  | Link_down -> "link_down"
+  | Link_mtu -> "link_mtu"
+  | Malformed -> "malformed"
+  | No_route -> "no_route"
+  | Ttl_expired -> "ttl_expired"
+  | No_proto -> "no_proto"
+  | Not_forwarding -> "not_forwarding"
+  | Df_needed -> "df_needed"
+  | Unroutable_icmp -> "unroutable_icmp"
+  | Reassembly_timeout -> "reassembly_timeout"
+
+type route_action = Route_add | Route_remove | Route_clear
+
+(* One lifecycle event.  Every constructor carries plain scalars (node and
+   link ids, addresses, lengths): recording an event allocates the
+   constructor block and nothing else, and none is constructed at all
+   unless its class is enabled. *)
+type t =
+  | Link_enqueue of { link : int; dir : int; len : int; priority : bool }
+  | Link_dequeue of { link : int; dir : int; len : int }
+      (** Transmission onto the wire completed. *)
+  | Link_deliver of { link : int; dir : int; len : int }
+  | Link_drop of { link : int; dir : int; len : int; reason : drop_reason }
+  | Ip_forward of
+      { node : int; src : Addr.t; dst : Addr.t; ttl : int; len : int }
+  | Ip_deliver of
+      { node : int; src : Addr.t; dst : Addr.t; proto : int; len : int }
+  | Ip_drop of
+      { node : int; src : Addr.t; dst : Addr.t; reason : drop_reason }
+  | Ip_fragment of { node : int; id : int; frag_offset : int; len : int }
+  | Ip_reassembled of { node : int; id : int; len : int }
+  | Tcp_segment_out of
+      { node : int;
+        dst : Addr.t;
+        dst_port : int;
+        seq : int;
+        len : int;
+        flags : int  (** bit 0 fin, 1 syn, 2 rst, 3 psh, 4 ack. *)
+      }
+  | Tcp_retransmit of { node : int; dst : Addr.t; seq : int; len : int }
+  | Tcp_rto_fire of { node : int; dst : Addr.t; retries : int }
+  | Timer_arm of { at : int }
+  | Timer_fire of { at : int }
+  | Route_change of
+      { prefix : Addr.Prefix.t; metric : int; action : route_action }
+
+(* Event classes, a bitmask: the recorder's enable check is one [land]
+   against these.  Keep them disjoint powers of two. *)
+module Cls = struct
+  let link = 1
+  let ip = 2
+  let frag = 4
+  let tcp = 8
+  let timer = 16
+  let route = 32
+  let all = link lor ip lor frag lor tcp lor timer lor route
+
+  let to_string c =
+    let names =
+      [ (link, "link"); (ip, "ip"); (frag, "frag"); (tcp, "tcp");
+        (timer, "timer"); (route, "route") ]
+    in
+    String.concat "+"
+      (List.filter_map
+         (fun (bit, n) -> if c land bit <> 0 then Some n else None)
+         names)
+end
+
+let cls = function
+  | Link_enqueue _ | Link_dequeue _ | Link_deliver _ | Link_drop _ ->
+      Cls.link
+  | Ip_forward _ | Ip_deliver _ | Ip_drop _ -> Cls.ip
+  | Ip_fragment _ | Ip_reassembled _ -> Cls.frag
+  | Tcp_segment_out _ | Tcp_retransmit _ | Tcp_rto_fire _ -> Cls.tcp
+  | Timer_arm _ | Timer_fire _ -> Cls.timer
+  | Route_change _ -> Cls.route
+
+let drop_reason_of = function
+  | Link_drop { reason; _ } | Ip_drop { reason; _ } -> Some reason
+  | Link_enqueue _ | Link_dequeue _ | Link_deliver _ | Ip_forward _
+  | Ip_deliver _ | Ip_fragment _ | Ip_reassembled _ | Tcp_segment_out _
+  | Tcp_retransmit _ | Tcp_rto_fire _ | Timer_arm _ | Timer_fire _
+  | Route_change _ ->
+      None
+
+let tcp_flag_bits ~fin ~syn ~rst ~psh ~ack =
+  (if fin then 1 else 0)
+  lor (if syn then 2 else 0)
+  lor (if rst then 4 else 0)
+  lor (if psh then 8 else 0)
+  lor if ack then 16 else 0
+
+let pp fmt e =
+  let a = Addr.pp in
+  match e with
+  | Link_enqueue { link; dir; len; priority } ->
+      Format.fprintf fmt "link %d.%d enqueue %dB%s" link dir len
+        (if priority then " (prio)" else "")
+  | Link_dequeue { link; dir; len } ->
+      Format.fprintf fmt "link %d.%d tx %dB" link dir len
+  | Link_deliver { link; dir; len } ->
+      Format.fprintf fmt "link %d.%d deliver %dB" link dir len
+  | Link_drop { link; dir; len; reason } ->
+      Format.fprintf fmt "link %d.%d DROP %dB: %s" link dir len
+        (drop_reason_to_string reason)
+  | Ip_forward { node; src; dst; ttl; len } ->
+      Format.fprintf fmt "node %d forward %a -> %a ttl=%d %dB" node a src a
+        dst ttl len
+  | Ip_deliver { node; src; dst; proto; len } ->
+      Format.fprintf fmt "node %d deliver %a -> %a proto=%d %dB" node a src
+        a dst proto len
+  | Ip_drop { node; src; dst; reason } ->
+      Format.fprintf fmt "node %d DROP %a -> %a: %s" node a src a dst
+        (drop_reason_to_string reason)
+  | Ip_fragment { node; id; frag_offset; len } ->
+      Format.fprintf fmt "node %d fragment id=%d off=%d %dB" node id
+        frag_offset len
+  | Ip_reassembled { node; id; len } ->
+      Format.fprintf fmt "node %d reassembled id=%d %dB" node id len
+  | Tcp_segment_out { node; dst; dst_port; seq; len; flags } ->
+      Format.fprintf fmt "node %d tcp -> %a:%d seq=%d len=%d flags=%s%s%s%s%s"
+        node a dst dst_port seq len
+        (if flags land 2 <> 0 then "S" else "")
+        (if flags land 16 <> 0 then "A" else "")
+        (if flags land 8 <> 0 then "P" else "")
+        (if flags land 1 <> 0 then "F" else "")
+        (if flags land 4 <> 0 then "R" else "")
+  | Tcp_retransmit { node; dst; seq; len } ->
+      Format.fprintf fmt "node %d tcp REXMIT -> %a seq=%d len=%d" node a dst
+        seq len
+  | Tcp_rto_fire { node; dst; retries } ->
+      Format.fprintf fmt "node %d tcp RTO fire -> %a retries=%d" node a dst
+        retries
+  | Timer_arm { at } -> Format.fprintf fmt "timer arm at=%d" at
+  | Timer_fire { at } -> Format.fprintf fmt "timer fire at=%d" at
+  | Route_change { prefix; metric; action } ->
+      Format.fprintf fmt "route %s %a metric=%d"
+        (match action with
+        | Route_add -> "add"
+        | Route_remove -> "remove"
+        | Route_clear -> "clear")
+        Addr.Prefix.pp prefix metric
+
+let to_json e =
+  let base kind fields = Json.Obj (("event", Json.Str kind) :: fields) in
+  let addr x = Json.Str (Addr.to_string x) in
+  match e with
+  | Link_enqueue { link; dir; len; priority } ->
+      base "link_enqueue"
+        [ ("link", Json.Int link); ("dir", Json.Int dir);
+          ("len", Json.Int len); ("priority", Json.Bool priority) ]
+  | Link_dequeue { link; dir; len } ->
+      base "link_dequeue"
+        [ ("link", Json.Int link); ("dir", Json.Int dir);
+          ("len", Json.Int len) ]
+  | Link_deliver { link; dir; len } ->
+      base "link_deliver"
+        [ ("link", Json.Int link); ("dir", Json.Int dir);
+          ("len", Json.Int len) ]
+  | Link_drop { link; dir; len; reason } ->
+      base "link_drop"
+        [ ("link", Json.Int link); ("dir", Json.Int dir);
+          ("len", Json.Int len);
+          ("reason", Json.Str (drop_reason_to_string reason)) ]
+  | Ip_forward { node; src; dst; ttl; len } ->
+      base "ip_forward"
+        [ ("node", Json.Int node); ("src", addr src); ("dst", addr dst);
+          ("ttl", Json.Int ttl); ("len", Json.Int len) ]
+  | Ip_deliver { node; src; dst; proto; len } ->
+      base "ip_deliver"
+        [ ("node", Json.Int node); ("src", addr src); ("dst", addr dst);
+          ("proto", Json.Int proto); ("len", Json.Int len) ]
+  | Ip_drop { node; src; dst; reason } ->
+      base "ip_drop"
+        [ ("node", Json.Int node); ("src", addr src); ("dst", addr dst);
+          ("reason", Json.Str (drop_reason_to_string reason)) ]
+  | Ip_fragment { node; id; frag_offset; len } ->
+      base "ip_fragment"
+        [ ("node", Json.Int node); ("id", Json.Int id);
+          ("frag_offset", Json.Int frag_offset); ("len", Json.Int len) ]
+  | Ip_reassembled { node; id; len } ->
+      base "ip_reassembled"
+        [ ("node", Json.Int node); ("id", Json.Int id);
+          ("len", Json.Int len) ]
+  | Tcp_segment_out { node; dst; dst_port; seq; len; flags } ->
+      base "tcp_segment_out"
+        [ ("node", Json.Int node); ("dst", addr dst);
+          ("dst_port", Json.Int dst_port); ("seq", Json.Int seq);
+          ("len", Json.Int len); ("flags", Json.Int flags) ]
+  | Tcp_retransmit { node; dst; seq; len } ->
+      base "tcp_retransmit"
+        [ ("node", Json.Int node); ("dst", addr dst);
+          ("seq", Json.Int seq); ("len", Json.Int len) ]
+  | Tcp_rto_fire { node; dst; retries } ->
+      base "tcp_rto_fire"
+        [ ("node", Json.Int node); ("dst", addr dst);
+          ("retries", Json.Int retries) ]
+  | Timer_arm { at } -> base "timer_arm" [ ("at", Json.Int at) ]
+  | Timer_fire { at } -> base "timer_fire" [ ("at", Json.Int at) ]
+  | Route_change { prefix; metric; action } ->
+      base "route_change"
+        [ ("prefix", Json.Str (Addr.Prefix.to_string prefix));
+          ("metric", Json.Int metric);
+          ( "action",
+            Json.Str
+              (match action with
+              | Route_add -> "add"
+              | Route_remove -> "remove"
+              | Route_clear -> "clear") ) ]

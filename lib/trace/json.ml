@@ -1,0 +1,137 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g would round-trip but litters the file; benches report measured
+   quantities where a few decimals carry all the signal. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.4f" f
+
+let to_buffer b t =
+  let rec go indent t =
+    match t with
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string b ",\n";
+            Buffer.add_string b pad;
+            go (indent + 2) item)
+          items;
+        Buffer.add_char b '\n';
+        Buffer.add_string b (String.make indent ' ');
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string b "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            Buffer.add_string b pad;
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\": ";
+            go (indent + 2) v)
+          fields;
+        Buffer.add_char b '\n';
+        Buffer.add_string b (String.make indent ' ');
+        Buffer.add_char b '}'
+  in
+  go 0 t
+
+let to_string t =
+  let b = Buffer.create 256 in
+  to_buffer b t;
+  Buffer.contents b
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc
+
+(* A deliberately dumb extractor for the flat BENCH_*.json files this repo
+   writes: walk down [keys] (each names an object member) and read the
+   number that follows.  Not a JSON parser — just enough for check.sh-style
+   cross-referencing between bench outputs. *)
+let number_at ~keys text =
+  let find_from pos needle =
+    let n = String.length needle and len = String.length text in
+    let rec scan i =
+      if i + n > len then None
+      else if String.sub text i n = needle then Some (i + n)
+      else scan (i + 1)
+    in
+    scan pos
+  in
+  let rec walk pos = function
+    | [] ->
+        (* Skip to the number after the last key's colon. *)
+        let len = String.length text in
+        let rec skip i =
+          if i >= len then None
+          else
+            match text.[i] with
+            | ' ' | ':' | '\t' | '\n' -> skip (i + 1)
+            | '-' | '0' .. '9' ->
+                let j = ref i in
+                while
+                  !j < len
+                  && (match text.[!j] with
+                     | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+                     | _ -> false)
+                do
+                  incr j
+                done;
+                float_of_string_opt (String.sub text i (!j - i))
+            | _ -> None
+        in
+        skip pos
+    | k :: rest -> (
+        match find_from pos ("\"" ^ k ^ "\"") with
+        | Some p -> walk p rest
+        | None -> None)
+  in
+  walk 0 keys
+
+let number_in_file ~keys path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      number_at ~keys s

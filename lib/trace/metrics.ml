@@ -1,0 +1,115 @@
+(* A registry of named metrics.  Two populations coexist:
+
+   - [register]ed sources: pull-based views over counters that already
+     live in the protocol modules (Ip.Stack.counters, Netsim.link_stats,
+     Tcp stats...).  Registering costs one closure at setup; the hot paths
+     keep bumping their plain mutable ints, so unification costs the fast
+     paths nothing.  The snapshot reads everything live.
+
+   - owned counters/gauges/histograms: for code without an existing
+     counter record (benches, examples, new subsystems).
+
+   Registries are instances, not a global: lifetimes follow the topology
+   that owns them (Internet.metrics wires one per simulation), so bench
+   harnesses that build hundreds of topologies do not accumulate dead
+   stacks behind a global registry. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Dist of { count : int; mean : float; min : float; max : float;
+              total : float }
+
+let of_summary s =
+  let n = Stdext.Stats.Summary.count s in
+  Dist
+    {
+      count = n;
+      mean = Stdext.Stats.Summary.mean s;
+      min = (if n = 0 then 0.0 else Stdext.Stats.Summary.min s);
+      max = (if n = 0 then 0.0 else Stdext.Stats.Summary.max s);
+      total = Stdext.Stats.Summary.total s;
+    }
+
+type t = {
+  mutable sources : (string * (unit -> (string * value) list)) list;
+  (* registration order, newest first *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, unit -> float) Hashtbl.t;
+  histograms : (string, Stdext.Stats.Summary.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    sources = [];
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let register t name items =
+  if List.mem_assoc name t.sources then
+    invalid_arg (Printf.sprintf "Metrics.register: duplicate source %S" name);
+  t.sources <- (name, items) :: t.sources
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      Hashtbl.add t.counters name c;
+      c
+
+let incr ?(by = 1) c = c := !c + by
+
+let gauge t name f = Hashtbl.replace t.gauges name f
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = Stdext.Stats.Summary.create () in
+      Hashtbl.add t.histograms name h;
+      h
+
+let observe h x = Stdext.Stats.Summary.add h x
+
+let own_items t =
+  let items = ref [] in
+  Hashtbl.iter (fun name c -> items := (name, Int !c) :: !items) t.counters;
+  Hashtbl.iter (fun name f -> items := (name, Float (f ())) :: !items)
+    t.gauges;
+  Hashtbl.iter
+    (fun name h -> items := (name, of_summary h) :: !items)
+    t.histograms;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !items
+
+let snapshot t =
+  let sources =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map (fun (name, items) -> (name, items ())) t.sources)
+  in
+  match own_items t with [] -> sources | own -> sources @ [ ("self", own) ]
+
+let value_to_json = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Dist { count; mean; min; max; total } ->
+      Json.Obj
+        [ ("count", Json.Int count); ("mean", Json.Float mean);
+          ("min", Json.Float min); ("max", Json.Float max);
+          ("total", Json.Float total) ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (source, items) ->
+         ( source,
+           Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) items) ))
+       (snapshot t))
+
+let find t ~source ~name =
+  match List.assoc_opt source (snapshot t) with
+  | None -> None
+  | Some items -> List.assoc_opt name items

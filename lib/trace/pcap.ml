@@ -1,0 +1,61 @@
+(* Classic pcap (libpcap 2.4) writer.  LINKTYPE_RAW: each record is a raw
+   IPv4 datagram, which is exactly what travels on this simulator's links,
+   so captures open directly in tcpdump/wireshark/scapy.
+
+   We write the little-endian byte order (magic a1 b2 c3 d4 stored LE);
+   readers detect orientation from the magic either way. *)
+
+let magic = 0xa1b2c3d4
+let version_major = 2
+let version_minor = 4
+let linktype_raw = 101
+let default_snaplen = 65_535
+
+type t = {
+  buf : Buffer.t;
+  snaplen : int;
+  mutable packets : int;
+}
+
+let u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff))
+
+let u32 b v =
+  u16 b (v land 0xffff);
+  u16 b ((v lsr 16) land 0xffff)
+
+let create ?(snaplen = default_snaplen) () =
+  if snaplen < 1 then invalid_arg "Pcap.create: snaplen < 1";
+  let buf = Buffer.create 4096 in
+  u32 buf magic;
+  u16 buf version_major;
+  u16 buf version_minor;
+  u32 buf 0; (* thiszone *)
+  u32 buf 0; (* sigfigs *)
+  u32 buf snaplen;
+  u32 buf linktype_raw;
+  { buf; snaplen; packets = 0 }
+
+let header_len = 24
+let record_header_len = 16
+
+let add t ~ts_us frame =
+  let orig = Bytes.length frame in
+  let incl = min orig t.snaplen in
+  u32 t.buf (ts_us / 1_000_000);
+  u32 t.buf (ts_us mod 1_000_000);
+  u32 t.buf incl;
+  u32 t.buf orig;
+  Buffer.add_subbytes t.buf frame 0 incl;
+  t.packets <- t.packets + 1
+
+let packet_count t = t.packets
+let byte_length t = Buffer.length t.buf
+let to_string t = Buffer.contents t.buf
+
+let write_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc t.buf)

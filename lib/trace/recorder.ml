@@ -1,0 +1,122 @@
+(* The flight recorder: one global bounded ring of timestamped events.
+
+   Global because the simulation is single-threaded and the point is a
+   single place to ask "what just happened" — per-instance recorders would
+   reintroduce exactly the scatter this subsystem removes.
+
+   The overhead contract (DESIGN.md §observability): with every class
+   disabled, an instrumented call site costs one read of [mask] and a
+   branch; no event is constructed, nothing is written.  Call sites guard
+   with [want] before building the event:
+
+     if Trace.want Trace.Cls.ip then
+       Trace.emit (Trace.Event.Ip_drop { ... })                          *)
+
+type entry = { t_us : int; seq : int; event : Event.t }
+
+(* [mask] is deliberately a bare mutable int in a flat record: [want] is
+   a single load + land + compare, cheap enough for the e13/e14 fast
+   paths. *)
+type state = {
+  mutable mask : int;
+  mutable buf : entry array;
+  mutable head : int; (* next write index *)
+  mutable len : int; (* valid entries, <= capacity *)
+  mutable emitted : int; (* total recorded since last clear *)
+  mutable now : unit -> int;
+}
+
+let default_capacity = 65_536
+
+let nil = { t_us = 0; seq = 0; event = Event.Timer_arm { at = 0 } }
+
+let st =
+  { mask = 0; buf = [||]; head = 0; len = 0; emitted = 0;
+    now = (fun () -> 0) }
+
+let want c = st.mask land c <> 0
+let enabled () = st.mask <> 0
+let mask () = st.mask
+let set_mask m = st.mask <- m
+
+let set_now f = st.now <- f
+
+let capacity () = Array.length st.buf
+
+let clear () =
+  st.head <- 0;
+  st.len <- 0;
+  st.emitted <- 0;
+  (* Drop references so recorded payloads can be collected. *)
+  Array.fill st.buf 0 (Array.length st.buf) nil
+
+let enable ?(capacity = default_capacity) ?(mask = Event.Cls.all) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity < 1";
+  if Array.length st.buf <> capacity then st.buf <- Array.make capacity nil;
+  clear ();
+  st.mask <- mask
+
+let disable () = st.mask <- 0
+
+let emit event =
+  if st.mask land Event.cls event <> 0 && Array.length st.buf > 0 then begin
+    let e = { t_us = st.now (); seq = st.emitted; event } in
+    st.buf.(st.head) <- e;
+    st.head <- (st.head + 1) mod Array.length st.buf;
+    if st.len < Array.length st.buf then st.len <- st.len + 1;
+    st.emitted <- st.emitted + 1
+  end
+
+let length () = st.len
+let emitted () = st.emitted
+
+(* Events pushed out of the ring by later ones. *)
+let overwritten () = st.emitted - st.len
+
+let iter f =
+  let cap = Array.length st.buf in
+  if cap > 0 then
+    let start = (st.head - st.len + cap) mod cap in
+    for i = 0 to st.len - 1 do
+      f st.buf.((start + i) mod cap)
+    done
+
+let entries () =
+  let acc = ref [] in
+  iter (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let count p =
+  let n = ref 0 in
+  iter (fun e -> if p e.event then incr n);
+  !n
+
+let drops ?reason () =
+  let keep e =
+    match Event.drop_reason_of e.event with
+    | None -> false
+    | Some r -> ( match reason with None -> true | Some want -> r = want)
+  in
+  List.filter keep (entries ())
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%8dus #%d] %a" e.t_us e.seq Event.pp e.event
+
+let to_json () =
+  Json.Obj
+    [ ("mask", Json.Str (Event.Cls.to_string st.mask));
+      ("capacity", Json.Int (Array.length st.buf));
+      ("emitted", Json.Int st.emitted);
+      ("overwritten", Json.Int (overwritten ()));
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               match Event.to_json e.event with
+               | Json.Obj fields ->
+                   Json.Obj
+                     (("t_us", Json.Int e.t_us)
+                     :: ("seq", Json.Int e.seq)
+                     :: fields)
+               | other -> other)
+             (entries ())) ) ]

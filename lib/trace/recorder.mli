@@ -1,0 +1,67 @@
+(** The global flight recorder: a bounded ring buffer of typed, timestamped
+    lifecycle events (see {!Event}).
+
+    Disabled (the default and the fast-path state), an instrumented call
+    site costs one read of the class mask and a branch — no event is ever
+    constructed.  Enabled, each recorded event costs its constructor block
+    plus one array store; when the ring is full the oldest entry is
+    overwritten and counted in {!overwritten}. *)
+
+type entry = { t_us : int; seq : int; event : Event.t }
+(** [seq] numbers every recorded event from 0 since the last {!enable} or
+    {!clear}; gaps never occur (overwriting discards old entries, not
+    sequence numbers). *)
+
+val enable : ?capacity:int -> ?mask:int -> unit -> unit
+(** Start recording.  [capacity] bounds the ring (default 65536 entries);
+    [mask] is an {!Event.Cls} bitmask (default all classes).  Clears any
+    previous recording. *)
+
+val disable : unit -> unit
+(** Stop recording; the ring's contents stay readable. *)
+
+val want : int -> bool
+(** [want cls] is the single-flag check instrumented code performs before
+    constructing an event of class [cls]. *)
+
+val enabled : unit -> bool
+val mask : unit -> int
+
+val set_mask : int -> unit
+(** Adjust the class mask without touching the ring. *)
+
+val set_now : (unit -> int) -> unit
+(** Install the virtual-clock source for timestamps.  [Engine.create]
+    calls this, so the most recently created engine stamps events; a
+    multi-engine test can re-point it explicitly. *)
+
+val emit : Event.t -> unit
+(** Record one event (timestamped now) if its class is enabled.  Safe to
+    call unguarded; guarded call sites use {!want} first so the event is
+    not even constructed when disabled. *)
+
+val clear : unit -> unit
+
+val capacity : unit -> int
+val length : unit -> int
+(** Entries currently held (<= capacity). *)
+
+val emitted : unit -> int
+(** Total events recorded since the last {!enable}/{!clear}. *)
+
+val overwritten : unit -> int
+(** Events pushed out of the ring: [emitted () - length ()]. *)
+
+val entries : unit -> entry list
+(** Oldest first. *)
+
+val iter : (entry -> unit) -> unit
+val count : (Event.t -> bool) -> int
+
+val drops : ?reason:Event.drop_reason -> unit -> entry list
+(** Recorded drop events, optionally restricted to one reason. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val to_json : unit -> Json.t
+(** Mask, counts, and every held event as a JSON object. *)

@@ -1,0 +1,41 @@
+(** The observability subsystem: flight recorder, metrics registry, pcap
+    export (DESIGN.md §observability).
+
+    This entry module is what instrumented code touches:
+
+    {[
+      if Trace.want Trace.Cls.ip then
+        Trace.emit (Trace.Event.Ip_drop { node; src; dst; reason })
+    ]}
+
+    With tracing disabled (the default), that costs one mask load and a
+    branch — the overhead contract benchmarked by E15. *)
+
+module Json = Json
+module Event = Event
+module Cls = Event.Cls
+module Metrics = Metrics
+module Pcap = Pcap
+module Recorder = Recorder
+
+type entry = Recorder.entry = { t_us : int; seq : int; event : Event.t }
+
+let enable = Recorder.enable
+let disable = Recorder.disable
+let enabled = Recorder.enabled
+let want = Recorder.want
+let mask = Recorder.mask
+let set_mask = Recorder.set_mask
+let set_now = Recorder.set_now
+let emit = Recorder.emit
+let clear = Recorder.clear
+let capacity = Recorder.capacity
+let length = Recorder.length
+let emitted = Recorder.emitted
+let overwritten = Recorder.overwritten
+let entries = Recorder.entries
+let iter = Recorder.iter
+let count = Recorder.count
+let drops = Recorder.drops
+let pp_entry = Recorder.pp_entry
+let to_json = Recorder.to_json

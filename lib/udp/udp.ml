@@ -25,6 +25,12 @@ and socket = {
 
 let stack t = t.ip
 let stats t = t.stats
+
+let metrics_items t () =
+  [ ("datagrams_in", Trace.Metrics.Int t.stats.datagrams_in);
+    ("datagrams_out", Trace.Metrics.Int t.stats.datagrams_out);
+    ("bad", Trace.Metrics.Int t.stats.bad);
+    ("no_port", Trace.Metrics.Int t.stats.no_port) ]
 let port s = s.sock_port
 
 let handle t (h : Ipv4.header) payload =

@@ -47,3 +47,7 @@ val close : socket -> unit
 (** Release the port; further arrivals count as [no_port]. *)
 
 val stats : t -> stats
+
+val metrics_items : t -> unit -> (string * Trace.Metrics.value) list
+(** Pull-based metrics source over {!stats}, for
+    [Trace.Metrics.register]. *)
