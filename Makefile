@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke clean
+.PHONY: all build test check bench bench-smoke gauntlet-smoke clean
 
 all: build
 
@@ -18,6 +18,11 @@ bench:
 # and run in seconds, without overwriting the real BENCH_*.json numbers.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --out=_smoke
+
+# The E16 survivability gauntlet alone, scaled down: fault injection,
+# reconvergence measurement and the replay-determinism check end to end.
+gauntlet-smoke:
+	dune exec bench/main.exe -- --smoke --only E16 --out=_smoke
 
 clean:
 	dune clean

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo check: format (when ocamlformat is available), build, tests, bench
-# smoke, and the observability overhead gate over the committed
-# BENCH_trace.json (DESIGN.md §observability).
+# smoke, the survivability gauntlet smoke, and the gates over the
+# committed BENCH_trace.json (DESIGN.md §observability) and
+# BENCH_survivability.json (DESIGN.md §survivability gauntlet).
 # Usage: bin/check.sh  (or `make check`)
 set -eu
 cd "$(dirname "$0")/.."
@@ -48,6 +49,39 @@ if [ -f BENCH_trace.json ]; then
     }' BENCH_trace.json
 else
   echo "  skipped (no BENCH_trace.json; run: dune exec bench/main.exe -- --only E13,E14,E15)"
+fi
+
+echo "== gauntlet smoke"
+make --no-print-directory gauntlet-smoke >/dev/null
+
+# The survivability contract (Clark goal 1): every TCP conversation in
+# the E16 gauntlet survives flaps, a gateway crash with soft-state
+# amnesia, a partition and a seeded flap storm; routing re-converges
+# after every fault within budget; and the whole run replays bit for
+# bit from its seed.  As with the E15 gate, smoke numbers are not the
+# contract — gate on the committed full-run artifact.
+echo "== survivability gate (BENCH_survivability.json)"
+if [ -f BENCH_survivability.json ]; then
+  awk '
+    function num(line,   v) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+    /"survival_pct"/ && $0 !~ /required/ { survival = num($0); have_s = 1 }
+    /"required_survival_pct"/ { required = num($0) }
+    /"worst_reconvergence_s"/ { if ($0 ~ /null/) never = 1; else { worst = num($0); have_w = 1 } }
+    /"reconvergence_budget_s"/ { budget = num($0) }
+    /"replay_ok"/ { replay_ok = ($0 ~ /true/) }
+    END {
+      if (required == 0) required = 100.0
+      if (budget == 0) budget = 12.0
+      bad = 0
+      if (!have_s || survival < required) { printf "FAIL: TCP survival %.1f%% below the required %.1f%%\n", survival, required; bad = 1 }
+      if (never) { printf "FAIL: some fault never re-converged\n"; bad = 1 }
+      else if (!have_w || worst > budget) { printf "FAIL: worst reconvergence %.2fs exceeds the %.1fs budget\n", worst, budget; bad = 1 }
+      if (!replay_ok) { printf "FAIL: gauntlet replay diverged (same seed, different run)\n"; bad = 1 }
+      if (!bad) printf "  survival %.1f%%, worst reconvergence %.2fs (budget %.1fs), replay bit-for-bit\n", survival, worst, budget
+      exit bad
+    }' BENCH_survivability.json
+else
+  echo "  skipped (no BENCH_survivability.json; run: dune exec bench/main.exe -- --only E16)"
 fi
 
 echo "check: OK"

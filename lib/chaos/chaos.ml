@@ -1,0 +1,48 @@
+(* The survivability gauntlet (Clark goal 1): deterministic fault
+   injection over the netsim primitives.
+
+   A [Schedule.t] is pure data (seeded, digestable); [inject] arms one
+   engine timer per entry; [apply] translates a fault into netsim
+   carrier/power changes, delegating crash *semantics* — what dies with
+   a gateway beyond its reachability — to the environment's hooks, so
+   the layer that owns soft state (Internet/routing) decides what a
+   crash destroys without this library depending on it. *)
+
+module Fault = Fault
+module Schedule = Schedule
+module Observer = Observer
+
+type env = {
+  env_net : Netsim.t;
+  env_crash : Netsim.node_id -> unit;
+      (** Take the node down *and* destroy its soft state. *)
+  env_restore : Netsim.node_id -> unit;  (** Power the node back on. *)
+}
+
+(* Bare environment: crash/restore toggle power only.  Soft-state-aware
+   crashes come from [Internet.chaos_env], which layers the flushes on. *)
+let env_of_netsim net =
+  {
+    env_net = net;
+    env_crash = (fun n -> Netsim.set_node_up net n false);
+    env_restore = (fun n -> Netsim.set_node_up net n true);
+  }
+
+let apply env = function
+  | Fault.Link_set { link; up } -> Netsim.set_link_up env.env_net link up
+  | Fault.Node_set { node; up } ->
+      if up then env.env_restore node else env.env_crash node
+
+let inject ?observer env schedule =
+  let eng = Netsim.engine env.env_net in
+  List.iter
+    (fun { Schedule.at_us; fault } ->
+      let fire () =
+        apply env fault;
+        match observer with
+        | Some o -> Observer.note_fault o fault
+        | None -> ()
+      in
+      if at_us <= Engine.now eng then fire ()
+      else Engine.schedule eng ~at:at_us fire)
+    schedule

@@ -1,0 +1,22 @@
+type t =
+  | Link_set of { link : Netsim.link_id; up : bool }
+  | Node_set of { node : Netsim.node_id; up : bool }
+
+let pp fmt = function
+  | Link_set { link; up } ->
+      Format.fprintf fmt "link %d %s" link (if up then "up" else "down")
+  | Node_set { node; up } ->
+      Format.fprintf fmt "node %d %s" node
+        (if up then "restore" else "crash")
+
+let to_string f = Format.asprintf "%a" pp f
+
+let to_json = function
+  | Link_set { link; up } ->
+      Trace.Json.Obj
+        [ ("fault", Trace.Json.Str "link_set");
+          ("link", Trace.Json.Int link); ("up", Trace.Json.Bool up) ]
+  | Node_set { node; up } ->
+      Trace.Json.Obj
+        [ ("fault", Trace.Json.Str "node_set");
+          ("node", Trace.Json.Int node); ("up", Trace.Json.Bool up) ]

@@ -1,0 +1,16 @@
+(** One injectable fault.  Faults are pure descriptions — applying one is
+    the injector's job (see {!Chaos.apply}), so a schedule can be built,
+    printed, digested and replayed without touching the network. *)
+
+type t =
+  | Link_set of { link : Netsim.link_id; up : bool }
+      (** Carrier change: [up = false] cuts the link (in-flight and
+          queued frames are lost), [up = true] restores it. *)
+  | Node_set of { node : Netsim.node_id; up : bool }
+      (** [up = false] crashes the node; [up = true] reboots it.  What a
+          crash destroys beyond reachability (soft state) is decided by
+          the environment's crash hook — see {!Chaos.env}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_json : t -> Trace.Json.t

@@ -1,0 +1,134 @@
+module Addr = Packet.Addr
+
+type record = {
+  fault : Fault.t;
+  at_us : int;
+  mutable reconverged_at_us : int option;
+  mutable blackholed : int;
+}
+
+type t = {
+  o_net : Netsim.t;
+  o_eng : Engine.t;
+  o_poll_us : int;
+  o_stacks : Ip.Stack.t list;
+  o_stack_of : Netsim.node_id -> Ip.Stack.t option;
+  o_probes : (Ip.Stack.t * Addr.t) list;
+  mutable o_records : record list; (* newest first *)
+  mutable o_open : (record * int) list; (* record, drop snapshot *)
+  mutable o_running : bool;
+}
+
+let create ?(poll_us = 10_000) ~net ~stacks ~stack_of ~probes () =
+  {
+    o_net = net;
+    o_eng = Netsim.engine net;
+    o_poll_us = poll_us;
+    o_stacks = stacks;
+    o_stack_of = stack_of;
+    o_probes = probes;
+    o_records = [];
+    o_open = [];
+    o_running = false;
+  }
+
+(* Datagrams black-holed by a fault are the ones the network itself
+   killed for want of a path: no matching route, TTL run out in a
+   transient loop, or sent into a dead link/node.  Queue and loss drops
+   are congestion, not survivability, and are excluded. *)
+let drops_total t =
+  let stack_drops =
+    List.fold_left
+      (fun acc s ->
+        let c = Ip.Stack.counters s in
+        acc + c.Ip.Stack.dropped_no_route + c.Ip.Stack.dropped_ttl
+        + c.Ip.Stack.dropped_not_forwarding)
+      0 t.o_stacks
+  in
+  stack_drops + (Netsim.total_stats t.o_net).Netsim.drops_down
+
+(* God's-eye path check: follow each hop's *actual* routing table over
+   *actually alive* links and nodes.  No packets are sent, so observing
+   never perturbs the simulation it measures. *)
+let path_ok t src dst =
+  let net = t.o_net in
+  let rec walk stack hops =
+    hops > 0
+    && Netsim.node_is_up net (Ip.Stack.node_id stack)
+    &&
+    if Ip.Stack.has_addr stack dst then true
+    else
+      match Ip.Route_table.lookup (Ip.Stack.table stack) dst with
+      | None -> false
+      | Some r -> (
+          let me = Ip.Stack.node_id stack in
+          let link = Netsim.iface_link net me r.Ip.Route_table.iface in
+          Netsim.link_is_up net link
+          &&
+          let next_node, _ = Netsim.peer net me r.Ip.Route_table.iface in
+          Netsim.node_is_up net next_node
+          &&
+          match t.o_stack_of next_node with
+          | None -> false
+          | Some next -> walk next (hops - 1))
+  in
+  walk src 32
+
+let converged t =
+  List.for_all (fun (src, dst) -> path_ok t src dst) t.o_probes
+
+let note_fault t fault =
+  let r =
+    {
+      fault;
+      at_us = Engine.now t.o_eng;
+      reconverged_at_us = None;
+      blackholed = 0;
+    }
+  in
+  t.o_records <- r :: t.o_records;
+  t.o_open <- (r, drops_total t) :: t.o_open
+
+let poll t =
+  if t.o_open <> [] && converged t then begin
+    let now = Engine.now t.o_eng in
+    let drops = drops_total t in
+    List.iter
+      (fun (r, snapshot) ->
+        r.reconverged_at_us <- Some now;
+        r.blackholed <- drops - snapshot)
+      t.o_open;
+    t.o_open <- []
+  end
+
+let start t =
+  if not t.o_running then begin
+    t.o_running <- true;
+    let rec tick () =
+      if t.o_running then begin
+        poll t;
+        Engine.after t.o_eng t.o_poll_us tick
+      end
+    in
+    Engine.after t.o_eng t.o_poll_us tick
+  end
+
+let stop t =
+  poll t;
+  t.o_running <- false
+
+let records t = List.rev t.o_records
+
+let record_to_json r =
+  Trace.Json.Obj
+    [ ("fault", Trace.Json.Str (Fault.to_string r.fault));
+      ("at_us", Trace.Json.Int r.at_us);
+      ( "reconverged_at_us",
+        match r.reconverged_at_us with
+        | Some v -> Trace.Json.Int v
+        | None -> Trace.Json.Null );
+      ( "reconvergence_s",
+        match r.reconverged_at_us with
+        | Some v -> Trace.Json.Float (float_of_int (v - r.at_us) /. 1e6)
+        | None -> Trace.Json.Null );
+      ("blackholed", Trace.Json.Int r.blackholed) ]

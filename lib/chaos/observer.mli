@@ -1,0 +1,56 @@
+(** Reconvergence observer: measures how long the control plane takes to
+    restore end-to-end paths after each fault, and how many datagrams
+    the network black-holed in the window.
+
+    The observer never sends packets.  Convergence is judged god's-eye:
+    a probe [(src, dst)] is satisfied when following each hop's actual
+    routing table, over links and nodes that are actually up, reaches a
+    stack owning [dst] within 32 hops (a routing loop or a dead hop
+    fails the walk).  This deliberately measures the *control plane*;
+    data-plane survival is the TCP transfer the harness runs on top. *)
+
+type record = {
+  fault : Fault.t;
+  at_us : int;  (** When the fault was applied. *)
+  mutable reconverged_at_us : int option;
+      (** First poll at which every probe's path was whole again; [None]
+          if the run ended first. *)
+  mutable blackholed : int;
+      (** Fault-attributable drops (no-route + TTL + down-link) network
+          wide between [at_us] and reconvergence. *)
+}
+
+type t
+
+val create :
+  ?poll_us:int ->
+  net:Netsim.t ->
+  stacks:Ip.Stack.t list ->
+  stack_of:(Netsim.node_id -> Ip.Stack.t option) ->
+  probes:(Ip.Stack.t * Packet.Addr.t) list ->
+  unit ->
+  t
+(** [stacks] is every stack whose drop counters should count toward
+    blackhole attribution; [stack_of] resolves a netsim node to its
+    stack for the path walk; [probes] are the (source stack,
+    destination address) paths that define "converged".  [poll_us]
+    bounds measurement granularity (default 10 ms). *)
+
+val note_fault : t -> Fault.t -> unit
+(** Open a measurement window (called by the injector at application
+    time). *)
+
+val start : t -> unit
+(** Begin polling.  Polling reschedules itself forever — run the engine
+    with a bound, or call {!stop} when the gauntlet is over. *)
+
+val stop : t -> unit
+(** Final poll, then cease rescheduling. *)
+
+val converged : t -> bool
+(** Are all probe paths currently whole? *)
+
+val records : t -> record list
+(** All fault windows, in injection order. *)
+
+val record_to_json : record -> Trace.Json.t

@@ -1,0 +1,82 @@
+module Rng = Stdext.Rng
+
+type entry = { at_us : int; fault : Fault.t }
+
+type t = entry list
+
+let compare_entry a b = compare a.at_us b.at_us
+
+(* Stable sort: entries at the same instant apply in construction order,
+   which is itself deterministic — replay depends on this. *)
+let normalize entries = List.stable_sort compare_entry entries
+
+let scripted pairs =
+  normalize (List.map (fun (at_us, fault) -> { at_us; fault }) pairs)
+
+let link_flap ~link ~at_us ~down_us =
+  [ { at_us; fault = Fault.Link_set { link; up = false } };
+    { at_us = at_us + down_us; fault = Fault.Link_set { link; up = true } } ]
+
+let node_outage ~node ~at_us ~down_us =
+  [ { at_us; fault = Fault.Node_set { node; up = false } };
+    { at_us = at_us + down_us; fault = Fault.Node_set { node; up = true } } ]
+
+let partition ~links ~at_us ~heal_after_us =
+  normalize
+    (List.concat_map
+       (fun link -> link_flap ~link ~at_us ~down_us:heal_after_us)
+       links)
+
+(* A seeded storm of randomized flaps: exponentially distributed gaps
+   between flap starts, uniform downtimes.  Same seed, same storm —
+   bit-for-bit, because the only entropy source is the explicit [Rng]. *)
+let flap_storm ~seed ~links ~start_us ~duration_us ~mean_gap_us ~max_down_us
+    =
+  let rng = Rng.create seed in
+  let links = Array.of_list links in
+  if Array.length links = 0 then []
+  else begin
+    let entries = ref [] in
+    let t = ref start_us in
+    let stop = start_us + duration_us in
+    let continue = ref true in
+    while !continue do
+      let gap = 1 + int_of_float (Rng.exponential rng (float_of_int mean_gap_us)) in
+      t := !t + gap;
+      if !t >= stop then continue := false
+      else begin
+        let link = links.(Rng.int rng (Array.length links)) in
+        let down_us = 1 + Rng.int rng max_down_us in
+        entries :=
+          { at_us = !t + down_us; fault = Fault.Link_set { link; up = true } }
+          :: { at_us = !t; fault = Fault.Link_set { link; up = false } }
+          :: !entries
+      end
+    done;
+    normalize (List.rev !entries)
+  end
+
+let merge schedules = normalize (List.concat schedules)
+
+let length = List.length
+
+let pp fmt sched =
+  List.iter
+    (fun { at_us; fault } ->
+      Format.fprintf fmt "%d %a@." at_us Fault.pp fault)
+    sched
+
+let to_string sched = Format.asprintf "%a" pp sched
+
+(* MD5 over the printed form: two schedules with the same digest apply
+   the same faults at the same instants in the same order. *)
+let digest sched = Digest.to_hex (Digest.string (to_string sched))
+
+let to_json sched =
+  Trace.Json.List
+    (List.map
+       (fun { at_us; fault } ->
+         Trace.Json.Obj
+           [ ("at_us", Trace.Json.Int at_us);
+             ("fault", Trace.Json.Str (Fault.to_string fault)) ])
+       sched)

@@ -1,0 +1,50 @@
+(** A fault schedule: a time-ordered list of faults to inject.
+
+    Schedules are pure data, built before the simulation runs.  All
+    randomness comes from an explicit seed ({!flap_storm}), so the same
+    seed always produces the same schedule — {!digest} turns that into a
+    checkable replay invariant. *)
+
+type entry = { at_us : int; fault : Fault.t }
+
+type t = entry list
+(** Sorted by [at_us]; same-instant entries apply in construction
+    order. *)
+
+val scripted : (int * Fault.t) list -> t
+(** Build from [(time, fault)] pairs (any order; sorted stably). *)
+
+val link_flap : link:Netsim.link_id -> at_us:int -> down_us:int -> t
+(** Cut a link at [at_us], restore it [down_us] later. *)
+
+val node_outage : node:Netsim.node_id -> at_us:int -> down_us:int -> t
+(** Crash a node at [at_us], reboot it [down_us] later. *)
+
+val partition : links:Netsim.link_id list -> at_us:int -> heal_after_us:int -> t
+(** Cut every listed link at once (severing the mesh if the cut is a
+    graph cut), heal them all [heal_after_us] later. *)
+
+val flap_storm :
+  seed:int ->
+  links:Netsim.link_id list ->
+  start_us:int ->
+  duration_us:int ->
+  mean_gap_us:int ->
+  max_down_us:int ->
+  t
+(** Randomized flaps across [links]: flap starts arrive as a Poisson
+    process with mean gap [mean_gap_us], each downtime uniform in
+    [1, max_down_us].  Deterministic in [seed]. *)
+
+val merge : t list -> t
+(** Interleave several schedules into one (stable by time). *)
+
+val length : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val digest : t -> string
+(** MD5 hex over the printed schedule: equal digests mean the same
+    faults at the same instants in the same order. *)
+
+val to_json : t -> Trace.Json.t

@@ -12,6 +12,8 @@
     - {!Vc} — the virtual-circuit baseline architecture
     - {!Apps} — workload applications
     - {!Internet} — the builder that assembles a concrete catenet
+    - {!Chaos} — deterministic fault injection and the survivability
+      gauntlet
     - {!Trace} — flight recorder, metrics registry and pcap export *)
 
 module Engine = Engine
@@ -24,4 +26,5 @@ module Routing = Routing
 module Vc = Vc
 module Apps = Apps
 module Internet = Internet
+module Chaos = Chaos
 module Trace = Trace

@@ -322,8 +322,39 @@ let run_until_idle ?max_events t = Engine.run ?max_events t.eng
 
 let fail_link t id = Netsim.set_link_up t.nsim id false
 let heal_link t id = Netsim.set_link_up t.nsim id true
-let crash_node t node = Netsim.set_node_up t.nsim node false
-let restore_node t node = Netsim.set_node_up t.nsim node true
+
+(* Crash = power off + amnesia.  A gateway's routing knowledge, route
+   cache and reassembly buffers are soft state and die with it — only
+   configuration (interfaces, neighbor declarations) survives to reboot.
+   That asymmetry is fate-sharing (Clark goal 1): nothing an end-to-end
+   conversation depends on lives in the gateway, so the hosts' TCP
+   state rides out the crash.  Hosts keep their state: they *are* the
+   fate-sharing endpoint. *)
+let crash_node t node =
+  Netsim.set_node_up t.nsim node false;
+  match kind_of t node with
+  | Some (Gateway g) ->
+      Ip.Stack.flush_soft_state g.g_ip;
+      Option.iter Routing.Dv.reset g.g_dv;
+      Option.iter Routing.Ls.reset g.g_ls
+  | Some (Host _) | None -> ()
+
+(* Reboot.  Under [Static] routing the god-view tables are configuration
+   (re-read from disk, as it were), so recompute them; under a dynamic
+   protocol the reborn gateway must re-learn the catenet the honest
+   way. *)
+let restore_node t node =
+  Netsim.set_node_up t.nsim node true;
+  if t.started && t.routing = Static then recompute_static t
+
+(* Glue for the fault-schedule engine: a [Chaos.env] whose crash hook
+   carries the soft-state semantics above. *)
+let chaos_env t =
+  {
+    Chaos.env_net = t.nsim;
+    env_crash = (fun n -> crash_node t n);
+    env_restore = (fun n -> restore_node t n);
+  }
 
 type hop_report = {
   hop_ttl : int;

@@ -75,12 +75,22 @@ val fail_link : t -> Netsim.link_id -> unit
 val heal_link : t -> Netsim.link_id -> unit
 
 val crash_node : t -> Netsim.node_id -> unit
-(** Power off: the node stops sending and receiving.  Its IP stack keeps
-    no connection state worth preserving — that is the architecture's
-    point — and its routing adjacencies will be detected dead by the
-    neighbors. *)
+(** Power off *with amnesia*: the node stops sending and receiving, and
+    if it is a gateway its soft state dies with it — route cache,
+    learned routes, DV RIB, LS database and adjacencies, reassembly
+    buffers.  Only configuration survives to {!restore_node}.  Nothing a
+    TCP conversation depends on lives there (fate-sharing, Clark goal
+    1), which the E16 gauntlet asserts end to end.  Hosts lose nothing:
+    they are where the hard state lives. *)
 
 val restore_node : t -> Netsim.node_id -> unit
+(** Reboot.  Under [Static] routing the tables are recomputed (static
+    routes are configuration); under [Distance_vector]/[Link_state] the
+    reborn gateway re-learns the catenet from its neighbors. *)
+
+val chaos_env : t -> Chaos.env
+(** Environment for {!Chaos.inject} whose crash/restore hooks carry
+    this module's soft-state crash semantics. *)
 
 val recompute_static : t -> unit
 (** Re-derive god-view routes (only meaningful in [Static] mode, e.g.

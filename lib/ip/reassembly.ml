@@ -106,3 +106,7 @@ let push t (h : Ipv4.header) payload =
 let pending t = Hashtbl.length t.buffers
 
 let expired t = t.expired
+
+let flush t =
+  Hashtbl.iter (fun _ b -> Engine.Timer.cancel b.timer) t.buffers;
+  Hashtbl.reset t.buffers

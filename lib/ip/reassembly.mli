@@ -26,3 +26,8 @@ val pending : t -> int
 
 val expired : t -> int
 (** Buffers dropped by timeout since creation. *)
+
+val flush : t -> unit
+(** Discard every pending buffer and cancel its expiry timer, without
+    counting the loss as a timeout.  Used by crash simulation: partial
+    datagrams are soft state and die with the node (fate-sharing). *)

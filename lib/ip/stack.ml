@@ -543,6 +543,22 @@ let enable_accounting t =
 let reassembly_pending t = Reassembly.pending t.reasm
 let reassembly_expired t = Reassembly.expired t.reasm
 
+(* Crash semantics (fate-sharing, Clark goal 1): everything a gateway
+   holds that is *derived* — the destination cache, learned routes, and
+   half-assembled datagrams — dies with it.  Connected routes survive
+   because they are configuration, re-derived from the interfaces
+   themselves at boot, not from protocol exchange. *)
+let flush_soft_state t =
+  Hashtbl.reset t.route_cache;
+  t.cache_gen <- -1;
+  Reassembly.flush t.reasm;
+  List.iter
+    (fun (r : Route_table.route) ->
+      if r.next_hop <> None || r.metric > 0 then Route_table.remove t.table r.prefix)
+    (Route_table.entries t.table);
+  if Trace.want Trace.Cls.fault then
+    Trace.emit (Trace.Event.Fault_soft_reset { node = t.node })
+
 let metrics_items t () =
   let i v = Trace.Metrics.Int v in
   [ ("sent", i t.c.sent);

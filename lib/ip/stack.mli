@@ -143,6 +143,13 @@ val accounting : t -> Accounting.t option
 val reassembly_pending : t -> int
 val reassembly_expired : t -> int
 
+val flush_soft_state : t -> unit
+(** Simulate the memory loss of a crash: drop the route cache, every
+    learned route (anything with a next hop or a nonzero metric), and
+    all pending reassembly buffers.  Connected interface routes remain —
+    they are configuration, not soft state.  Emits
+    [Trace.Event.Fault_soft_reset] when the fault class is enabled. *)
+
 val set_tap : t -> (rx:bool -> bytes -> unit) option -> unit
 (** Attach (or detach) a frame observer at this host: fires once for
     every frame the stack receives ([rx:true]) and every frame it hands

@@ -354,6 +354,8 @@ let set_link_up t lid up =
   let l = link t lid in
   if l.up <> up then begin
     l.up <- up;
+    if Trace.want Trace.Cls.fault then
+      Trace.emit (Trace.Event.Fault_link { link = lid; up });
     if not up then Array.iter flush_direction l.dirs
     else
       (* Restart transmitters in case something was queued while down
@@ -363,7 +365,13 @@ let set_link_up t lid up =
 
 let link_is_up t lid = (link t lid).up
 
-let set_node_up t nid up = (node t nid).node_up <- up
+let set_node_up t nid up =
+  let n = node t nid in
+  if n.node_up <> up then begin
+    n.node_up <- up;
+    if Trace.want Trace.Cls.fault then
+      Trace.emit (Trace.Event.Fault_node { node = nid; up })
+  end
 
 let node_is_up t nid = (node t nid).node_up
 

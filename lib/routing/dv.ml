@@ -23,6 +23,7 @@ type stats = {
   mutable updates_received : int;
   mutable triggered_updates : int;
   mutable routes_expired : int;
+  mutable routes_carrier_poisoned : int;
   mutable bad_messages : int;
 }
 
@@ -72,6 +73,7 @@ let create ?(config = default_config) udp =
         updates_received = 0;
         triggered_updates = 0;
         routes_expired = 0;
+        routes_carrier_poisoned = 0;
         bad_messages = 0;
       };
     sock = None;
@@ -81,6 +83,12 @@ let create ?(config = default_config) udp =
 
 let add_neighbor t iface addr =
   t.neighbors <- { n_iface = iface; n_addr = addr } :: t.neighbors
+
+(* A neighbor is an (interface, address) pair, not just an address: with
+   parallel links between the same pair of routers the same address is
+   reachable out of two interfaces, and conflating them aliases both
+   adjacencies onto whichever was declared first. *)
+let neighbor_equal a b = a.n_iface = b.n_iface && Addr.equal a.n_addr b.n_addr
 
 (* Keep the kernel table in sync with one RIB entry. *)
 let install t e =
@@ -137,11 +145,26 @@ let trigger t =
         send_update t)
   end
 
-let poison t e =
+(* Why a route was poisoned decides which counter it bumps: expiry and
+   carrier loss are different failure modes and used to be conflated
+   (carrier poisons inflated [routes_expired] on every poll).  The
+   [metric < infinity] guard makes poisoning idempotent per cause: once
+   an entry is at infinity, repeated poisons — e.g. the 500 ms carrier
+   poll re-observing a dead link, or the periodic expiry firing on an
+   already-poisoned entry — neither re-count nor refresh [poisoned_at]
+   (which would postpone GC forever). *)
+type poison_cause = Expired | Carrier | Withdrawn | Lost_connected
+
+let poison t ~cause e =
   if e.metric < Rt_msg.infinity_metric then begin
     e.metric <- Rt_msg.infinity_metric;
     e.poisoned_at <- Some (Engine.now t.eng);
-    t.stats.routes_expired <- t.stats.routes_expired + 1;
+    (match cause with
+    | Expired -> t.stats.routes_expired <- t.stats.routes_expired + 1
+    | Carrier ->
+        t.stats.routes_carrier_poisoned <-
+          t.stats.routes_carrier_poisoned + 1
+    | Withdrawn | Lost_connected -> ());
     install t e;
     trigger t
   end
@@ -169,7 +192,7 @@ let handle_entry t (n : neighbor) (re : Rt_msg.dv_entry) =
   | Some e -> (
       match e.via with
       | None -> () (* never displace a connected route *)
-      | Some cur when Addr.equal cur.n_addr n.n_addr ->
+      | Some cur when neighbor_equal cur n ->
           (* From our current next hop: always believe it. *)
           e.last_heard <- now;
           if metric <> e.metric then begin
@@ -190,12 +213,31 @@ let handle_entry t (n : neighbor) (re : Rt_msg.dv_entry) =
             trigger t
           end)
 
+(* UDP delivery does not expose the receive interface, so an update is
+   attributed to a declared neighbor by source address.  With parallel
+   links the same address names several adjacencies; prefer one whose
+   link currently has carrier — an update cannot have arrived over a
+   dead wire — falling back to the first declared match.  The choice is
+   deterministic (declaration order), which replay depends on. *)
+let neighbor_for t src =
+  match
+    List.filter (fun n -> Addr.equal n.n_addr src) t.neighbors
+  with
+  | [] -> None
+  | [ n ] -> Some n
+  | candidates -> (
+      let net = Ip.Stack.net t.ip and me = Ip.Stack.node_id t.ip in
+      let live n =
+        Netsim.link_is_up net (Netsim.iface_link net me n.n_iface)
+      in
+      match List.find_opt live candidates with
+      | Some n -> Some n
+      | None -> Some (List.hd candidates))
+
 let handle_message t ~src buf =
   match Rt_msg.decode buf with
   | Ok (Rt_msg.Dv_update entries) -> (
-      match
-        List.find_opt (fun n -> Addr.equal n.n_addr src) t.neighbors
-      with
+      match neighbor_for t src with
       | None -> t.stats.bad_messages <- t.stats.bad_messages + 1
       | Some n ->
           t.stats.updates_received <- t.stats.updates_received + 1;
@@ -203,19 +245,22 @@ let handle_message t ~src buf =
   | Ok (Rt_msg.Hello _) | Ok (Rt_msg.Lsa _) | Error _ ->
       t.stats.bad_messages <- t.stats.bad_messages + 1
 
+(* GC applies to any poisoned entry — learned, injected or connected —
+   otherwise a withdrawn or carrier-lost prefix with [via = None] would
+   sit at infinity in the RIB forever. *)
 let expire_routes t =
   let now = Engine.now t.eng in
   let stale = ref [] in
   Hashtbl.iter
     (fun prefix e ->
-      match e.via with
-      | None -> ()
-      | Some _ -> (
-          match e.poisoned_at with
-          | Some at ->
-              if now - at > t.config.gc_us then stale := prefix :: !stale
-          | None ->
-              if now - e.last_heard > t.config.timeout_us then poison t e))
+      match e.poisoned_at with
+      | Some at -> if now - at > t.config.gc_us then stale := prefix :: !stale
+      | None -> (
+          match e.via with
+          | None -> () (* connected/injected: no refresh, no expiry *)
+          | Some _ ->
+              if now - e.last_heard > t.config.timeout_us then
+                poison t ~cause:Expired e))
     t.rib;
   List.iter
     (fun prefix ->
@@ -233,25 +278,61 @@ let carrier_check t =
         Hashtbl.iter
           (fun _ e ->
             match e.via with
-            | Some v when v.n_iface = n.n_iface -> poison t e
+            | Some v when v.n_iface = n.n_iface ->
+                poison t ~cause:Carrier e
             | Some _ | None -> ())
           t.rib)
     t.neighbors
 
-let seed_connected t =
+(* Reconcile the RIB's connected entries with the kernel table.  Runs on
+   every periodic tick, not just at [start]: an interface configured (or
+   restored) after startup must be advertised, and a connected prefix
+   whose kernel route vanished must be poisoned so neighbors hear the
+   loss rather than timing it out. *)
+let sync_connected t =
+  let connected = Hashtbl.create 8 in
   List.iter
     (fun (r : Ip.Route_table.route) ->
       if r.next_hop = None && r.metric = 0 then
-        Hashtbl.replace t.rib r.prefix
-          {
-            prefix = r.prefix;
-            metric = 1;
-            via = None;
-            last_heard = max_int;
-            poisoned_at = None;
-            injected = false;
-          })
-    (Ip.Route_table.entries (Ip.Stack.table t.ip))
+        Hashtbl.replace connected r.prefix ())
+    (Ip.Route_table.entries (Ip.Stack.table t.ip));
+  Hashtbl.iter
+    (fun prefix () ->
+      match Hashtbl.find_opt t.rib prefix with
+      | Some e when e.via = None && not e.injected ->
+          if e.metric >= Rt_msg.infinity_metric then begin
+            (* The interface came back after a poison. *)
+            e.metric <- 1;
+            e.poisoned_at <- None;
+            trigger t
+          end
+      | Some e ->
+          (* Direct attachment supersedes a learned or injected path. *)
+          e.metric <- 1;
+          e.via <- None;
+          e.injected <- false;
+          e.last_heard <- max_int;
+          e.poisoned_at <- None;
+          trigger t
+      | None ->
+          Hashtbl.replace t.rib prefix
+            {
+              prefix;
+              metric = 1;
+              via = None;
+              last_heard = max_int;
+              poisoned_at = None;
+              injected = false;
+            };
+          trigger t)
+    connected;
+  Hashtbl.iter
+    (fun prefix e ->
+      if
+        e.via = None && (not e.injected)
+        && not (Hashtbl.mem connected prefix)
+      then poison t ~cause:Lost_connected e)
+    t.rib
 
 let inject t prefix ~metric =
   let metric = min metric (Rt_msg.infinity_metric - 1) in
@@ -275,11 +356,12 @@ let inject t prefix ~metric =
         };
       trigger t
 
+(* Withdrawing must advertise the loss, not just forget it: silently
+   removing the entry left neighbors forwarding into a black hole until
+   their own [timeout_us] expired.  Poison → triggered update → GC. *)
 let withdraw t prefix =
   match Hashtbl.find_opt t.rib prefix with
-  | Some e when e.injected ->
-      Hashtbl.remove t.rib prefix;
-      trigger t
+  | Some e when e.injected -> poison t ~cause:Withdrawn e
   | Some _ | None -> ()
 
 let routes t =
@@ -290,10 +372,17 @@ let routes t =
       else acc)
     t.rib []
 
+(* Crash simulation: everything learned from the wire is soft state and
+   dies with the process (fate-sharing); configuration — neighbors,
+   timers, the socket — survives, as does the lifetime stats ledger.
+   The next periodic tick re-seeds connected prefixes and the protocol
+   relearns the rest. *)
+let reset t = Hashtbl.reset t.rib
+
 let start t =
   if not t.started then begin
     t.started <- true;
-    seed_connected t;
+    sync_connected t;
     let sock =
       Udp.bind t.udp ~port:t.config.port
         ~recv:(fun ~src ~src_port:_ buf -> handle_message t ~src buf)
@@ -301,6 +390,7 @@ let start t =
     in
     t.sock <- Some sock;
     let rec periodic () =
+      sync_connected t;
       expire_routes t;
       send_update t;
       Engine.after t.eng t.config.period_us periodic

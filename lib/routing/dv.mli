@@ -23,6 +23,11 @@ type stats = {
   mutable updates_received : int;
   mutable triggered_updates : int;
   mutable routes_expired : int;
+      (** Routes poisoned because they went unrefreshed for [timeout_us]. *)
+  mutable routes_carrier_poisoned : int;
+      (** Routes poisoned because the carrier poll found their interface's
+          link down — a distinct failure mode from expiry, counted once
+          per route loss (poisoning is idempotent). *)
   mutable bad_messages : int;
 }
 
@@ -37,7 +42,17 @@ val add_neighbor : t -> Netsim.iface -> Packet.Addr.t -> unit
     address (point-to-point configuration, as in early NSFnet). *)
 
 val start : t -> unit
-(** Begin periodic advertisements.  Idempotent. *)
+(** Begin periodic advertisements.  Idempotent.  Connected prefixes are
+    re-synced from the stack's table on every periodic tick, so
+    interfaces configured after [start] are picked up (and poisoned if
+    their route vanishes). *)
+
+val reset : t -> unit
+(** Crash simulation: clear the RIB — every learned, injected and seeded
+    prefix.  Configuration (neighbors, timers, socket) and the stats
+    ledger survive; the next periodic tick re-seeds connected prefixes
+    and the protocol relearns the rest.  Fate-sharing: routing knowledge
+    is soft state and dies with the gateway. *)
 
 val stats : t -> stats
 

@@ -351,6 +351,21 @@ let set_external_prefixes t externals =
     if t.started then originate t
   end
 
+(* Crash simulation: the LSDB, adjacency liveness and installed-route
+   bookkeeping are all soft state and die with the gateway.  [t.seq]
+   deliberately survives — a rebooted router re-originating from a
+   higher sequence number is what lets neighbors accept its fresh LSA
+   over the stale pre-crash copy still flooding around. *)
+let reset t =
+  Hashtbl.reset t.lsdb;
+  List.iter
+    (fun a ->
+      a.a_alive <- false;
+      a.a_router_id <- None)
+    t.adjacencies;
+  t.installed <- [];
+  t.installed_metrics <- []
+
 let routes t =
   t.installed_metrics
   @ List.filter_map

@@ -51,6 +51,11 @@ val set_external_prefixes : t -> (Packet.Addr.Prefix.t * int) list -> unit
     redistribution) as stubs of this router, with the given costs; replaces
     the previous external set and re-originates the LSA. *)
 
+val reset : t -> unit
+(** Crash simulation: clear the LSDB, adjacency liveness and installed
+    routes.  The LSA sequence counter survives so the reborn router's
+    first origination beats its own stale pre-crash LSA. *)
+
 val routes : t -> (Packet.Addr.Prefix.t * int) list
 (** Prefixes this instance computed from other routers' LSAs, with their
     metrics, plus its own connected prefixes — the set a redistributor may

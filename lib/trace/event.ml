@@ -66,6 +66,12 @@ type t =
   | Timer_fire of { at : int }
   | Route_change of
       { prefix : Addr.Prefix.t; metric : int; action : route_action }
+  | Fault_link of { link : int; up : bool }
+      (** Link carrier state changed (fault injected or healed). *)
+  | Fault_node of { node : int; up : bool }
+      (** Node crashed or rebooted. *)
+  | Fault_soft_reset of { node : int }
+      (** A node's soft state (route cache, RIB, reassembly) was cleared. *)
 
 (* Event classes, a bitmask: the recorder's enable check is one [land]
    against these.  Keep them disjoint powers of two. *)
@@ -76,12 +82,13 @@ module Cls = struct
   let tcp = 8
   let timer = 16
   let route = 32
-  let all = link lor ip lor frag lor tcp lor timer lor route
+  let fault = 64
+  let all = link lor ip lor frag lor tcp lor timer lor route lor fault
 
   let to_string c =
     let names =
       [ (link, "link"); (ip, "ip"); (frag, "frag"); (tcp, "tcp");
-        (timer, "timer"); (route, "route") ]
+        (timer, "timer"); (route, "route"); (fault, "fault") ]
     in
     String.concat "+"
       (List.filter_map
@@ -97,13 +104,14 @@ let cls = function
   | Tcp_segment_out _ | Tcp_retransmit _ | Tcp_rto_fire _ -> Cls.tcp
   | Timer_arm _ | Timer_fire _ -> Cls.timer
   | Route_change _ -> Cls.route
+  | Fault_link _ | Fault_node _ | Fault_soft_reset _ -> Cls.fault
 
 let drop_reason_of = function
   | Link_drop { reason; _ } | Ip_drop { reason; _ } -> Some reason
   | Link_enqueue _ | Link_dequeue _ | Link_deliver _ | Ip_forward _
   | Ip_deliver _ | Ip_fragment _ | Ip_reassembled _ | Tcp_segment_out _
   | Tcp_retransmit _ | Tcp_rto_fire _ | Timer_arm _ | Timer_fire _
-  | Route_change _ ->
+  | Route_change _ | Fault_link _ | Fault_node _ | Fault_soft_reset _ ->
       None
 
 let tcp_flag_bits ~fin ~syn ~rst ~psh ~ack =
@@ -163,6 +171,13 @@ let pp fmt e =
         | Route_remove -> "remove"
         | Route_clear -> "clear")
         Addr.Prefix.pp prefix metric
+  | Fault_link { link; up } ->
+      Format.fprintf fmt "FAULT link %d %s" link (if up then "up" else "down")
+  | Fault_node { node; up } ->
+      Format.fprintf fmt "FAULT node %d %s" node
+        (if up then "up" else "down")
+  | Fault_soft_reset { node } ->
+      Format.fprintf fmt "FAULT node %d soft-state reset" node
 
 let to_json e =
   let base kind fields = Json.Obj (("event", Json.Str kind) :: fields) in
@@ -230,3 +245,9 @@ let to_json e =
               | Route_add -> "add"
               | Route_remove -> "remove"
               | Route_clear -> "clear") ) ]
+  | Fault_link { link; up } ->
+      base "fault_link" [ ("link", Json.Int link); ("up", Json.Bool up) ]
+  | Fault_node { node; up } ->
+      base "fault_node" [ ("node", Json.Int node); ("up", Json.Bool up) ]
+  | Fault_soft_reset { node } ->
+      base "fault_soft_reset" [ ("node", Json.Int node) ]

@@ -1,0 +1,256 @@
+(* The chaos subsystem: deterministic schedules, the injector, the
+   reconvergence observer — and the gauntlet's headline claim, that a
+   TCP conversation survives its first-hop gateway crashing and losing
+   every scrap of soft state (fate-sharing, Clark goal 1). *)
+
+open Catenet
+open Alcotest
+
+let sec = Engine.sec
+
+(* --- schedules are pure, seeded data --------------------------------- *)
+
+let links8 = [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let storm seed =
+  Chaos.Schedule.flap_storm ~seed ~links:links8 ~start_us:(sec 1.0)
+    ~duration_us:(sec 10.0) ~mean_gap_us:300_000 ~max_down_us:800_000
+
+let test_schedule_deterministic () =
+  let a = storm 42 and b = storm 42 and c = storm 43 in
+  check bool "non-empty" true (Chaos.Schedule.length a > 0);
+  check string "same seed, same digest" (Chaos.Schedule.digest a)
+    (Chaos.Schedule.digest b);
+  check bool "different seed, different digest" true
+    (Chaos.Schedule.digest a <> Chaos.Schedule.digest c)
+
+let test_schedule_sorted_and_merged () =
+  let flap = Chaos.Schedule.link_flap ~link:3 ~at_us:(sec 5.0) ~down_us:(sec 1.0) in
+  let outage =
+    Chaos.Schedule.node_outage ~node:1 ~at_us:(sec 2.0) ~down_us:(sec 1.0)
+  in
+  let part =
+    Chaos.Schedule.partition ~links:[ 0; 1 ] ~at_us:(sec 4.0)
+      ~heal_after_us:(sec 2.0)
+  in
+  let merged = Chaos.Schedule.merge [ flap; outage; part ] in
+  check int "all entries present" 8 (Chaos.Schedule.length merged);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Chaos.Schedule.at_us <= b.Chaos.Schedule.at_us && sorted rest
+    | _ -> true
+  in
+  check bool "merged schedule time-ordered" true (sorted merged);
+  (* Partition cuts both links at the same instant, in list order. *)
+  (match
+     List.filter (fun e -> e.Chaos.Schedule.at_us = sec 4.0) merged
+   with
+  | [ { fault = Chaos.Fault.Link_set { link = 0; up = false }; _ };
+      { fault = Chaos.Fault.Link_set { link = 1; up = false }; _ } ] ->
+      ()
+  | _ -> fail "partition entries missing or reordered");
+  check bool "digest covers order and times" true
+    (Chaos.Schedule.digest merged <> Chaos.Schedule.digest flap)
+
+(* --- the injector drives netsim at the scheduled instants ------------- *)
+
+let test_inject_applies_faults () =
+  let eng = Engine.create () in
+  let net = Netsim.create ~seed:9 eng in
+  let a = Netsim.add_node net "a" and b = Netsim.add_node net "b" in
+  let p = Netsim.profile "wire" ~delay_us:1_000 in
+  let l = Netsim.add_link net p a b in
+  Trace.clear ();
+  Trace.enable ~capacity:64 ~mask:Trace.Cls.fault ();
+  let schedule =
+    Chaos.Schedule.merge
+      [ Chaos.Schedule.link_flap ~link:l ~at_us:(sec 1.0) ~down_us:(sec 1.0);
+        Chaos.Schedule.node_outage ~node:b ~at_us:(sec 4.0) ~down_us:(sec 1.0) ]
+  in
+  Chaos.inject (Chaos.env_of_netsim net) schedule;
+  let probe at f = Engine.schedule eng ~at f in
+  let seen = ref [] in
+  probe (sec 1.5) (fun () ->
+      seen := ("link down mid-flap", Netsim.link_is_up net l = false) :: !seen);
+  probe (sec 2.5) (fun () ->
+      seen := ("link restored", Netsim.link_is_up net l) :: !seen);
+  probe (sec 4.5) (fun () ->
+      seen := ("node down mid-outage", Netsim.node_is_up net b = false) :: !seen);
+  probe (sec 5.5) (fun () ->
+      seen := ("node restored", Netsim.node_is_up net b) :: !seen);
+  Engine.run ~until:(sec 6.0) eng;
+  List.iter (fun (what, ok) -> check bool what true ok) !seen;
+  let faults =
+    List.filter
+      (fun (e : Trace.entry) ->
+        match e.event with
+        | Trace.Event.Fault_link _ | Trace.Event.Fault_node _ -> true
+        | _ -> false)
+      (Trace.entries ())
+  in
+  Trace.disable ();
+  Trace.clear ();
+  check int "every applied fault traced" 4 (List.length faults)
+
+(* --- observer: reconvergence is measured, not assumed ----------------- *)
+
+(* A chain h1 - g1 - g2 - h2: one path, so cutting the middle link is a
+   partition and the observer can only see convergence again after the
+   heal plus DV re-learning. *)
+type chain = {
+  t : Internet.t;
+  h1 : Internet.host;
+  h2 : Internet.host;
+  g1 : Internet.gateway;
+  g2 : Internet.gateway;
+  mid : Netsim.link_id;
+}
+
+let fast_dv =
+  {
+    Routing.Dv.default_config with
+    Routing.Dv.period_us = 1_000_000;
+    timeout_us = 3_500_000;
+    gc_us = 2_000_000;
+    carrier_poll_us = 200_000;
+  }
+
+let chain () =
+  let t =
+    Internet.create ~seed:11 ~routing:Internet.Distance_vector
+      ~dv_config:fast_dv ()
+  in
+  let g1 = Internet.add_gateway t "g1" and g2 = Internet.add_gateway t "g2" in
+  let h1 = Internet.add_host t "h1" and h2 = Internet.add_host t "h2" in
+  let p = Netsim.profile "trunk" ~bandwidth_bps:1_536_000 ~delay_us:5_000 in
+  ignore (Internet.connect t p h1.Internet.h_node g1.Internet.g_node);
+  let mid = Internet.connect t p g1.Internet.g_node g2.Internet.g_node in
+  ignore (Internet.connect t p g2.Internet.g_node h2.Internet.h_node);
+  Internet.start t;
+  { t; h1; h2; g1; g2; mid }
+
+let observer_of c =
+  let stacks =
+    [ c.h1.Internet.h_ip; c.h2.Internet.h_ip; c.g1.Internet.g_ip;
+      c.g2.Internet.g_ip ]
+  in
+  Chaos.Observer.create ~net:(Internet.net c.t) ~stacks
+    ~stack_of:(fun n ->
+      List.find_opt (fun s -> Ip.Stack.node_id s = n) stacks)
+    ~probes:
+      [ (c.h1.Internet.h_ip, Internet.addr_of c.t c.h2.Internet.h_node);
+        (c.h2.Internet.h_ip, Internet.addr_of c.t c.h1.Internet.h_node) ]
+    ()
+
+let test_observer_measures_partition () =
+  let c = chain () in
+  Internet.run_for c.t 5.0;
+  let obs = observer_of c in
+  Chaos.Observer.start obs;
+  check bool "converged before the cut" true (Chaos.Observer.converged obs);
+  let down_at = sec 6.0 and heal_at = sec 8.0 in
+  Chaos.inject ~observer:obs
+    (Internet.chaos_env c.t)
+    (Chaos.Schedule.link_flap ~link:c.mid ~at_us:down_at
+       ~down_us:(heal_at - down_at));
+  Internet.run_for c.t 10.0;
+  Chaos.Observer.stop obs;
+  match Chaos.Observer.records obs with
+  | [ cut; heal ] ->
+      check bool "cut recorded at its instant" true (cut.at_us = down_at);
+      (match cut.reconverged_at_us with
+      | None -> fail "partition never measured as healed"
+      | Some v ->
+          (* A single-path cut cannot re-converge before the heal: the
+             observer must not report premature convergence. *)
+          check bool "no reconvergence before the heal" true (v >= heal_at);
+          check bool "reconvergence within DV budget" true
+            (v - heal_at <= sec 3.0));
+      check bool "heal window also closed" true
+        (heal.reconverged_at_us <> None);
+      check bool "converged at the end" true (Chaos.Observer.converged obs)
+  | rs -> fail (Printf.sprintf "expected 2 fault records, got %d" (List.length rs))
+
+(* --- fate-sharing, end to end ----------------------------------------- *)
+
+let test_tcp_survives_gateway_crash () =
+  Trace.clear ();
+  Trace.enable ~capacity:256 ~mask:Trace.Cls.fault ();
+  let c = chain () in
+  Internet.run_for c.t 4.0;
+  let dv1 = Option.get c.g1.Internet.g_dv in
+  check bool "g1 has a live RIB before the crash" true
+    (Routing.Dv.rib_size dv1 > 0);
+  let total = 400_000 in
+  let server = Apps.Bulk.serve c.h2.Internet.h_tcp ~port:5001 ~seed:3 in
+  let sender =
+    Apps.Bulk.start c.h1.Internet.h_tcp
+      ~dst:(Internet.addr_of c.t c.h2.Internet.h_node)
+      ~dst_port:5001 ~seed:3 ~total ()
+  in
+  (* Crash h1's only first-hop gateway mid-transfer, off the routing
+     tick grid, and peek at its RIB just after the lights go out:
+     amnesia must be total until the next periodic re-seed. *)
+  let crash_at = sec 5.25 in
+  let obs = observer_of c in
+  Chaos.Observer.start obs;
+  Chaos.inject ~observer:obs
+    (Internet.chaos_env c.t)
+    (Chaos.Schedule.node_outage ~node:c.g1.Internet.g_node ~at_us:crash_at
+       ~down_us:(sec 2.0));
+  let rib_mid_crash = ref (-1) in
+  Engine.schedule (Internet.engine c.t) ~at:(crash_at + 10_000) (fun () ->
+      rib_mid_crash := Routing.Dv.rib_size dv1);
+  Internet.run_for c.t 15.0;
+  let deadline = sec 60.0 in
+  while
+    (not (Apps.Bulk.finished sender))
+    && Engine.now (Internet.engine c.t) < deadline
+  do
+    Internet.run_for c.t 2.0
+  done;
+  Chaos.Observer.stop obs;
+  let soft_resets =
+    List.length
+      (List.filter
+         (fun (e : Trace.entry) ->
+           match e.event with
+           | Trace.Event.Fault_soft_reset { node } ->
+               node = c.g1.Internet.g_node
+           | _ -> false)
+         (Trace.entries ()))
+  in
+  Trace.disable ();
+  Trace.clear ();
+  check int "crash erased the DV RIB" 0 !rib_mid_crash;
+  check int "soft-state reset traced" 1 soft_resets;
+  (* The architecture's promise: nothing the conversation depends on
+     lived in the gateway, so the transfer completes intact anyway. *)
+  check bool "transfer finished" true (Apps.Bulk.finished sender);
+  check bool "no TCP failure" true (Apps.Bulk.failed sender = None);
+  (match Apps.Bulk.transfers server with
+  | [ tr ] ->
+      check int "every byte delivered" total tr.Apps.Bulk.received;
+      check bool "payload intact" true tr.Apps.Bulk.intact
+  | _ -> fail "expected exactly one inbound transfer");
+  match Chaos.Observer.records obs with
+  | [ crash; _reboot ] ->
+      check bool "crash window measured" true
+        (crash.reconverged_at_us <> None)
+  | _ -> fail "expected crash and reboot records"
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "schedule",
+        [
+          test_case "deterministic" `Quick test_schedule_deterministic;
+          test_case "sorted+merged" `Quick test_schedule_sorted_and_merged;
+        ] );
+      ( "injector",
+        [ test_case "applies faults" `Quick test_inject_applies_faults ] );
+      ( "observer",
+        [ test_case "partition" `Quick test_observer_measures_partition ] );
+      ( "fate-sharing",
+        [ test_case "tcp survives crash" `Quick test_tcp_survives_gateway_crash ] );
+    ]

@@ -374,6 +374,166 @@ let test_dv_inject_withdraw () =
     | None -> true
     | Some m -> m >= 16)
 
+(* --- failure-path regressions (the E16 gauntlet's bug harvest) ------------- *)
+
+let test_dv_withdraw_advertises_poison () =
+  (* Withdrawing an injected external must *advertise* the loss (poison +
+     triggered update), not silently drop it: neighbors would otherwise
+     serve the dead route until their own timeout (3.5 s here, 17.5 s at
+     default timers) expired it. *)
+  let s = square Internet.Distance_vector in
+  Internet.run_for s.t 4.0;
+  let dv1 = Option.get s.g1.Internet.g_dv in
+  let dv3 = Option.get s.g3.Internet.g_dv in
+  let p = Prefix.of_string "192.168.88.0/24" in
+  Routing.Dv.inject dv1 p ~metric:2;
+  Internet.run_for s.t 5.0;
+  (match Routing.Dv.metric_of dv3 p with
+  | Some m when m < 16 -> ()
+  | Some _ | None -> Alcotest.fail "external not propagated");
+  Routing.Dv.withdraw dv1 p;
+  (* One second is a couple of triggered-update round trips — far less
+     than g3's route timeout, so only the poison can explain the loss
+     arriving this fast. *)
+  Internet.run_for s.t 1.0;
+  check Alcotest.bool "poison reached g3 before any timeout could" true
+    (match Routing.Dv.metric_of dv3 p with
+    | None -> true
+    | Some m -> m >= 16);
+  (* The GC path then reclaims the poisoned entry at the origin. *)
+  Internet.run_for s.t 4.0;
+  check Alcotest.bool "gc removed the withdrawn entry" true
+    (Routing.Dv.metric_of dv1 p = None)
+
+let test_dv_parallel_links_no_alias () =
+  (* Two routers joined by two parallel links, and r2 presents the same
+     source address on both (think: updates sourced from a router id).
+     r1's adjacencies differ only by interface, so identifying the next
+     hop by address alone aliases both onto one neighbor — after the
+     first link dies, updates arriving on the second keep being credited
+     to (and installed out of) the dead interface. *)
+  let eng = Engine.create () in
+  let net = Netsim.create ~seed:23 eng in
+  let r1 = Netsim.add_node net "r1" and r2 = Netsim.add_node net "r2" in
+  let p = Netsim.profile "pair" ~delay_us:2_000 in
+  let link_a = Netsim.add_link net p r1 r2 in
+  let _link_b = Netsim.add_link net p r1 r2 in
+  let s1 = Ip.Stack.create ~forwarding:true net r1 in
+  let s2 = Ip.Stack.create ~forwarding:true net r2 in
+  (* Link A: 10.1.1.0/24.  Link B: 10.1.2.0/24 on r1's side, while r2
+     reuses its link-A address there (so updates from either interface
+     carry the same source). *)
+  Ip.Stack.configure_iface s1 0 ~addr:(Addr.v 10 1 1 1) ~prefix_len:24;
+  Ip.Stack.configure_iface s1 1 ~addr:(Addr.v 10 1 2 1) ~prefix_len:24;
+  Ip.Stack.configure_iface s2 0 ~addr:(Addr.v 10 1 1 2) ~prefix_len:24;
+  Ip.Stack.configure_iface s2 1 ~addr:(Addr.v 10 1 1 2) ~prefix_len:32;
+  Ip.Route_table.add (Ip.Stack.table s2)
+    { Ip.Route_table.prefix = Prefix.of_string "10.1.2.0/24"; iface = 1;
+      next_hop = None; metric = 0 };
+  let fast =
+    { Routing.Dv.default_config with Routing.Dv.period_us = 500_000;
+      timeout_us = 2_000_000; gc_us = 1_000_000; carrier_poll_us = 200_000 }
+  in
+  let dv1 = Routing.Dv.create ~config:fast (Udp.create s1) in
+  (* Declaration order makes the link-A adjacency the preferred match
+     while both links are up. *)
+  Routing.Dv.add_neighbor dv1 1 (Addr.v 10 1 1 2);
+  Routing.Dv.add_neighbor dv1 0 (Addr.v 10 1 1 2);
+  let dv2 = Routing.Dv.create ~config:fast (Udp.create s2) in
+  Routing.Dv.add_neighbor dv2 0 (Addr.v 10 1 1 1);
+  Routing.Dv.add_neighbor dv2 1 (Addr.v 10 1 2 1);
+  Routing.Dv.start dv1;
+  Routing.Dv.start dv2;
+  (* A stub prefix only r2 can reach. *)
+  let stub = Prefix.of_string "10.9.9.0/24" in
+  Routing.Dv.inject dv2 stub ~metric:1;
+  Engine.run ~until:(Engine.sec 3.0) eng;
+  (match Ip.Route_table.lookup (Ip.Stack.table s1) (Addr.v 10 9 9 1) with
+  | Some r -> check Alcotest.int "initially via link A" 0 r.Ip.Route_table.iface
+  | None -> Alcotest.fail "stub not learned");
+  (* Kill link A.  Updates keep arriving over link B; they must be
+     credited to the (iface 1, addr) adjacency and the route re-homed
+     there — not bounced forever between carrier-poison and
+     reinstallation on the dead interface. *)
+  Netsim.set_link_up net link_a false;
+  Engine.run ~until:(Engine.sec 6.0) eng;
+  (match Ip.Route_table.lookup (Ip.Stack.table s1) (Addr.v 10 9 9 1) with
+  | Some r -> check Alcotest.int "re-homed to link B" 1 r.Ip.Route_table.iface
+  | None -> Alcotest.fail "stub lost after parallel-link failover");
+  check Alcotest.bool "metric stays finite" true
+    (match Routing.Dv.metric_of dv1 stub with
+    | Some m -> m < 16
+    | None -> false)
+
+let test_dv_late_interface_advertised () =
+  (* A subnet attached after [start] must still be advertised: connected
+     prefixes are re-synced every periodic tick, not seeded once. *)
+  let s = square Internet.Distance_vector in
+  Internet.run_for s.t 4.0;
+  let hn = Internet.add_host s.t "hN" in
+  let p = Netsim.profile "core" ~delay_us:2_000 in
+  ignore (Internet.connect s.t p hn.Internet.h_node s.g4.Internet.g_node);
+  Internet.run_for s.t 4.0;
+  let prefix =
+    Prefix.make (Internet.addr_of s.t hn.Internet.h_node) 24
+  in
+  let dv1 = Option.get s.g1.Internet.g_dv in
+  (match Routing.Dv.metric_of dv1 prefix with
+  | Some m when m < 16 -> ()
+  | Some _ | None -> Alcotest.fail "late subnet never advertised");
+  (* And the loss of a connected prefix is advertised as a poison, not
+     left for neighbors to time out. *)
+  Ip.Route_table.remove (Ip.Stack.table s.g4.Internet.g_ip) prefix;
+  Internet.run_for s.t 3.0;
+  check Alcotest.bool "vanished connected prefix poisoned" true
+    (match Routing.Dv.metric_of dv1 prefix with
+    | None -> true
+    | Some m -> m >= 16)
+
+let test_dv_carrier_poisons_have_own_stat () =
+  (* Carrier-driven poisons are a different failure mode from expiry and
+     must not inflate [routes_expired]; nor may the 200 ms poll re-count
+     the same dead routes every tick. *)
+  let s = square Internet.Distance_vector in
+  Internet.run_for s.t 8.0;
+  let st = Routing.Dv.stats (Option.get s.g1.Internet.g_dv) in
+  check Alcotest.int "no carrier poisons while healthy" 0
+    st.Routing.Dv.routes_carrier_poisoned;
+  let expired_before = st.Routing.Dv.routes_expired in
+  Internet.fail_link s.t s.l12;
+  Internet.run_for s.t 1.0;
+  let after_cut = st.Routing.Dv.routes_carrier_poisoned in
+  check Alcotest.bool "carrier loss counted in its own stat" true
+    (after_cut > 0);
+  check Alcotest.int "expiry stat untouched by carrier loss" expired_before
+    st.Routing.Dv.routes_expired;
+  (* The link stays down for 15 more polls: the count must not move. *)
+  Internet.run_for s.t 3.0;
+  check Alcotest.int "poison idempotent across polls" after_cut
+    st.Routing.Dv.routes_carrier_poisoned
+
+let test_dv_count_to_infinity_bounded () =
+  (* Isolate h3's gateway completely.  Split horizon with poisoned
+     reverse must drive the dead prefix to infinity in a few triggered
+     updates; counting up one hop per 1 s period would need well over
+     ten seconds to hit 16. *)
+  let s = square Internet.Distance_vector in
+  Internet.run_for s.t 8.0;
+  let dv1 = Option.get s.g1.Internet.g_dv in
+  let h3_prefix =
+    Prefix.make (Internet.addr_of s.t s.h3.Internet.h_node) 24
+  in
+  (match Routing.Dv.metric_of dv1 h3_prefix with
+  | Some m when m < 16 -> ()
+  | Some _ | None -> Alcotest.fail "not converged before the cut");
+  Internet.fail_link s.t s.l23;
+  Internet.fail_link s.t s.l34;
+  Internet.run_for s.t 5.0;
+  check Alcotest.bool "unreachability learned in bounded time" true
+    (match Routing.Dv.metric_of dv1 h3_prefix with
+    | None -> true
+    | Some m -> m >= 16)
+
 let () =
   Alcotest.run "routing"
     [
@@ -391,6 +551,16 @@ let () =
           Alcotest.test_case "reroutes" `Quick test_dv_reroutes_after_failure;
           Alcotest.test_case "partition" `Quick test_dv_partition_is_unreachable;
           Alcotest.test_case "stats" `Quick test_dv_stats_move;
+          Alcotest.test_case "withdraw poisons" `Quick
+            test_dv_withdraw_advertises_poison;
+          Alcotest.test_case "parallel links" `Quick
+            test_dv_parallel_links_no_alias;
+          Alcotest.test_case "late interface" `Quick
+            test_dv_late_interface_advertised;
+          Alcotest.test_case "carrier stat" `Quick
+            test_dv_carrier_poisons_have_own_stat;
+          Alcotest.test_case "count to infinity" `Quick
+            test_dv_count_to_infinity_bounded;
         ] );
       ( "link-state",
         [
