@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke gauntlet-smoke clean
+.PHONY: all build test check lint bench bench-smoke gauntlet-smoke clean
 
 all: build
 
@@ -10,6 +10,14 @@ test:
 
 check:
 	bin/check.sh
+
+# Static analysis: wire layouts, fast-path allocation freedom,
+# observability totality, comparison and match hygiene (bin/lint/).
+lint:
+	dune build bin/lint/catenet_lint.exe
+	./_build/default/bin/lint/catenet_lint.exe --allow bin/lint/lint.allow \
+	  $$(find lib -name '*.ml' | sort) \
+	  $$(find _build/default/lib -name '*.cmt' | grep -v '__\.cmt$$' | sort)
 
 bench:
 	dune exec bench/main.exe

@@ -20,6 +20,9 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== catenet-lint"
+make --no-print-directory lint
+
 echo "== bench smoke"
 dune exec bench/main.exe -- --smoke --out=_smoke >/dev/null
 

@@ -1,0 +1,173 @@
+(* Shared plumbing for catenet-lint: findings, the allowlist, and the
+   handful of Parsetree helpers every rule needs.
+
+   A finding is (file, line, rule, message) and prints as
+
+     file:line: [rule] message
+
+   The allowlist file suppresses deliberate exceptions; each line is
+
+     <rule> <file-basename> <message-substring...>
+
+   and an entry that suppresses nothing is itself reported as stale, so
+   the list can only shrink as the code improves. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+let findings : finding list ref = ref []
+
+let report ~file ~line ~rule message =
+  findings := { file; line; rule; message } :: !findings
+
+let report_loc ~rule (loc : Location.t) message =
+  report ~file:loc.loc_start.pos_fname ~line:loc.loc_start.pos_lnum ~rule
+    message
+
+(* ---------------------------------------------------------------- *)
+(* Allowlist                                                        *)
+
+type allow_entry = {
+  a_rule : string;
+  a_base : string;
+  a_substr : string;
+  a_lineno : int;
+  mutable a_used : bool;
+}
+
+let load_allowlist path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then begin
+           match String.index_opt line ' ' with
+           | None ->
+               report ~file:path ~line:!lineno ~rule:"allowlist"
+                 "malformed entry (want: <rule> <file> <substring>)"
+           | Some i -> (
+               let rule = String.sub line 0 i in
+               let rest =
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               match String.index_opt rest ' ' with
+               | None ->
+                   report ~file:path ~line:!lineno ~rule:"allowlist"
+                     "malformed entry (want: <rule> <file> <substring>)"
+               | Some j ->
+                   let base = String.sub rest 0 j in
+                   let sub =
+                     String.trim
+                       (String.sub rest (j + 1) (String.length rest - j - 1))
+                   in
+                   entries :=
+                     {
+                       a_rule = rule;
+                       a_base = base;
+                       a_substr = sub;
+                       a_lineno = !lineno;
+                       a_used = false;
+                     }
+                     :: !entries)
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= n - m do
+      if String.sub s !i m = sub then found := true else incr i
+    done;
+    !found
+  end
+
+let apply_allowlist entries fs =
+  List.filter
+    (fun f ->
+      let suppressed =
+        List.exists
+          (fun e ->
+            let hit =
+              e.a_rule = f.rule
+              && e.a_base = Filename.basename f.file
+              && contains_substring f.message e.a_substr
+            in
+            if hit then e.a_used <- true;
+            hit)
+          entries
+      in
+      not suppressed)
+    fs
+
+let stale_entries path entries =
+  List.iter
+    (fun e ->
+      if not e.a_used then
+        report ~file:path ~line:e.a_lineno ~rule:"allowlist"
+          (Printf.sprintf "stale entry '%s %s %s' suppresses nothing" e.a_rule
+             e.a_base e.a_substr))
+    entries
+
+(* ---------------------------------------------------------------- *)
+(* Longident / path helpers                                         *)
+
+let flatten_lid lid = Longident.flatten lid
+
+(* "Stdext.Bytio.W.u16" -> last component, "Trace__Event.t" -> split the
+   dune name-mangling double underscore too. *)
+let split_path_name name =
+  let dot_parts = String.split_on_char '.' name in
+  List.concat_map
+    (fun p ->
+      (* split on "__" *)
+      let out = ref [] in
+      let buf = Buffer.create (String.length p) in
+      let i = ref 0 in
+      let n = String.length p in
+      while !i < n do
+        if !i + 1 < n && p.[!i] = '_' && p.[!i + 1] = '_' then begin
+          if Buffer.length buf > 0 then out := Buffer.contents buf :: !out;
+          Buffer.clear buf;
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf p.[!i];
+          incr i
+        end
+      done;
+      if Buffer.length buf > 0 then out := Buffer.contents buf :: !out;
+      List.rev !out)
+    dot_parts
+
+let last_exn = function [] -> invalid_arg "last_exn" | l -> List.nth l (List.length l - 1)
+
+let has_attr name (attrs : Parsetree.attributes) =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = name) attrs
+
+(* Module-name of a source file: "tcp_wire.ml" -> "Tcp_wire". *)
+let module_of_file path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.capitalize_ascii base
+
+let int_constant (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, _)) -> int_of_string_opt s
+  | _ -> None
+
+let string_constant (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None

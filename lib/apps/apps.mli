@@ -1,0 +1,10 @@
+(** Workload applications used by the examples, tests and experiments:
+    {!Bulk} (file transfer), {!Cbr} (packet voice), {!Echo} (interactive
+    remote login), {!Reqrep} (transactions), with {!Pattern} for
+    end-to-end integrity checking. *)
+
+module Pattern = Pattern
+module Bulk = Bulk
+module Cbr = Cbr
+module Echo = Echo
+module Reqrep = Reqrep

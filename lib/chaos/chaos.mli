@@ -1,0 +1,31 @@
+(** The survivability gauntlet (Clark goal 1): deterministic fault
+    injection over the netsim primitives.
+
+    A {!Schedule.t} is pure data (seeded, digestable); {!inject} arms
+    one engine timer per entry; {!apply} translates a fault into netsim
+    carrier/power changes, delegating crash semantics — what dies with a
+    gateway beyond its reachability — to the environment's hooks, so the
+    layer that owns soft state (Internet/routing) decides what a crash
+    destroys without this library depending on it. *)
+
+module Fault = Fault
+module Schedule = Schedule
+module Observer = Observer
+
+type env = {
+  env_net : Netsim.t;
+  env_crash : Netsim.node_id -> unit;
+      (** Take the node down {e and} destroy its soft state. *)
+  env_restore : Netsim.node_id -> unit;  (** Power the node back on. *)
+}
+
+val env_of_netsim : Netsim.t -> env
+(** Bare environment: crash/restore toggle power only.  Soft-state-aware
+    crashes come from [Internet.chaos_env], which layers the flushes
+    on. *)
+
+val apply : env -> Fault.t -> unit
+
+val inject : ?observer:Observer.t -> env -> Schedule.t -> unit
+(** Arm one engine timer per schedule entry (firing immediately for
+    entries already in the past). *)

@@ -1,0 +1,30 @@
+(** Catenet: an OCaml reproduction of the DARPA internet architecture
+    (Clark, SIGCOMM 1988) over a deterministic discrete-event simulator.
+
+    One-stop namespace re-exporting every layer:
+
+    - {!Engine} — virtual time and events
+    - {!Netsim} — links, nodes, failures (the "variety of networks")
+    - {!Packet} — wire formats and checksums
+    - {!Ip} — the internet layer (datagrams, fragmentation, ICMP)
+    - {!Udp}, {!Tcp} — the two types of service
+    - {!Routing} — distance-vector and link-state survivability machinery
+    - {!Vc} — the virtual-circuit baseline architecture
+    - {!Apps} — workload applications
+    - {!Internet} — the builder that assembles a concrete catenet
+    - {!Chaos} — deterministic fault injection and the survivability
+      gauntlet
+    - {!Trace} — flight recorder, metrics registry and pcap export *)
+
+module Engine = Engine
+module Netsim = Netsim
+module Packet = Packet
+module Ip = Ip
+module Udp = Udp
+module Tcp = Tcp
+module Routing = Routing
+module Vc = Vc
+module Apps = Apps
+module Internet = Internet
+module Chaos = Chaos
+module Trace = Trace

@@ -43,7 +43,7 @@ let create () =
   Trace.set_now (fun () -> t.clock);
   t
 
-let now t = t.clock
+let now t = t.clock [@@fastpath]
 
 let us d = d
 let ms d = d * 1_000
@@ -84,7 +84,7 @@ module Timer = struct
     end
     else schedule_event ~is_timer:true t ~at:(t.clock + after) fn
 
-  let cancel (h : handle) = h.cancelled <- true
+  let cancel (h : handle) = h.cancelled <- true [@@fastpath]
 
   let active (h : handle) = (not h.fired) && not h.cancelled
 end

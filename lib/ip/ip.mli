@@ -1,0 +1,7 @@
+(** The internet layer: routing table, reassembly, accounting, and the
+    per-node stack.  See {!Stack} for the main entry point. *)
+
+module Route_table = Route_table
+module Reassembly = Reassembly
+module Accounting = Accounting
+module Stack = Stack

@@ -183,7 +183,10 @@ let fragment_payload ~mtu (h : Ipv4.header) payload =
 
 let transmit t iface ~priority frame =
   (match t.tap with Some f -> f ~rx:false frame | None -> ());
-  ignore (Netsim.send t.net t.node ~priority ~iface frame)
+  (* [Netsim.send] clones the frame into the link queue; that copy is the
+     hand-off to the simulated wire, not fast-path overhead. *)
+  ignore (Netsim.send t.net t.node ~priority ~iface frame [@fastpath.exempt])
+[@@fastpath]
 
 (* Emit (or fragment and emit) one datagram on [iface].  Low-delay ToS
    datagrams ride the link's priority queue — the per-hop half of the
@@ -358,7 +361,8 @@ let forward t (h : Ipv4.header) payload =
    larger than the next link's MTU, i.e. fragmentation or a DF drop) bails
    out to the slow path, which handles every edge already. *)
 let forward_fast t (h : Ipv4.header) frame =
-  match lookup_route t h.Ipv4.dst with
+  (* Route memo may allocate on a cold miss; amortised O(1). *)
+  match (lookup_route t h.Ipv4.dst [@fastpath.exempt]) with
   | Some route
     when h.Ipv4.ttl > 1
          && Bytes.length frame
@@ -376,11 +380,15 @@ let forward_fast t (h : Ipv4.header) frame =
           Accounting.record acc
             { h with Ipv4.ttl = h.Ipv4.ttl - 1 }
             ~payload:(Ipv4.payload_of frame)
-            ~wire_bytes:(Bytes.length frame));
+            ~wire_bytes:(Bytes.length frame))
+      [@fastpath.exempt];
       transmit t route.Route_table.iface
         ~priority:(h.Ipv4.tos = Ipv4.Tos.Low_delay)
         frame
-  | Some _ | None -> forward t h (Ipv4.payload_of frame)
+  | Some _ | None ->
+      (* Bail to the slow path, which owns every edge case. *)
+      (forward t h (Ipv4.payload_of frame) [@fastpath.exempt])
+[@@fastpath]
 
 let receive t ~iface:_ frame =
   (match t.tap with Some f -> f ~rx:true frame | None -> ());

@@ -144,6 +144,7 @@ let node_count t = t.n_nodes
 let node t id =
   if id < 0 || id >= t.n_nodes then invalid_arg "Netsim: bad node id";
   t.nodes.(id)
+[@@fastpath]
 
 let node_name t id = (node t id).name
 
@@ -208,6 +209,7 @@ let link_count t = t.n_links
 let link t id =
   if id < 0 || id >= t.n_links then invalid_arg "Netsim: bad link id";
   t.links.(id)
+[@@fastpath]
 
 let iface_count t nid = (node t nid).n_ifaces
 
@@ -215,10 +217,11 @@ let iface_entry t nid i =
   let n = node t nid in
   if i < 0 || i >= n.n_ifaces then invalid_arg "Netsim: bad iface";
   n.iface_arr.(i)
+[@@fastpath]
 
-let iface_link t nid i = fst (iface_entry t nid i)
+let iface_link t nid i = fst (iface_entry t nid i) [@@fastpath]
 
-let iface_mtu t nid i = (link t (iface_link t nid i)).prof.mtu
+let iface_mtu t nid i = (link t (iface_link t nid i)).prof.mtu [@@fastpath]
 
 let peer t nid i =
   let lid, side = iface_entry t nid i in

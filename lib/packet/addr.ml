@@ -1,7 +1,7 @@
 type t = int32
 
-let of_int32 v = v
-let to_int32 v = v
+let of_int32 v = v [@@fastpath]
+let to_int32 v = v [@@fastpath]
 
 let v a b c d =
   let ok x = x >= 0 && x <= 255 in
@@ -41,7 +41,7 @@ let pp fmt a = Format.pp_print_string fmt (to_string a)
 let compare a b =
   Int32.unsigned_compare a b
 
-let equal a b = Int32.equal a b
+let equal a b = Int32.equal a b [@@fastpath]
 
 let any = 0l
 

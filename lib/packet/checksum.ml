@@ -2,7 +2,7 @@ type acc = int
 
 let zero = 0
 
-let add_u16 acc v = acc + (v land 0xffff)
+let add_u16 acc v = acc + (v land 0xffff) [@@fastpath]
 
 (* The inner loop sums 32-bit big-endian reads: each contributes its two
    16-bit columns as [hi·2^16 + lo], and the final carry fold collapses
@@ -30,12 +30,16 @@ let add_bytes acc b ~pos ~len =
   done;
   if !i < stop then acc := !acc + (Bytes.get_uint8 b !i lsl 8);
   !acc
+[@@fastpath]
 
-let rec fold_carry s = if s > 0xffff then fold_carry ((s land 0xffff) + (s lsr 16)) else s
+let rec fold_carry s =
+  if s > 0xffff then fold_carry ((s land 0xffff) + (s lsr 16)) else s
+[@@fastpath]
 
-let finish acc = lnot (fold_carry acc) land 0xffff
+let finish acc = lnot (fold_carry acc) land 0xffff [@@fastpath]
 
 let of_bytes ?(acc = zero) b ~pos ~len = finish (add_bytes acc b ~pos ~len)
+[@@fastpath]
 
 (* RFC 1624 (eqn. 3): HC' = ~(~HC + ~m + m').  Folding the carry keeps the
    result in one's-complement range, so updating a checksum for a one-word
@@ -47,17 +51,18 @@ let update_u16 csum ~old_word ~new_word =
     + (new_word land 0xffff)
   in
   lnot (fold_carry sum) land 0xffff
+[@@fastpath]
 
 let valid ?(acc = zero) b ~pos ~len =
   fold_carry (add_bytes acc b ~pos ~len) = 0xffff
+[@@fastpath]
 
+(* Straight-line adds: the [Fun.flip] pipeline this replaces allocated a
+   closure per field, which the fastpath rule (rightly) rejects. *)
 let pseudo_header ~src ~dst ~proto ~len =
-  let hi32 v = Int32.to_int (Int32.shift_right_logical v 16) land 0xffff in
-  let lo32 v = Int32.to_int v land 0xffff in
-  zero
-  |> Fun.flip add_u16 (hi32 src)
-  |> Fun.flip add_u16 (lo32 src)
-  |> Fun.flip add_u16 (hi32 dst)
-  |> Fun.flip add_u16 (lo32 dst)
-  |> Fun.flip add_u16 proto
-  |> Fun.flip add_u16 len
+  let src_hi = Int32.to_int (Int32.shift_right_logical src 16) land 0xffff in
+  let src_lo = Int32.to_int src land 0xffff in
+  let dst_hi = Int32.to_int (Int32.shift_right_logical dst 16) land 0xffff in
+  let dst_lo = Int32.to_int dst land 0xffff in
+  src_hi + src_lo + dst_hi + dst_lo + (proto land 0xffff) + (len land 0xffff)
+[@@fastpath]

@@ -37,6 +37,13 @@ type t =
 
 type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
 
+(* Machine-checked wire contract (see catenet-lint).  The rest-of-header
+   word is split id/seq as in echo messages; encode's single u32 write
+   spans both, which the linter accepts (whole adjacent fields). *)
+let layout : (string * int * int) list =
+  [ ("type", 0, 1); ("code", 1, 1); ("checksum", 2, 2); ("id", 4, 2);
+    ("seq", 6, 2) ]
+
 let pp_error fmt = function
   | `Truncated -> Format.pp_print_string fmt "truncated ICMP message"
   | `Bad_checksum -> Format.pp_print_string fmt "bad ICMP checksum"

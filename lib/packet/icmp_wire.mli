@@ -26,6 +26,11 @@ type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
 
 val pp_error : Format.formatter -> error -> unit
 
+val layout : (string * int * int) list
+(** [(field, offset, width)] wire contract, machine-checked by
+    catenet-lint; the rest-of-header word is split id/seq as in echo
+    messages. *)
+
 val encode : t -> bytes
 val decode : bytes -> (t, error) result
 val pp : Format.formatter -> t -> unit

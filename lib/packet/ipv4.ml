@@ -50,6 +50,22 @@ type header = {
 let header_size = 20
 let max_datagram = 65535
 
+(* Machine-checked wire contract: catenet-lint verifies every constant
+   byte access in encode/encode_into/peek/patch_* lands on these field
+   boundaries, that the table is gapless, and that encode and peek
+   cover the same bytes. *)
+let layout : (string * int * int) list =
+  [ ("ver_ihl", 0, 1);
+    ("tos", 1, 1);
+    ("total_len", 2, 2);
+    ("id", 4, 2);
+    ("flags_frag", 6, 2);
+    ("ttl", 8, 1);
+    ("proto", 9, 1);
+    ("checksum", 10, 2);
+    ("src", 12, 4);
+    ("dst", 16, 4) ]
+
 let make_header ?(tos = Tos.Routine) ?(id = 0) ?(dont_fragment = false)
     ?(more_fragments = false) ?(frag_offset = 0) ?(ttl = 64) ~proto ~src ~dst
     () =
@@ -177,6 +193,7 @@ let patch_ttl buf =
   Bytes.set_uint16_be buf 8 new_word;
   let csum = Bytes.get_uint16_be buf 10 in
   Bytes.set_uint16_be buf 10 (Checksum.update_u16 csum ~old_word ~new_word)
+[@@fastpath]
 
 let pp_header fmt h =
   Format.fprintf fmt "%a -> %a %a ttl=%d id=%d%s%s off=%d tos=%a" Addr.pp

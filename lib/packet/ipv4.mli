@@ -41,6 +41,11 @@ type header = {
 val header_size : int
 (** 20 bytes. *)
 
+val layout : (string * int * int) list
+(** [(field, offset, width)] wire contract, machine-checked by
+    catenet-lint against the byte accesses in {!encode}, {!encode_into},
+    {!peek} and {!patch_ttl}. *)
+
 val max_datagram : int
 (** 65535, the total-length field bound. *)
 

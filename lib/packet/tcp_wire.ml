@@ -54,6 +54,24 @@ let pp_error fmt = function
 
 let header_size t = match t.mss with None -> 20 | Some _ -> 24
 
+(* Machine-checked wire contract (see catenet-lint): fixed 20-byte
+   header plus the single 4-byte MSS option this stack speaks.  The
+   opt_* fields are written by encode but only read through the
+   variable-offset option parser, which the linter cannot follow - the
+   asymmetry is allowlisted. *)
+let layout : (string * int * int) list =
+  [ ("src_port", 0, 2);
+    ("dst_port", 2, 2);
+    ("seq", 4, 4);
+    ("ack", 8, 4);
+    ("off_flags", 12, 2);
+    ("window", 14, 2);
+    ("checksum", 16, 2);
+    ("urgent", 18, 2);
+    ("opt_kind", 20, 1);
+    ("opt_len", 21, 1);
+    ("opt_mss", 22, 2) ]
+
 let flags_bits f =
   (if f.urg then 0x20 else 0)
   lor (if f.ack then 0x10 else 0)
@@ -193,15 +211,15 @@ let peek ~src ~dst ?(pos = 0) buf =
     end
   end
 
-let peek_src_port ?(pos = 0) buf = Bytes.get_uint16_be buf pos
-let peek_dst_port ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 2)
+let peek_src_port ?(pos = 0) buf = Bytes.get_uint16_be buf pos [@@fastpath]
+let peek_dst_port ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 2) [@@fastpath]
 
-let peek_u32 buf p = Int32.to_int (Bytes.get_int32_be buf p) land 0xFFFFFFFF
+let peek_u32 buf p = Int32.to_int (Bytes.get_int32_be buf p) land 0xFFFFFFFF [@@fastpath]
 
-let peek_seq ?(pos = 0) buf = peek_u32 buf (pos + 4)
-let peek_ack_n ?(pos = 0) buf = peek_u32 buf (pos + 8)
-let peek_flag_bits ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 12) land 0x3f
-let peek_window ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 14)
+let peek_seq ?(pos = 0) buf = peek_u32 buf (pos + 4) [@@fastpath]
+let peek_ack_n ?(pos = 0) buf = peek_u32 buf (pos + 8) [@@fastpath]
+let peek_flag_bits ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 12) land 0x3f [@@fastpath]
+let peek_window ?(pos = 0) buf = Bytes.get_uint16_be buf (pos + 14) [@@fastpath]
 
 let of_peeked buf ~data_offset =
   let len = Bytes.length buf in

@@ -71,6 +71,10 @@ val header_bytes : mss:int option -> int
 (** {!header_size} from the option set alone, for sizing an
     {!encode_into} buffer before the segment exists. *)
 
+val layout : (string * int * int) list
+(** [(field, offset, width)] wire contract, machine-checked by
+    catenet-lint: fixed header plus the 4-byte MSS option block. *)
+
 val encode_into :
   src:Addr.t ->
   dst:Addr.t ->

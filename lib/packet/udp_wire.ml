@@ -2,6 +2,10 @@ type t = { src_port : int; dst_port : int; payload : bytes }
 
 let header_size = 8
 
+(* Machine-checked wire contract (see catenet-lint). *)
+let layout : (string * int * int) list =
+  [ ("src_port", 0, 2); ("dst_port", 2, 2); ("len", 4, 2); ("checksum", 6, 2) ]
+
 type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
 
 let pp_error fmt = function

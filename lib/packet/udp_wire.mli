@@ -11,6 +11,10 @@ type t = { src_port : int; dst_port : int; payload : bytes }
 val header_size : int
 (** 8 bytes. *)
 
+val layout : (string * int * int) list
+(** [(field, offset, width)] wire contract, machine-checked by
+    catenet-lint. *)
+
 type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
 
 val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,7 @@
+(** Interior routing protocols: {!Dv} (distance vector) and {!Ls}
+    (link state), with shared wire formats in {!Rt_msg}. *)
+
+module Rt_msg = Rt_msg
+module Dv = Dv
+module Ls = Ls
+module Redistribute = Redistribute

@@ -4,11 +4,11 @@ type 'a t = { mutable data : 'a entry array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
-let length t = t.size
+let length t = t.size [@@fastpath]
 
-let is_empty t = t.size = 0
+let is_empty t = t.size = 0 [@@fastpath]
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq) [@@fastpath]
 
 let grow t =
   let cap = Array.length t.data in
@@ -55,6 +55,7 @@ let sift_down t =
     end
     else continue := false
   done
+[@@fastpath]
 
 let pop t =
   if t.size = 0 then None
@@ -77,10 +78,12 @@ let peek t =
 let min_key t =
   if t.size = 0 then raise Not_found;
   t.data.(0).key
+[@@fastpath]
 
 let min_seq t =
   if t.size = 0 then raise Not_found;
   t.data.(0).seq
+[@@fastpath]
 
 let pop_min t =
   if t.size = 0 then raise Not_found;
@@ -91,6 +94,7 @@ let pop_min t =
     sift_down t
   end;
   top.value
+[@@fastpath]
 
 let clear t =
   (* Keep the backing array: a cleared queue is about to be refilled, and

@@ -44,8 +44,8 @@ let create ?(slots = 1024) ?(granularity = 2048) () =
     due_tick = 0;
   }
 
-let horizon t = Array.length t.slots * t.granularity
-let length t = t.count
+let horizon t = Array.length t.slots * t.granularity [@@fastpath]
+let length t = t.count [@@fastpath]
 
 let slot_of t at = at / t.granularity mod Array.length t.slots
 
@@ -185,11 +185,18 @@ let min_cell t =
       end);
   match t.due with [] -> None | c :: _ -> Some c
 
-let min_key t = match min_cell t with Some c -> c.c_at | None -> max_int
-let min_seq t = match min_cell t with Some c -> c.c_seq | None -> max_int
+(* The amortised batch extraction inside [min_cell] allocates (sorting a
+   tick's cells); the amortised-O(1) surface below is the fast path. *)
+let min_key t =
+  match (min_cell t [@fastpath.exempt]) with Some c -> c.c_at | None -> max_int
+[@@fastpath]
+
+let min_seq t =
+  match (min_cell t [@fastpath.exempt]) with Some c -> c.c_seq | None -> max_int
+[@@fastpath]
 
 let pop_min t =
-  match min_cell t with
+  match (min_cell t [@fastpath.exempt]) with
   | None -> raise Not_found
   | Some cell ->
       (match t.due with
@@ -198,3 +205,4 @@ let pop_min t =
       t.count <- t.count - 1;
       if t.count = 0 then t.hint <- max_int;
       cell.c_v
+[@@fastpath]

@@ -18,7 +18,7 @@ let create ?(initial_rto_us = 1_000_000) ?(min_rto_us = 200_000)
     shift = 0;
   }
 
-let clamp t v = min t.max_rto (max t.min_rto v)
+let clamp t v = min t.max_rto (max t.min_rto v) [@@fastpath]
 
 let sample t rtt =
   (match t.srtt with
@@ -35,11 +35,11 @@ let sample t rtt =
   | None -> ());
   t.shift <- 0
 
-let rto t = min t.max_rto (t.base_rto lsl t.shift)
+let rto t = min t.max_rto (t.base_rto lsl t.shift) [@@fastpath]
 
-let backoff t = if t.base_rto lsl t.shift < t.max_rto then t.shift <- t.shift + 1
+let backoff t = if t.base_rto lsl t.shift < t.max_rto then t.shift <- t.shift + 1 [@@fastpath]
 
-let reset_backoff t = t.shift <- 0
+let reset_backoff t = t.shift <- 0 [@@fastpath]
 
 let srtt t = t.srtt
 

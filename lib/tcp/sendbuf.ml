@@ -9,10 +9,10 @@ type t = {
 let create ?(limit = 262_144) () =
   { limit; data = Bytes.create 4096; start = 0; len = 0; base_off = 0 }
 
-let base t = t.base_off
-let length t = t.len
-let tail t = t.base_off + t.len
-let space t = t.limit - t.len
+let base t = t.base_off [@@fastpath]
+let length t = t.len [@@fastpath]
+let tail t = t.base_off + t.len [@@fastpath]
+let space t = t.limit - t.len [@@fastpath]
 
 let ensure t extra =
   let need = t.len + extra in
@@ -42,6 +42,7 @@ let blit t ~off ~len dst ~pos =
   if off < t.base_off || off + len > tail t || len < 0 then
     invalid_arg "Sendbuf.blit: range out of buffer";
   Bytes.blit t.data (t.start + off - t.base_off) dst pos len
+[@@fastpath]
 
 let drop_until t off =
   if off > t.base_off then begin
@@ -55,3 +56,4 @@ let drop_until t off =
       t.start <- 0
     end
   end
+[@@fastpath]

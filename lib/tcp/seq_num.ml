@@ -2,20 +2,22 @@ type t = int
 
 let modulus = 0x1_0000_0000
 
-let add a n = (a + n) land (modulus - 1)
+let add a n = (a + n) land (modulus - 1) [@@fastpath]
 
 (* Signed distance: reduce mod 2^32 into [-2^31, 2^31). *)
 let diff a b =
   let d = (a - b) land (modulus - 1) in
   if d >= modulus / 2 then d - modulus else d
+[@@fastpath]
 
-let lt a b = diff a b < 0
-let le a b = diff a b <= 0
-let gt a b = diff a b > 0
-let ge a b = diff a b >= 0
+let lt a b = diff a b < 0 [@@fastpath]
+let le a b = diff a b <= 0 [@@fastpath]
+let gt a b = diff a b > 0 [@@fastpath]
+let ge a b = diff a b >= 0 [@@fastpath]
 
-let max a b = if ge a b then a else b
+let max a b = if ge a b then a else b [@@fastpath]
 
 let in_window x ~base ~size =
   let d = diff x base in
   d >= 0 && d < size
+[@@fastpath]

@@ -227,20 +227,22 @@ let on_peer_fin c f = c.cb_peer_fin <- Some f
 let on_close c f = c.cb_close <- Some f
 
 (* Sequence/offset mapping: stream byte 0 is iss+1 (after the SYN). *)
-let seq_of_off c off = Seq.add c.iss (1 + off)
-let off_of_seq c s = Seq.diff s c.iss - 1
+let seq_of_off c off = Seq.add c.iss (1 + off) [@@fastpath]
+let off_of_seq c s = Seq.diff s c.iss - 1 [@@fastpath]
 
 (* The FIN, if sent, occupies the sequence number just past the stream. *)
 let fin_seq c = seq_of_off c (Sendbuf.tail c.sndbuf)
 
-let flight c = Seq.diff c.snd_nxt c.snd_una
+let flight c = Seq.diff c.snd_nxt c.snd_una [@@fastpath]
 
 let rcv_window c =
   let used = Buffer.length c.recvq in
   min 65535 (max 0 (c.cfg.window - used))
+[@@fastpath]
 
 let effective_cwnd c =
   match c.cfg.cc with No_cc -> 1 lsl 30 | Tahoe | Reno -> c.cwnd
+[@@fastpath]
 
 let key_of c : key =
   ( Addr.to_int32 c.local_addr,
@@ -252,6 +254,7 @@ let key_of c : key =
 
 let cancel_timer slot =
   match slot with Some h -> Engine.Timer.cancel h | None -> ()
+[@@fastpath]
 
 let cancel_all_timers c =
   cancel_timer c.rto_timer;
@@ -647,6 +650,7 @@ let cc_on_new_ack c acked =
       else
         (* Congestion avoidance: ~one MSS per RTT. *)
         c.cwnd <- c.cwnd + max 1 (c.eff_mss * c.eff_mss / c.cwnd)
+[@@fastpath]
 
 let enter_fast_retransmit c =
   c.cstats.fast_retransmits <- c.cstats.fast_retransmits + 1;
@@ -1060,9 +1064,21 @@ let connect t ?config ~dst ~dst_port () =
   arm_rto c;
   c
 
+(* Typed listener errors, replacing the bare [Failure _] of old. *)
+type listen_error = Port_in_use of int
+
+exception Listen_error of listen_error
+
+let listen_error_to_string = function
+  | Port_in_use p -> Printf.sprintf "port %d already has a listener" p
+
+let () =
+  Printexc.register_printer (function
+    | Listen_error e -> Some ("Tcp.listen: " ^ listen_error_to_string e)
+    | _ -> None)
+
 let listen t ~port ~accept =
-  if Hashtbl.mem t.listeners port then
-    failwith (Printf.sprintf "Tcp.listen: port %d in use" port);
+  if Hashtbl.mem t.listeners port then raise (Listen_error (Port_in_use port));
   let l = { l_tcp = t; l_port = port; l_accept = accept; l_open = true } in
   Hashtbl.add t.listeners port l;
   l
@@ -1117,7 +1133,8 @@ let fast_ack c ~seq ~ack =
   Sendbuf.drop_until c.sndbuf new_base;
   (match c.timing with
   | Some (tseq, at) when Seq.gt ack tseq ->
-      Rto.sample c.rto (Engine.now c.tcp.eng - at);
+      (* RTT smoothing touches an option cell; once per timed segment. *)
+      (Rto.sample c.rto (Engine.now c.tcp.eng - at) [@fastpath.exempt]);
       c.timing <- None
   | Some _ | None -> ());
   c.retries <- 0;
@@ -1128,14 +1145,17 @@ let fast_ack c ~seq ~ack =
     cancel_timer c.rto_timer;
     c.rto_timer <- None
   end
-  else arm_rto c;
+  else (arm_rto c [@fastpath.exempt]);
   (* RFC 793 wl1/wl2 test; the window value itself is unchanged by the
      prediction guard, so only the bookkeeping moves. *)
   if Seq.lt c.snd_wl1 seq || (c.snd_wl1 = seq && Seq.le c.snd_wl2 ack) then begin
     c.snd_wl1 <- seq;
     c.snd_wl2 <- ack
   end;
-  output c
+  (* [output] decides whether freed window lets us send; it allocates only
+     when it actually emits a segment. *)
+  (output c [@fastpath.exempt])
+[@@fastpath]
 
 (* Next in-sequence data, nothing else new: the window-update test, text
    acceptance (no trim needed, no out-of-order queue to drain), the
@@ -1148,16 +1168,19 @@ let fast_data c ~seq ~ack buf ~pos ~plen =
     c.snd_wl2 <- ack
   end;
   c.rcv_nxt <- Seq.add c.rcv_nxt plen;
-  deliver_data c (Bytes.sub buf (pos + 20) plen);
+  (* The one payload-sized copy the fast path is allowed (wire -> app). *)
+  (deliver_data c (Bytes.sub buf (pos + 20) plen) [@fastpath.exempt]);
   c.ack_pending <- c.ack_pending + 1;
-  if c.ack_pending >= 2 then send_ack c
+  if c.ack_pending >= 2 then (send_ack c [@fastpath.exempt])
   else if c.delack_timer = None then
     c.delack_timer <-
-      Some
-        (Engine.Timer.start c.tcp.eng ~after:c.cfg.delayed_ack_us (fun () ->
-             c.delack_timer <- None;
-             if c.ack_pending > 0 then send_ack c));
-  output c
+      (Some
+         (Engine.Timer.start c.tcp.eng ~after:c.cfg.delayed_ack_us (fun () ->
+              c.delack_timer <- None;
+              if c.ack_pending > 0 then send_ack c))
+      [@fastpath.exempt]);
+  (output c [@fastpath.exempt])
+[@@fastpath]
 
 (* [buf] holds, at [pos], a checksum-valid segment with a bare 20-byte
    header and only ACK/PSH set.  Returns [true] if it was consumed on the
@@ -1180,6 +1203,7 @@ let try_fast c buf ~pos =
     end
     else false
   end
+[@@fastpath]
 
 (* Full dispatch: connection lookup, the RFC 793 state machine, listeners
    and orphan RSTs. *)

@@ -104,9 +104,15 @@ val set_fast_path : t -> bool -> unit
 
 val fast_path : t -> bool
 
+type listen_error = Port_in_use of int
+
+exception Listen_error of listen_error
+
+val listen_error_to_string : listen_error -> string
+
 val listen : t -> port:int -> accept:(conn -> unit) -> listener
 (** Passive open.  [accept] fires when a handshake completes.
-    @raise Failure if the port is in use. *)
+    @raise Listen_error if the port is in use. *)
 
 val close_listener : listener -> unit
 

@@ -32,6 +32,28 @@ let drop_reason_to_string = function
   | Unroutable_icmp -> "unroutable_icmp"
   | Reassembly_timeout -> "reassembly_timeout"
 
+(* The metrics counter each drop reason is accounted under.  This is the
+   drop-reason -> counter half of the accountability contract; catenet-lint
+   checks it is total, that every counter named here is a registered
+   metrics key, and that every constructor has a real emission site.  The
+   names differ from {!drop_reason_to_string} because they predate this
+   table: link-layer drops live in Netsim's per-direction [drops_*]
+   counters, IP drops in Stack's [dropped_*] family, and reassembly
+   expiry under the name the E15 artifacts already ship. *)
+let drop_reason_counter = function
+  | Queue_full -> "drops_queue"
+  | Link_loss -> "drops_loss"
+  | Link_down -> "drops_down"
+  | Link_mtu -> "drops_mtu"
+  | Malformed -> "dropped_malformed"
+  | No_route -> "dropped_no_route"
+  | Ttl_expired -> "dropped_ttl"
+  | No_proto -> "dropped_no_proto"
+  | Not_forwarding -> "dropped_not_forwarding"
+  | Df_needed -> "dropped_df"
+  | Unroutable_icmp -> "dropped_unroutable_icmp"
+  | Reassembly_timeout -> "reassembly_expired"
+
 type route_action = Route_add | Route_remove | Route_clear
 
 (* One lifecycle event.  Every constructor carries plain scalars (node and

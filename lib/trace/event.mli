@@ -1,0 +1,95 @@
+(** Typed lifecycle events and the cross-layer drop-reason enumeration.
+
+    One flat [drop_reason] across layers lets a post-mortem ask "what
+    killed traffic to X" without knowing in advance which layer to
+    blame — the accountability gap (Clark goal 7) this subsystem exists
+    to close.  catenet-lint enforces the static contract: every
+    constructor maps to a registered metrics counter
+    ({!drop_reason_counter}), has a real emission site, and is never
+    dispatched through a catch-all pattern. *)
+
+module Addr = Packet.Addr
+
+type drop_reason =
+  | Queue_full  (** Link output queue tail drop (congestion). *)
+  | Link_loss  (** Random in-flight frame loss. *)
+  | Link_down  (** Send attempted while the link or node was down. *)
+  | Link_mtu  (** Frame larger than the link MTU. *)
+  | Malformed  (** Failed header validation. *)
+  | No_route  (** Routing table had no matching entry. *)
+  | Ttl_expired
+  | No_proto  (** No local handler for the protocol. *)
+  | Not_forwarding  (** Transit datagram at a non-forwarding host. *)
+  | Df_needed  (** Needed fragmenting but DF was set. *)
+  | Unroutable_icmp  (** An ICMP error itself had no route back. *)
+  | Reassembly_timeout
+
+val drop_reason_to_string : drop_reason -> string
+
+val drop_reason_counter : drop_reason -> string
+(** The metrics key the reason is accounted under (Netsim's [drops_*]
+    family for link-layer reasons, Stack's [dropped_*] family for IP
+    reasons, [reassembly_expired] for timeouts).  Total by construction;
+    catenet-lint verifies each key is registered. *)
+
+type route_action = Route_add | Route_remove | Route_clear
+
+type t =
+  | Link_enqueue of { link : int; dir : int; len : int; priority : bool }
+  | Link_dequeue of { link : int; dir : int; len : int }
+      (** Transmission onto the wire completed. *)
+  | Link_deliver of { link : int; dir : int; len : int }
+  | Link_drop of { link : int; dir : int; len : int; reason : drop_reason }
+  | Ip_forward of
+      { node : int; src : Addr.t; dst : Addr.t; ttl : int; len : int }
+  | Ip_deliver of
+      { node : int; src : Addr.t; dst : Addr.t; proto : int; len : int }
+  | Ip_drop of
+      { node : int; src : Addr.t; dst : Addr.t; reason : drop_reason }
+  | Ip_fragment of { node : int; id : int; frag_offset : int; len : int }
+  | Ip_reassembled of { node : int; id : int; len : int }
+  | Tcp_segment_out of
+      { node : int;
+        dst : Addr.t;
+        dst_port : int;
+        seq : int;
+        len : int;
+        flags : int  (** bit 0 fin, 1 syn, 2 rst, 3 psh, 4 ack. *)
+      }
+  | Tcp_retransmit of { node : int; dst : Addr.t; seq : int; len : int }
+  | Tcp_rto_fire of { node : int; dst : Addr.t; retries : int }
+  | Timer_arm of { at : int }
+  | Timer_fire of { at : int }
+  | Route_change of
+      { prefix : Addr.Prefix.t; metric : int; action : route_action }
+  | Fault_link of { link : int; up : bool }
+      (** Link carrier state changed (fault injected or healed). *)
+  | Fault_node of { node : int; up : bool }
+      (** Node crashed or rebooted. *)
+  | Fault_soft_reset of { node : int }
+      (** A node's soft state (route cache, RIB, reassembly) was cleared. *)
+
+(** Event classes, a bitmask: the recorder's enable check is one [land]
+    against these. *)
+module Cls : sig
+  val link : int
+  val ip : int
+  val frag : int
+  val tcp : int
+  val timer : int
+  val route : int
+  val fault : int
+  val all : int
+  val to_string : int -> string
+end
+
+val cls : t -> int
+(** The class bit of an event. *)
+
+val drop_reason_of : t -> drop_reason option
+
+val tcp_flag_bits :
+  fin:bool -> syn:bool -> rst:bool -> psh:bool -> ack:bool -> int
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

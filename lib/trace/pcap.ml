@@ -5,6 +5,19 @@
    We write the little-endian byte order (magic a1 b2 c3 d4 stored LE);
    readers detect orientation from the magic either way. *)
 
+(* Machine-checked wire contracts (see catenet-lint): the 24-byte file
+   header written by [create] and the 16-byte per-record header written
+   by [add].  Pcap is write-only here, so the encode/decode asymmetry
+   check does not apply. *)
+let file_layout : (string * int * int) list =
+  [ ("magic", 0, 4); ("version_major", 4, 2); ("version_minor", 6, 2);
+    ("thiszone", 8, 4); ("sigfigs", 12, 4); ("snaplen", 16, 4);
+    ("linktype", 20, 4) ]
+
+let record_layout : (string * int * int) list =
+  [ ("ts_sec", 0, 4); ("ts_usec", 4, 4); ("incl_len", 8, 4);
+    ("orig_len", 12, 4) ]
+
 let magic = 0xa1b2c3d4
 let version_major = 2
 let version_minor = 4

@@ -22,6 +22,14 @@ val header_len : int
 val record_header_len : int
 (** Per-packet header size in bytes (16). *)
 
+val file_layout : (string * int * int) list
+(** [(field, offset, width)] contract for the 24-byte file header,
+    machine-checked by catenet-lint against {!create}. *)
+
+val record_layout : (string * int * int) list
+(** [(field, offset, width)] contract for the 16-byte record header,
+    machine-checked by catenet-lint against {!add}. *)
+
 val create : ?snaplen:int -> unit -> t
 (** An in-memory capture with the global header already written. *)
 

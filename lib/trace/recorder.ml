@@ -34,9 +34,9 @@ let st =
   { mask = 0; buf = [||]; head = 0; len = 0; emitted = 0;
     now = (fun () -> 0) }
 
-let want c = st.mask land c <> 0
-let enabled () = st.mask <> 0
-let mask () = st.mask
+let want c = st.mask land c <> 0 [@@fastpath]
+let enabled () = st.mask <> 0 [@@fastpath]
+let mask () = st.mask [@@fastpath]
 let set_mask m = st.mask <- m
 
 let set_now f = st.now <- f
@@ -118,5 +118,7 @@ let to_json () =
                      (("t_us", Json.Int e.t_us)
                      :: ("seq", Json.Int e.seq)
                      :: fields)
-               | other -> other)
+               | (Json.Null | Json.Bool _ | Json.Int _ | Json.Float _
+                 | Json.Str _ | Json.List _) as other ->
+                   other)
              (entries ())) ) ]

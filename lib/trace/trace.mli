@@ -1,0 +1,47 @@
+(** The observability subsystem: flight recorder, metrics registry, pcap
+    export (DESIGN.md §observability).
+
+    This entry module is what instrumented code touches:
+
+    {[
+      if Trace.want Trace.Cls.ip then
+        Trace.emit (Trace.Event.Ip_drop { node; src; dst; reason })
+    ]}
+
+    With tracing disabled (the default), that costs one mask load and a
+    branch — the overhead contract benchmarked by E15 and enforced
+    statically by catenet-lint's fastpath rule. *)
+
+module Json = Json
+module Event = Event
+module Cls = Event.Cls
+module Metrics = Metrics
+module Pcap = Pcap
+module Recorder = Recorder
+
+type entry = Recorder.entry = { t_us : int; seq : int; event : Event.t }
+
+val enable : ?capacity:int -> ?mask:int -> unit -> unit
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val want : int -> bool
+(** [want cls] is the single-flag check instrumented code performs
+    before constructing an event of class [cls]. *)
+
+val mask : unit -> int
+val set_mask : int -> unit
+val set_now : (unit -> int) -> unit
+val emit : Event.t -> unit
+val clear : unit -> unit
+val capacity : unit -> int
+val length : unit -> int
+val emitted : unit -> int
+val overwritten : unit -> int
+val entries : unit -> entry list
+val iter : (entry -> unit) -> unit
+val count : (Event.t -> bool) -> int
+val drops : ?reason:Event.drop_reason -> unit -> entry list
+val pp_entry : Format.formatter -> entry -> unit
+val to_json : unit -> Json.t

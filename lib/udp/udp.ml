@@ -26,6 +26,25 @@ and socket = {
 let stack t = t.ip
 let stats t = t.stats
 
+(* Typed socket errors: matchable by callers and printable without
+   string-parsing, replacing the bare [Failure _] this module used to
+   raise. *)
+type bind_error = Bad_port of int | Port_in_use of int | No_free_ports
+
+exception Bind_error of bind_error
+
+let bind_error_to_string = function
+  | Bad_port p -> Printf.sprintf "bad port %d (want 1..65535)" p
+  | Port_in_use p -> Printf.sprintf "port %d already bound" p
+  | No_free_ports -> "no free ephemeral ports"
+
+let () =
+  Printexc.register_printer (function
+    | Bind_error e -> Some ("Udp.bind: " ^ bind_error_to_string e)
+    | _ -> None)
+
+type send_error = [ Ip.Stack.send_error | `Closed ]
+
 let metrics_items t () =
   [ ("datagrams_in", Trace.Metrics.Int t.stats.datagrams_in);
     ("datagrams_out", Trace.Metrics.Int t.stats.datagrams_out);
@@ -59,23 +78,29 @@ let create ip =
   Ip.Stack.register_proto ip Ipv4.Proto.Udp (handle t);
   t
 
+let ephemeral_lo = 49152
+let ephemeral_hi = 65535
+
+(* Scan bounded by the range size, not by "wrapped back to start": the
+   old termination test compared against the pre-wrap start and never
+   fired when the scan began at the bottom of the range, looping forever
+   once every ephemeral port was bound. *)
 let alloc_ephemeral t =
-  let start = t.next_ephemeral in
-  let rec probe p =
-    let p = if p > 65535 then 49152 else p in
-    if not (Hashtbl.mem t.ports p) then p
-    else if p + 1 = start then failwith "Udp.bind: no free ports"
-    else probe (p + 1)
+  let range = ephemeral_hi - ephemeral_lo + 1 in
+  let rec probe p tried =
+    if tried >= range then raise (Bind_error No_free_ports)
+    else
+      let p = if p > ephemeral_hi then ephemeral_lo else p in
+      if not (Hashtbl.mem t.ports p) then p else probe (p + 1) (tried + 1)
   in
-  let p = probe start in
-  t.next_ephemeral <- (if p + 1 > 65535 then 49152 else p + 1);
+  let p = probe t.next_ephemeral 0 in
+  t.next_ephemeral <- (if p + 1 > ephemeral_hi then ephemeral_lo else p + 1);
   p
 
 let bind t ?(port = 0) ~recv () =
+  if port < 0 || port > 65535 then raise (Bind_error (Bad_port port));
   let port = if port = 0 then alloc_ephemeral t else port in
-  if port < 1 || port > 65535 then invalid_arg "Udp.bind: bad port";
-  if Hashtbl.mem t.ports port then
-    failwith (Printf.sprintf "Udp.bind: port %d in use" port);
+  if Hashtbl.mem t.ports port then raise (Bind_error (Port_in_use port));
   let sock = { udp = t; sock_port = port; recv; open_ = true } in
   Hashtbl.add t.ports port sock;
   sock
@@ -86,8 +111,9 @@ let close s =
     Hashtbl.remove s.udp.ports s.sock_port
   end
 
-let sendto s ?tos ?ttl ~dst ~dst_port payload =
-  if not s.open_ then failwith "Udp.sendto: socket closed";
+let sendto s ?tos ?ttl ~dst ~dst_port payload : (unit, send_error) result =
+  if not s.open_ then Error `Closed
+  else begin
   let t = s.udp in
   (* The checksum needs the source address, which IP chooses from the
      route; resolve it the same way. *)
@@ -114,4 +140,5 @@ let sendto s ?tos ?ttl ~dst ~dst_port payload =
   | Ok () ->
       t.stats.datagrams_out <- t.stats.datagrams_out + 1;
       Ok ()
-  | Error _ as e -> e
+  | Error (#Ip.Stack.send_error as e) -> Error e
+  end

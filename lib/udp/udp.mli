@@ -18,6 +18,18 @@ type stats = {
   mutable no_port : int;  (** Arrived for a port nobody had bound. *)
 }
 
+type bind_error =
+  | Bad_port of int  (** Outside 1..65535 (and not the 0 wildcard). *)
+  | Port_in_use of int
+  | No_free_ports  (** Every ephemeral port (49152..65535) is bound. *)
+
+exception Bind_error of bind_error
+
+val bind_error_to_string : bind_error -> string
+
+type send_error = [ Ip.Stack.send_error | `Closed ]
+(** {!Ip.Stack.send_error} plus [`Closed] for a socket already closed. *)
+
 val create : Ip.Stack.t -> t
 (** Attach UDP to a stack; registers protocol 17. *)
 
@@ -30,7 +42,8 @@ val bind :
   unit ->
   socket
 (** Open a socket.  [port] of 0 (default) allocates an ephemeral port.
-    @raise Failure if the port is taken. *)
+    @raise Bind_error if the port is taken, out of range, or (for
+    ephemeral allocation) the whole range is bound. *)
 
 val port : socket -> int
 
@@ -41,7 +54,7 @@ val sendto :
   dst:Packet.Addr.t ->
   dst_port:int ->
   bytes ->
-  (unit, Ip.Stack.send_error) result
+  (unit, send_error) result
 
 val close : socket -> unit
 (** Release the port; further arrivals count as [no_port]. *)

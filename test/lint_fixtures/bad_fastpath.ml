@@ -1,0 +1,7 @@
+(* Fixture: allocation in functions claiming the fast-path contract. *)
+
+let pair x = (x, x + 1) [@@fastpath]
+
+let shout n = Printf.sprintf "%d" n [@@fastpath]
+
+let cut b = Bytes.sub b 0 4 [@@fastpath]

@@ -1,0 +1,7 @@
+(* Fixture: a catch-all arm over a drop-reason enumeration — adding a
+   constructor would silently fall into the wildcard. *)
+
+type drop_reason = Queue_full | Link_loss | Link_down
+
+let to_string (r : drop_reason) =
+  match r with Queue_full -> "queue" | _ -> "other"

@@ -1,0 +1,5 @@
+(* Fixture: polymorphic comparison on a byte-buffer type. *)
+
+let same (a : bytes) (b : bytes) = a = b
+
+let order (a : bytes) (b : bytes) = compare a b

@@ -1,0 +1,11 @@
+(* Fixture: wire-layout violations.  The layout overlaps ("a" and "b"
+   share byte 1), leaves bytes 3..4 unaccounted, and the encoder writes a
+   byte that starts in the middle of field "b". *)
+
+let layout = [ ("a", 0, 2); ("b", 1, 2); ("d", 5, 1) ]
+
+let encode v =
+  let buf = Bytes.create 6 in
+  Bytes.set_uint16_be buf 0 v;
+  Bytes.set_uint8 buf 2 (v land 0xff);
+  buf

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Lint test driver, run from `dune runtest`:
+#   1. the real library sources must lint clean (source rules; the
+#      cmt-based rules need built artifacts and run under `make lint`);
+#   2. every fixture must fail the lint with exactly the golden findings.
+set -eu
+LINT="$1"
+
+"$LINT" --allow ../../bin/lint/lint.allow $(find ../../lib -name '*.ml' | sort) \
+  || { echo "real lib/ sources no longer lint clean" >&2; exit 1; }
+
+out=fixtures.out
+: > "$out"
+for f in bad_*.ml; do
+  base=${f%.ml}
+  ocamlc -bin-annot -c "$f"
+  if "$LINT" --no-mli "$f" "$base.cmt" >> "$out" 2>/dev/null; then
+    echo "fixture $f unexpectedly linted clean" >&2
+    exit 1
+  fi
+done
+diff -u expected.txt "$out"

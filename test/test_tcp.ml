@@ -478,8 +478,8 @@ let test_duplicate_listener_rejected () =
   ignore (Tcp.listen b.Internet.h_tcp ~port:80 ~accept:(fun _ -> ()));
   try
     ignore (Tcp.listen b.Internet.h_tcp ~port:80 ~accept:(fun _ -> ()));
-    Alcotest.fail "expected Failure"
-  with Failure _ -> ()
+    Alcotest.fail "expected Listen_error"
+  with Tcp.Listen_error (Tcp.Port_in_use 80) -> ()
 
 
 let test_reordering_tolerated () =

@@ -98,8 +98,44 @@ let test_bind_conflict () =
   ignore (Udp.bind w.a ~port:9999 ~recv:(fun ~src:_ ~src_port:_ _ -> ()) ());
   try
     ignore (Udp.bind w.a ~port:9999 ~recv:(fun ~src:_ ~src_port:_ _ -> ()) ());
-    Alcotest.fail "expected Failure"
-  with Failure _ -> ()
+    Alcotest.fail "expected Bind_error"
+  with Udp.Bind_error (Udp.Port_in_use 9999) -> ()
+
+let test_bind_bad_port () =
+  let w = world () in
+  try
+    ignore (Udp.bind w.a ~port:70000 ~recv:(fun ~src:_ ~src_port:_ _ -> ()) ());
+    Alcotest.fail "expected Bind_error"
+  with Udp.Bind_error (Udp.Bad_port 70000) -> ()
+
+(* Regression: with every ephemeral port bound, the allocator's scan used
+   to wrap past its starting point without ever meeting its termination
+   test and spin forever.  It must instead raise [No_free_ports] — and
+   keep handing out ports again once one is released. *)
+let test_ephemeral_exhaustion () =
+  let w = world () in
+  let socks = ref [] in
+  for p = 49152 to 65535 do
+    socks :=
+      Udp.bind w.a ~port:p ~recv:(fun ~src:_ ~src_port:_ _ -> ()) () :: !socks
+  done;
+  (try
+     ignore (Udp.bind w.a ~recv:(fun ~src:_ ~src_port:_ _ -> ()) ());
+     Alcotest.fail "expected No_free_ports"
+   with Udp.Bind_error Udp.No_free_ports -> ());
+  (* Free one port; allocation works again and picks exactly that one. *)
+  (match !socks with [] -> assert false | s :: _ -> Udp.close s);
+  let s = Udp.bind w.a ~recv:(fun ~src:_ ~src_port:_ _ -> ()) () in
+  check Alcotest.int "reuses the freed port" 65535 (Udp.port s)
+
+let test_sendto_closed () =
+  let w = world () in
+  let s = Udp.bind w.a ~port:4000 ~recv:(fun ~src:_ ~src_port:_ _ -> ()) () in
+  Udp.close s;
+  match Udp.sendto s ~dst:w.b_addr ~dst_port:5000 (Bytes.of_string "x") with
+  | Error `Closed -> ()
+  | Ok () -> Alcotest.fail "sendto on closed socket succeeded"
+  | Error _ -> Alcotest.fail "wrong error for closed socket"
 
 let test_close_releases_port () =
   let w = world () in
@@ -169,6 +205,10 @@ let () =
           Alcotest.test_case "port demux" `Quick test_port_demux;
           Alcotest.test_case "ephemeral ports" `Quick test_ephemeral_ports_distinct;
           Alcotest.test_case "bind conflict" `Quick test_bind_conflict;
+          Alcotest.test_case "bind bad port" `Quick test_bind_bad_port;
+          Alcotest.test_case "ephemeral exhaustion" `Quick
+            test_ephemeral_exhaustion;
+          Alcotest.test_case "sendto closed" `Quick test_sendto_closed;
           Alcotest.test_case "close releases" `Quick test_close_releases_port;
         ] );
       ( "behaviour",
