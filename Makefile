@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-smoke gauntlet-smoke clean
+.PHONY: all build test check lint bench bench-smoke gauntlet-smoke topo-smoke clean
 
 all: build
 
@@ -31,6 +31,12 @@ bench-smoke:
 # reconvergence measurement and the replay-determinism check end to end.
 gauntlet-smoke:
 	dune exec bench/main.exe -- --smoke --only E16 --out=_smoke
+
+# The E17 scale engine alone, scaled down: builds the 10^4- and
+# 10^5-host region topologies, drives cross-region traffic, asserts
+# zero loss and aggregation end to end.
+topo-smoke:
+	dune exec bench/main.exe -- --smoke --only E17 --out=_smoke
 
 clean:
 	dune clean

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo check: format (when ocamlformat is available), build, tests, bench
 # smoke, the survivability gauntlet smoke, and the gates over the
-# committed BENCH_trace.json (DESIGN.md §observability) and
+# committed BENCH_trace.json (DESIGN.md §observability),
+# BENCH_topology.json (DESIGN.md §scale engine) and
 # BENCH_survivability.json (DESIGN.md §survivability gauntlet).
 # Usage: bin/check.sh  (or `make check`)
 set -eu
@@ -52,6 +53,32 @@ if [ -f BENCH_trace.json ]; then
     }' BENCH_trace.json
 else
   echo "  skipped (no BENCH_trace.json; run: dune exec bench/main.exe -- --only E13,E14,E15)"
+fi
+
+# The scale contract (E17, DESIGN.md §scale engine): a 10^4-host region
+# topology must hold its fast-path throughput and allocation rate within
+# 20% of E13's 8-node chain, measured in the same process so the ratio
+# is machine-independent.  As above, gate on the committed full-run
+# artifact, not smoke numbers.
+echo "== topology scale gate (BENCH_topology.json)"
+if [ -f BENCH_topology.json ]; then
+  awk '
+    function num(line,   v) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+    /"dps_vs_e13_pct"/ { dps = num($0); have_d = 1 }
+    /"words_vs_e13_pct"/ { words = num($0); have_w = 1 }
+    /"dps_floor_pct"/ { floor = num($0) }
+    /"words_ceiling_pct"/ { ceiling = num($0) }
+    END {
+      if (floor == 0) floor = 80.0
+      if (ceiling == 0) ceiling = 120.0
+      bad = 0
+      if (!have_d || dps < floor) { printf "FAIL: topology throughput %.1f%% of E13 (floor %.1f%%)\n", dps, floor; bad = 1 }
+      if (!have_w || words > ceiling) { printf "FAIL: topology words/packet %.1f%% of E13 (ceiling %.1f%%)\n", words, ceiling; bad = 1 }
+      if (!bad) printf "  10^4-host throughput %.1f%% of E13 (floor %.1f%%), words/packet %.1f%% (ceiling %.1f%%)\n", dps, floor, words, ceiling
+      exit bad
+    }' BENCH_topology.json
+else
+  echo "  skipped (no BENCH_topology.json; run: dune exec bench/main.exe -- --only E17)"
 fi
 
 echo "== gauntlet smoke"

@@ -26,5 +26,7 @@ module Routing = Routing
 module Vc = Vc
 module Apps = Apps
 module Internet = Internet
+module Topo = Topo
+module Hostpool = Hostpool
 module Chaos = Chaos
 module Trace = Trace

@@ -12,6 +12,8 @@
     - {!Vc} — the virtual-circuit baseline architecture
     - {!Apps} — workload applications
     - {!Internet} — the builder that assembles a concrete catenet
+    - {!Topo}, {!Hostpool} — the scale engine: hierarchical region
+      generator and pooled endpoint state (E17)
     - {!Chaos} — deterministic fault injection and the survivability
       gauntlet
     - {!Trace} — flight recorder, metrics registry and pcap export *)
@@ -26,5 +28,7 @@ module Routing = Routing
 module Vc = Vc
 module Apps = Apps
 module Internet = Internet
+module Topo = Topo
+module Hostpool = Hostpool
 module Chaos = Chaos
 module Trace = Trace

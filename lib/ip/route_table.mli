@@ -3,7 +3,13 @@
     The table maps CIDR prefixes to (outgoing interface, optional next-hop
     gateway, metric).  Lookup returns the longest matching prefix; among
     equal-length matches the lowest metric wins.  Routing protocols own the
-    dynamic entries; interface configuration installs connected routes. *)
+    dynamic entries; interface configuration installs connected routes.
+
+    Internally a path-compressed binary trie over the address bits, with
+    nodes in parallel arrays: {!lookup} costs O(prefix depth) regardless of
+    table size and allocates nothing (routes are boxed once at {!add}), so
+    a transit gateway can hold one aggregated prefix per region of an
+    E17-scale catenet without per-packet cost growing with the table. *)
 
 type route = {
   prefix : Packet.Addr.Prefix.t;
@@ -41,5 +47,11 @@ val entries : t -> route list
 (** All routes, longest prefixes first. *)
 
 val length : t -> int
+(** Number of routes, maintained incrementally — O(1) (daemon stats paths
+    call this per tick). *)
+
+val node_count : t -> int
+(** Live trie nodes (structural diagnostic; at most [2 * length t + 1]).
+    Tests use it to prove remove/re-add churn reclaims nodes. *)
 
 val pp : Format.formatter -> t -> unit

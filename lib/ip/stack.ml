@@ -17,6 +17,8 @@ type counters = {
   mutable fragments_made : int;
   mutable icmp_tx : int;
   mutable echo_replies : int;
+  mutable route_cache_hits : int;
+  mutable route_cache_misses : int;
 }
 
 let new_counters () =
@@ -35,6 +37,8 @@ let new_counters () =
     fragments_made = 0;
     icmp_tx = 0;
     echo_replies = 0;
+    route_cache_hits = 0;
+    route_cache_misses = 0;
   }
 
 type send_error = [ `No_route | `Too_big ]
@@ -46,11 +50,19 @@ type t = {
   mutable fwd : bool;
   mutable fast : bool;
   table : Route_table.t;
-  (* Destination -> route memo, valid while [cache_gen] matches the
-     table's generation.  Negative answers are cached too: a routing churn
-     bumps the generation, so a later add is never masked. *)
-  route_cache : (Addr.t, Route_table.route option) Hashtbl.t;
-  mutable cache_gen : int;
+  (* Destination -> route memo: a direct-mapped array of
+     [route_cache_slots] slots, so the cache is structurally bounded no
+     matter how many distinct destinations transit this stack (a gateway
+     in an E17-scale catenet sees 10^4..10^5 of them; the Hashtbl this
+     replaces grew one bucket per destination).  A slot is live only
+     while its stamp equals the table's current generation, so any
+     add/remove/clear invalidates everything at once — no flush pass —
+     and eviction is collision-replaces-occupant.  Negative answers are
+     cached too: a routing churn bumps the generation, so a later add is
+     never masked.  Hits touch three arrays and allocate nothing. *)
+  cache_key : int array;  (* destination address bits *)
+  cache_val : Route_table.route option array;  (* pre-boxed by the table *)
+  cache_stamp : int array;  (* table generation at fill; -1 = empty *)
   mutable iface_addrs : (Netsim.iface * Addr.t) list;
   protos : (int, Ipv4.header -> bytes -> unit) Hashtbl.t;
   frame_protos : (int, Ipv4.header -> bytes -> pos:int -> unit) Hashtbl.t;
@@ -93,25 +105,34 @@ let trace_deliver t (h : Ipv4.header) ~len =
 (* Route lookup with a per-stack memo.  The memo only pays off on the fast
    path; with the fast path disabled we hit the table directly so that the
    legacy path really is the pre-cache baseline (E13 compares the two). *)
-let route_cache_max = 4096
+let route_cache_capacity = 4096 (* power of two: slot index is a mask *)
+
+let addr_key a = Int32.to_int (Addr.to_int32 a) land 0xffffffff [@@fastpath]
 
 let lookup_route t dst =
   if not t.fast then Route_table.lookup t.table dst
   else begin
+    let key = addr_key dst in
+    (* Fibonacci hash: spread region/host structure across the slots. *)
+    let slot = (key * 0x2545F491) lsr 13 land (route_cache_capacity - 1) in
     let gen = Route_table.generation t.table in
-    if gen <> t.cache_gen then begin
-      Hashtbl.reset t.route_cache;
-      t.cache_gen <- gen
-    end;
-    match Hashtbl.find_opt t.route_cache dst with
-    | Some r -> r
-    | None ->
-        let r = Route_table.lookup t.table dst in
-        if Hashtbl.length t.route_cache >= route_cache_max then
-          Hashtbl.reset t.route_cache;
-        Hashtbl.add t.route_cache dst r;
-        r
+    if
+      Array.unsafe_get t.cache_stamp slot = gen
+      && Array.unsafe_get t.cache_key slot = key
+    then begin
+      t.c.route_cache_hits <- t.c.route_cache_hits + 1;
+      Array.unsafe_get t.cache_val slot
+    end
+    else begin
+      t.c.route_cache_misses <- t.c.route_cache_misses + 1;
+      let r = Route_table.lookup t.table dst in
+      Array.unsafe_set t.cache_key slot key;
+      Array.unsafe_set t.cache_val slot r;
+      Array.unsafe_set t.cache_stamp slot gen;
+      r
+    end
   end
+[@@fastpath]
 
 let iface_addr t i = List.assoc_opt i t.iface_addrs
 
@@ -361,8 +382,7 @@ let forward t (h : Ipv4.header) payload =
    larger than the next link's MTU, i.e. fragmentation or a DF drop) bails
    out to the slow path, which handles every edge already. *)
 let forward_fast t (h : Ipv4.header) frame =
-  (* Route memo may allocate on a cold miss; amortised O(1). *)
-  match (lookup_route t h.Ipv4.dst [@fastpath.exempt]) with
+  match lookup_route t h.Ipv4.dst with
   | Some route
     when h.Ipv4.ttl > 1
          && Bytes.length frame
@@ -557,8 +577,7 @@ let reassembly_expired t = Reassembly.expired t.reasm
    because they are configuration, re-derived from the interfaces
    themselves at boot, not from protocol exchange. *)
 let flush_soft_state t =
-  Hashtbl.reset t.route_cache;
-  t.cache_gen <- -1;
+  Array.fill t.cache_stamp 0 route_cache_capacity (-1);
   Reassembly.flush t.reasm;
   List.iter
     (fun (r : Route_table.route) ->
@@ -583,6 +602,8 @@ let metrics_items t () =
     ("fragments_made", i t.c.fragments_made);
     ("icmp_tx", i t.c.icmp_tx);
     ("echo_replies", i t.c.echo_replies);
+    ("route_cache_hits", i t.c.route_cache_hits);
+    ("route_cache_misses", i t.c.route_cache_misses);
     ("reassembly_pending", i (reassembly_pending t));
     ("reassembly_expired", i (reassembly_expired t)) ]
 
@@ -595,8 +616,9 @@ let create ?(forwarding = false) net node =
       node;
       fwd = forwarding;
       fast = true;
-      route_cache = Hashtbl.create 64;
-      cache_gen = 0;
+      cache_key = Array.make route_cache_capacity 0;
+      cache_val = Array.make route_cache_capacity None;
+      cache_stamp = Array.make route_cache_capacity (-1);
       table = Route_table.create ();
       iface_addrs = [];
       protos = Hashtbl.create 4;

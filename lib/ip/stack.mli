@@ -28,6 +28,11 @@ type counters = {
   mutable fragments_made : int;
   mutable icmp_tx : int;
   mutable echo_replies : int;
+  mutable route_cache_hits : int;
+      (** Fast-path route lookups answered from the destination memo. *)
+  mutable route_cache_misses : int;
+      (** Fast-path route lookups that had to walk the table (cold slot,
+          collision eviction, or table generation change). *)
 }
 
 type send_error = [ `No_route | `Too_big ]
@@ -132,6 +137,12 @@ val icmp_unreachable :
     undeliverable back to its source, e.g. UDP port unreachable. *)
 
 val counters : t -> counters
+
+val route_cache_capacity : int
+(** Structural bound on the per-stack destination->route memo: a
+    direct-mapped array of this many slots, colliding entries evicting
+    each other.  The cache can never outgrow it no matter how many
+    distinct destinations transit the stack. *)
 
 val enable_accounting : t -> Accounting.t
 (** Start attributing every datagram forwarded (or locally delivered) by

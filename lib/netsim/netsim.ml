@@ -116,11 +116,16 @@ type t = {
   mutable links : link array;
   mutable n_links : int;
   rng : Stdext.Rng.t;
+  mutable default_handler :
+    (node:node_id -> iface:iface -> bytes -> unit) option;
+      (* Fallback receive path for nodes with no per-node handler: one
+         shared closure serves an arbitrary population of cheap hosts
+         (E17's pooled endpoints), instead of a closure web per node. *)
 }
 
 let create ?(seed = 42) eng =
   { eng; nodes = [||]; n_nodes = 0; links = [||]; n_links = 0;
-    rng = Stdext.Rng.create seed }
+    rng = Stdext.Rng.create seed; default_handler = None }
 
 let engine t = t.eng
 
@@ -233,6 +238,7 @@ let endpoints t lid =
   (l.a, l.b)
 
 let set_handler t nid f = (node t nid).handler <- Some f
+let set_default_handler t f = t.default_handler <- f
 
 let link_between t na nb =
   let rec scan i =
@@ -263,7 +269,10 @@ let deliver t l dir_idx frame =
            { link = l.id; dir = dir_idx; len = Bytes.length frame });
     match n.handler with
     | Some h -> h ~iface:dst_iface frame
-    | None -> ()
+    | None -> (
+        match t.default_handler with
+        | Some h -> h ~node:dst ~iface:dst_iface frame
+        | None -> ())
   end
 
 let rec start_tx t l dir_idx =

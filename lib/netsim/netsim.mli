@@ -98,6 +98,14 @@ val endpoints : t -> link_id -> (node_id * iface) * (node_id * iface)
 val set_handler : t -> node_id -> (iface:iface -> bytes -> unit) -> unit
 (** Install the frame-reception callback for a node (its network stack). *)
 
+val set_default_handler :
+  t -> (node:node_id -> iface:iface -> bytes -> unit) option -> unit
+(** Fallback receive path for nodes that have no {!set_handler} callback
+    of their own: one shared closure serves an arbitrary population of
+    cheap hosts, so attaching the millionth endpoint costs a node record,
+    not another closure web.  A per-node handler always wins; [None]
+    removes the fallback. *)
+
 val send : t -> node_id -> ?priority:bool -> iface:iface -> bytes -> bool
 (** Hand a frame to the interface for transmission.  Returns [false] when
     the frame was dropped immediately (down, queue full, over MTU);

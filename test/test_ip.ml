@@ -380,6 +380,48 @@ let test_route_cache_sees_table_changes () =
   | [ Icmpw.Dest_unreachable { code = Icmpw.Net_unreachable; _ } ] -> ()
   | l -> Alcotest.failf "expected net-unreachable, got %d msgs" (List.length l)
 
+let test_route_cache_bounded () =
+  (* The destination memo is a fixed direct-mapped array: pushing many
+     times more distinct destinations through a gateway than it has cache
+     slots must not grow the stack's footprint.  (The Hashtbl this
+     replaced added an entry per destination — at E17 scale a transit
+     gateway's cache outweighed its table.) *)
+  let t = triple () in
+  Ip.Route_table.add (Ip.Stack.table t.g)
+    { Ip.Route_table.prefix = Prefix.default; iface = 1;
+      next_hop = Some t.b_addr; metric = 1 };
+  let send dst =
+    ignore
+      (Ip.Stack.send t.a ~proto:(Ipv4.Proto.Other 99) ~dst
+         (Bytes.of_string "x"));
+    Engine.run t.eng
+  in
+  let distinct n base =
+    for i = 0 to n - 1 do
+      send (Addr.v 172 ((base + (i / 250)) land 0xff) ((i mod 250) + 1) 9)
+    done
+  in
+  let cap = Ip.Stack.route_cache_capacity in
+  distinct (2 * cap) 0;
+  let w0 = Obj.reachable_words (Obj.repr t.g) in
+  distinct (2 * cap) 64;
+  let w1 = Obj.reachable_words (Obj.repr t.g) in
+  check Alcotest.bool
+    (Printf.sprintf "cache footprint bounded (grew %d words)" (w1 - w0))
+    true
+    (w1 - w0 < 256);
+  (* Eviction is replacement, not poisoning: a repeated destination still
+     hits. *)
+  let c = Ip.Stack.counters t.g in
+  let dst = Addr.v 172 200 1 9 in
+  send dst;
+  let h0 = c.Ip.Stack.route_cache_hits in
+  send dst;
+  check Alcotest.bool "repeat destination hits the memo" true
+    (c.Ip.Stack.route_cache_hits > h0);
+  check Alcotest.bool "misses were counted" true
+    (c.Ip.Stack.route_cache_misses > 0)
+
 let test_route_table_generation () =
   let t = Ip.Route_table.create () in
   let g0 = Ip.Route_table.generation t in
@@ -629,6 +671,8 @@ let () =
             test_transit_frame_identity;
           Alcotest.test_case "route cache invalidation" `Quick
             test_route_cache_sees_table_changes;
+          Alcotest.test_case "route cache bounded" `Quick
+            test_route_cache_bounded;
           Alcotest.test_case "table generation" `Quick
             test_route_table_generation;
           Alcotest.test_case "slow path still forwards" `Quick

@@ -29,6 +29,37 @@ let test_basic_delivery () =
   | [ (0, frame, _) ] -> check Alcotest.string "payload" "hello" (Bytes.to_string frame)
   | l -> Alcotest.failf "expected 1 frame, got %d" (List.length l)
 
+let test_default_handler () =
+  (* Nodes without their own handler fall back to the net-wide default;
+     a per-node handler still wins over it. *)
+  let eng = Engine.create () in
+  let net = Netsim.create ~seed:1 eng in
+  let a = Netsim.add_node net "a" in
+  let b = Netsim.add_node net "b" in
+  let c = Netsim.add_node net "c" in
+  ignore (Netsim.add_link net (Netsim.profile "p") a b);
+  ignore (Netsim.add_link net (Netsim.profile "p") a c);
+  let pooled = ref [] in
+  Netsim.set_default_handler net
+    (Some (fun ~node ~iface frame -> pooled := (node, iface, frame) :: !pooled));
+  let own = collect net c in
+  check Alcotest.bool "send to pooled" true
+    (Netsim.send net a ~iface:0 (Bytes.of_string "to b"));
+  check Alcotest.bool "send to owned" true
+    (Netsim.send net a ~iface:1 (Bytes.of_string "to c"));
+  Engine.run eng;
+  (match !pooled with
+  | [ (n, 0, f) ] ->
+      check Alcotest.int "default saw b" b n;
+      check Alcotest.string "frame" "to b" (Bytes.to_string f)
+  | l -> Alcotest.failf "expected 1 pooled frame, got %d" (List.length l));
+  check Alcotest.int "per-node handler won" 1 (List.length !own);
+  (* Removing the fallback silences handlerless nodes again. *)
+  Netsim.set_default_handler net None;
+  ignore (Netsim.send net a ~iface:0 (Bytes.of_string "dropped"));
+  Engine.run eng;
+  check Alcotest.int "no fallback" 1 (List.length !pooled)
+
 let test_delivery_time () =
   (* 1000-byte frame at 1 Mb/s = 8 ms serialization + 5 ms propagation. *)
   let profile =
@@ -268,6 +299,7 @@ let () =
           Alcotest.test_case "timing" `Quick test_delivery_time;
           Alcotest.test_case "fifo serialization" `Quick test_fifo_and_serialization;
           Alcotest.test_case "bidirectional" `Quick test_bidirectional;
+          Alcotest.test_case "default handler" `Quick test_default_handler;
         ] );
       ( "limits",
         [
