@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-smoke gauntlet-smoke topo-smoke clean
+.PHONY: all build test check lint bench bench-smoke gauntlet-smoke topo-smoke acct-smoke clean
 
 all: build
 
@@ -37,6 +37,13 @@ gauntlet-smoke:
 # zero loss and aggregation end to end.
 topo-smoke:
 	dune exec bench/main.exe -- --smoke --only E17 --out=_smoke
+
+# The E20 sketch accounting experiment alone, scaled down: off / sketch /
+# exact over the same deterministic load, error and memory comparison
+# end to end.  (Smoke-scale numbers are not the gated contract; the gate
+# in bin/check.sh reads the committed full-run BENCH_accounting.json.)
+acct-smoke:
+	dune exec bench/main.exe -- --smoke --only E20 --out=_smoke
 
 clean:
 	dune clean

@@ -2,8 +2,9 @@
 # Repo check: format (when ocamlformat is available), build, tests, bench
 # smoke, the survivability gauntlet smoke, and the gates over the
 # committed BENCH_trace.json (DESIGN.md §observability),
-# BENCH_topology.json (DESIGN.md §scale engine) and
-# BENCH_survivability.json (DESIGN.md §survivability gauntlet).
+# BENCH_topology.json (DESIGN.md §scale engine),
+# BENCH_survivability.json (DESIGN.md §survivability gauntlet) and
+# BENCH_accounting.json (DESIGN.md §accounting-at-scale).
 # Usage: bin/check.sh  (or `make check`)
 set -eu
 cd "$(dirname "$0")/.."
@@ -112,6 +113,38 @@ if [ -f BENCH_survivability.json ]; then
     }' BENCH_survivability.json
 else
   echo "  skipped (no BENCH_survivability.json; run: dune exec bench/main.exe -- --only E16)"
+fi
+
+# The accounting contract (E20, DESIGN.md §accounting-at-scale): the
+# sketch engine must hold fast-path throughput at >=90% of
+# accounting-off, estimate the true top-100 flows' bytes within 1%, and
+# stay within 10% of the exact ledger's resident memory at >=10^6
+# distinct flows.  As above, gate on the committed full-run artifact.
+echo "== accounting gate (BENCH_accounting.json)"
+if [ -f BENCH_accounting.json ]; then
+  awk '
+    function num(line,   v) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+    /"dps_vs_off_pct"/ { dps = num($0); have_d = 1 }
+    /"top100_byte_error_pct"/ { err = num($0); have_e = 1 }
+    /"mem_vs_exact_pct"/ { mem = num($0); have_m = 1 }
+    /"distinct_flows"/ { flows = num($0) }
+    /"dps_floor_pct"/ { floor = num($0) }
+    /"error_ceiling_pct"/ { err_ceiling = num($0) }
+    /"mem_ceiling_pct"/ { mem_ceiling = num($0) }
+    END {
+      if (floor == 0) floor = 90.0
+      if (err_ceiling == 0) err_ceiling = 1.0
+      if (mem_ceiling == 0) mem_ceiling = 10.0
+      bad = 0
+      if (!have_d || dps < floor) { printf "FAIL: sketch throughput %.1f%% of accounting-off (floor %.1f%%)\n", dps, floor; bad = 1 }
+      if (!have_e || err > err_ceiling) { printf "FAIL: top-100 byte error %.3f%% exceeds the %.1f%% ceiling\n", err, err_ceiling; bad = 1 }
+      if (!have_m || mem > mem_ceiling) { printf "FAIL: sketch memory %.1f%% of exact (ceiling %.1f%%)\n", mem, mem_ceiling; bad = 1 }
+      if (flows < 1000000) { printf "FAIL: artifact covers only %d distinct flows (need >= 10^6)\n", flows; bad = 1 }
+      if (!bad) printf "  sketch %.1f%% of off (floor %.1f%%), top-100 error %.3f%% (ceiling %.1f%%), memory %.1f%% of exact (ceiling %.1f%%) at %d flows\n", dps, floor, err, err_ceiling, mem, mem_ceiling, flows
+      exit bad
+    }' BENCH_accounting.json
+else
+  echo "  skipped (no BENCH_accounting.json; run: dune exec bench/main.exe -- --only E20)"
 fi
 
 echo "check: OK"

@@ -1,5 +1,6 @@
 module Addr = Packet.Addr
 module Ipv4 = Packet.Ipv4
+module Udp_wire = Packet.Udp_wire
 
 (* Pooled endpoint state.
 
@@ -41,7 +42,8 @@ let receive t ~node ~iface:_ frame =
     if slot >= 0 then begin
       match Ipv4.peek frame with
       | Ok h
-        when Ipv4.Proto.to_int h.Ipv4.proto = proto
+        when (let p = Ipv4.Proto.to_int h.Ipv4.proto in
+              p = proto || p = 17 (* UDP: see [send_udp] *))
              && addr_bits h.Ipv4.dst = Array.unsafe_get t.addr slot ->
           Array.unsafe_set t.rx slot (Array.unsafe_get t.rx slot + 1);
           t.rx_total <- t.rx_total + 1
@@ -109,6 +111,20 @@ let send t slot ~dst payload =
       ()
   in
   let frame = Ipv4.encode h ~payload in
+  t.tx.(slot) <- t.tx.(slot) + 1;
+  t.tx_total <- t.tx_total + 1;
+  Netsim.send t.net t.node.(slot) ~iface:t.iface.(slot) frame
+
+(* Real UDP off a pooled host — the port-churn generator flow-accounting
+   benchmarks need (pool datagrams are portless, so a pool pair is one
+   flow no matter how many it sends; UDP gives 2^32 flows per pair). *)
+let send_udp t slot ~dst ~src_port ~dst_port payload =
+  let src = addr t slot in
+  let h = Ipv4.make_header ~proto:Ipv4.Proto.Udp ~src ~dst () in
+  let frame =
+    Ipv4.encode h
+      ~payload:(Udp_wire.encode ~src ~dst { Udp_wire.src_port; dst_port; payload })
+  in
   t.tx.(slot) <- t.tx.(slot) + 1;
   t.tx_total <- t.tx_total + 1;
   Netsim.send t.net t.node.(slot) ~iface:t.iface.(slot) frame

@@ -32,6 +32,20 @@ val send : t -> int -> dst:Packet.Addr.t -> bytes -> bool
     interface.  Returns what {!Netsim.send} returns ([false] = dropped at
     the interface). *)
 
+val send_udp :
+  t ->
+  int ->
+  dst:Packet.Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  bytes ->
+  bool
+(** Like {!send} but a real UDP datagram (proto 17, RFC 768 header).
+    Pool datagrams are portless — one flow per host pair — so workloads
+    that need flow churn (E20) vary ports here instead.  The pool's
+    receive closure counts inbound UDP for the host's address as
+    delivered, same as pool datagrams. *)
+
 val size : t -> int
 val node : t -> int -> Netsim.node_id
 val addr : t -> int -> Packet.Addr.t

@@ -463,7 +463,11 @@ let metrics_json t =
       (fun (node, kind) ->
         match Ip.Stack.accounting (stack_of_kind kind) with
         | Some acc ->
-            Some (Netsim.node_name t.nsim node, Ip.Accounting.to_json acc)
+            (* Bounded: a million-flow ledger must not yield a
+               million-line metrics snapshot. *)
+            Some
+              ( Netsim.node_name t.nsim node,
+                Ip.Accounting.to_json ~limit:100 acc )
         | None -> None)
       t.kinds
   in

@@ -2,53 +2,99 @@
 
     The 1988 paper notes that accounting was a poor fit for a pure
     datagram network because the gateway must reconstruct flows from
-    individual packets.  This module does exactly that reconstruction:
-    each forwarded datagram is attributed to a flow identified by
-    (src, dst, protocol, src port, dst port), with ports recovered by
-    peeking into the transport header — feasible precisely because the
-    datagram is self-describing. *)
+    individual packets — and the cost of that reconstruction is why
+    goal 7 was quietly dropped.  This module shows it could have been
+    cheap.  Two engines sit behind one facade:
+
+    - {!Exact} — the original unbounded [(flow, usage)] ledger.  Exact
+      counts for every flow, O(flows) memory, allocating hot path.
+      Right for small tests and differential baselines.
+    - {!Sketch} — sublinear scale mode: a count-min sketch
+      ({!Sketch.t}) estimates every flow's usage in fixed memory with
+      one-sided error, and a space-saving tracker ({!Heavy_hitters.t})
+      keeps exact-from-admission records for the current top-k flows.
+      {!record_fast} is allocation-free, so accounting rides
+      [forward_fast] instead of disqualifying it. *)
 
 type flow = {
   src : Packet.Addr.t;
   dst : Packet.Addr.t;
   proto : Packet.Ipv4.Proto.t;
-  src_port : int;  (** 0 when the protocol has no ports. *)
+  src_port : int;  (** 0 when the flow is portless. *)
   dst_port : int;
+  portless : bool;
+      (** Ports unknowable: ICMP, unknown protocols, or a non-first
+          fragment.  Kept in the flow identity so such traffic never
+          aliases a genuine port-(0,0) flow. *)
 }
 
 type usage = { mutable packets : int; mutable bytes : int }
-(** Mutable so {!record} can bump a flow's tallies in place — one hash
-    probe and two stores per datagram, no allocation after the flow's
-    first packet.  The query functions below always return fresh copies,
-    never the live record. *)
+(** Mutable so exact-mode {!record} can bump a flow's tallies in
+    place.  The query functions below always return fresh copies, never
+    the live record. *)
+
+type mode =
+  | Exact
+  | Sketch of { width : int; depth : int; top_k : int }
+      (** [width] cells (power of two) × [depth] rows of count-min,
+          plus a [top_k]-entry heavy-hitter tracker. *)
 
 type t
 
-val create : unit -> t
+val create : ?mode:mode -> unit -> t
+(** Default mode is [Exact] (the historical behavior). *)
+
+val mode : t -> mode
 
 val record : t -> Packet.Ipv4.header -> payload:bytes -> wire_bytes:int -> unit
-(** Attribute one forwarded datagram.  [payload] is the IP payload (for
-    port extraction from first-fragment transport headers); [wire_bytes]
-    is what the gateway actually carried, header included. *)
+(** Attribute one datagram.  [payload] is the IP payload (for port
+    extraction from first-fragment transport headers); [wire_bytes] is
+    what the gateway actually carried, header included. *)
 
-val flows : t -> (flow * usage) list
-(** Ledger, largest byte counts first.  Usage values are copies. *)
+val record_fast : t -> Packet.Ipv4.header -> frame:bytes -> unit
+(** Same attribution, straight off the received wire frame ([frame]
+    includes the IP header; its length is the wire byte count).
+    Allocation-free in sketch mode ([@@fastpath], checked by
+    catenet-lint); exact mode takes the same ledger path as {!record}. *)
+
+val rotate : t -> unit
+(** Start a new accounting epoch: reset all counters and tracked flows,
+    increment {!epoch}.  Long sketch-mode runs rotate before the
+    cardinality bitmap saturates. *)
+
+val epoch : t -> int
+
+val flows : ?limit:int -> t -> (flow * usage) list
+(** Largest byte counts first; [limit] bounds the result.  Exact mode
+    reports the full ledger; sketch mode reports the tracked top-k,
+    each usage refined to [min tracker-count, count-min estimate] (an
+    overestimate of the truth, tighter than either source alone). *)
 
 val lookup : t -> flow -> usage option
-(** A copy of the flow's current usage. *)
+(** Exact mode: a copy of the ledger record.  Sketch mode: the
+    count-min estimate (never an underestimate); [None] if the sketch
+    has no evidence of the flow. *)
 
 val total : t -> usage
+(** Exact in both modes (running totals, not derived from the table). *)
 
 val flow_count : t -> int
+(** Exact mode: ledger size.  Sketch mode: linear-counting cardinality
+    estimate of distinct flows this epoch. *)
+
+val tracked_count : t -> int
+(** Flows with an individually reportable record: ledger size in exact
+    mode, live top-k entries in sketch mode. *)
 
 val pp_flow : Format.formatter -> flow -> unit
 
 val flow_to_string : flow -> string
 
-val to_json : t -> Trace.Json.t
-(** The full ledger (flow count, totals, per-flow usage) as JSON; wired
+val to_json : ?limit:int -> t -> Trace.Json.t
+(** Mode, epoch, flow count, totals, and the top [limit] (default 100)
+    flows by bytes — bounded output even at millions of flows; wired
     into [Internet.metrics] snapshots. *)
 
 val metrics_items : t -> unit -> (string * Trace.Metrics.value) list
-(** Pull-based summary source (flow count and totals) for
+(** Pull-based summary source (flow count, totals, epoch) for
     [Trace.Metrics.register]. *)

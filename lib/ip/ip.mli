@@ -3,5 +3,7 @@
 
 module Route_table = Route_table
 module Reassembly = Reassembly
+module Sketch = Sketch
+module Heavy_hitters = Heavy_hitters
 module Accounting = Accounting
 module Stack = Stack

@@ -1,0 +1,174 @@
+(* Count-min sketch over flat int-array rows (E20).
+
+   One sketch answers "how many packets / how many bytes has this flow
+   carried?" for an unbounded flow population in O(depth) cache lines
+   per packet and O(depth * width) words of memory total.  Design
+   points, all in service of the fast path:
+
+   - a flow's packet and byte counters for one row are adjacent words of
+     one flat [int array] ([cells]), so each row costs one cache line,
+     not two, and an update allocates nothing;
+   - row hashes are seeded multiply-shift: one 63-bit multiply by an odd
+     per-row constant, then a shift that keeps the top [log2 width]
+     bits — width is forced to a power of two so the slot needs no
+     modulo;
+   - updates are *conservative*: a cell is raised only as far as the
+     key's new lower bound (min over rows + increment), which cuts the
+     classic count-min overestimate by roughly an order of magnitude on
+     skewed traffic while preserving the one-sided error guarantee
+     (estimates never underestimate);
+   - a dedicated occupancy bitmap ([card_bits] bits, sized for ~10^6
+     flows regardless of sketch width) gives a linear-counting estimate
+     of distinct-flow cardinality: the zero-bit count is maintained
+     incrementally, so the estimate is O(1) to read. *)
+
+type t = {
+  width : int;  (* cells per row; power of two *)
+  depth : int;  (* rows *)
+  mask : int;  (* width - 1 *)
+  shift : int;  (* 63 - log2 width: multiply-shift keeps the top bits *)
+  seeds : int array;  (* odd multiplier per row; last = bitmap hash *)
+  slots : int array;  (* scratch: flat cell index per row of the current key *)
+  cells : int array;  (* depth * width * 2, row-major; [2k]=pkts, [2k+1]=bytes *)
+  seen : Bytes.t;  (* card_bits-bit occupancy bitmap *)
+  mutable zero_bits : int;  (* unset bits left in [seen] *)
+  mutable updates : int;  (* update calls since creation or last clear *)
+  mutable last_pkts : int;  (* post-update estimate of the last key *)
+  mutable last_bytes : int;
+}
+
+(* Linear counting saturates at [bits * ln bits]; 2^18 bits (32 KB)
+   keeps a few-percent estimate past 10^6 distinct flows however small
+   the sketch itself is. *)
+let card_bits = 1 lsl 18
+let card_shift = 63 - 18
+
+(* splitmix-style finalizer; constants fit OCaml's 63-bit int. *)
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x27BB2EE687B0B0FD in
+  x lxor (x lsr 32)
+[@@fastpath]
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(seed = 0x5EED) ~width ~depth () =
+  if not (is_pow2 width) then
+    invalid_arg "Ip.Sketch.create: width must be a power of two";
+  if width < 8 then invalid_arg "Ip.Sketch.create: width must be >= 8";
+  if depth < 1 then invalid_arg "Ip.Sketch.create: depth must be >= 1";
+  {
+    width;
+    depth;
+    mask = width - 1;
+    shift = 63 - log2 width;
+    seeds =
+      Array.init (depth + 1) (fun i -> mix (seed + (i * 0x61C88647)) lor 1);
+    slots = Array.make depth 0;
+    cells = Array.make (depth * width * 2) 0;
+    seen = Bytes.make (card_bits / 8) '\000';
+    zero_bits = card_bits;
+    updates = 0;
+    last_pkts = 0;
+    last_bytes = 0;
+  }
+
+let width t = t.width
+let depth t = t.depth
+let updates t = t.updates
+
+let slot_of t i fp =
+  ((fp * Array.unsafe_get t.seeds i) lsr t.shift) land t.mask
+[@@fastpath]
+
+(* Attribute one packet of [bytes] wire bytes to [fp].  Conservative
+   update: raise each row's cell pair only to the key's new lower bound,
+   so cells shared with other keys inflate as little as possible.  The
+   post-update estimates are left in [last_pkts]/[last_bytes] so the
+   caller (the heavy-hitter admission test) does not re-hash. *)
+let update t fp ~bytes:nbytes =
+  let d = t.depth in
+  for i = 0 to d - 1 do
+    Array.unsafe_set t.slots i (((i * t.width) + slot_of t i fp) * 2)
+  done;
+  (* Cardinality bitmap, hashed independently of the rows. *)
+  let cb =
+    ((fp * Array.unsafe_get t.seeds d) lsr card_shift) land (card_bits - 1)
+  in
+  let cur = Bytes.get_uint8 t.seen (cb lsr 3) in
+  let bit = 1 lsl (cb land 7) in
+  if cur land bit = 0 then begin
+    Bytes.set_uint8 t.seen (cb lsr 3) (cur lor bit);
+    t.zero_bits <- t.zero_bits - 1
+  end;
+  let est_p = ref max_int and est_b = ref max_int in
+  for i = 0 to d - 1 do
+    let s = Array.unsafe_get t.slots i in
+    let p = Array.unsafe_get t.cells s in
+    if p < !est_p then est_p := p;
+    let b = Array.unsafe_get t.cells (s + 1) in
+    if b < !est_b then est_b := b
+  done;
+  let np = !est_p + 1 and nb = !est_b + nbytes in
+  for i = 0 to d - 1 do
+    let s = Array.unsafe_get t.slots i in
+    if Array.unsafe_get t.cells s < np then Array.unsafe_set t.cells s np;
+    if Array.unsafe_get t.cells (s + 1) < nb then
+      Array.unsafe_set t.cells (s + 1) nb
+  done;
+  t.last_pkts <- np;
+  t.last_bytes <- nb;
+  t.updates <- t.updates + 1
+[@@fastpath]
+
+let last_estimate_packets t = t.last_pkts [@@fastpath]
+let last_estimate_bytes t = t.last_bytes [@@fastpath]
+
+let estimate_packets t fp =
+  let e = ref max_int in
+  for i = 0 to t.depth - 1 do
+    let v =
+      Array.unsafe_get t.cells (((i * t.width) + slot_of t i fp) * 2)
+    in
+    if v < !e then e := v
+  done;
+  !e
+[@@fastpath]
+
+let estimate_bytes t fp =
+  let e = ref max_int in
+  for i = 0 to t.depth - 1 do
+    let v =
+      Array.unsafe_get t.cells ((((i * t.width) + slot_of t i fp) * 2) + 1)
+    in
+    if v < !e then e := v
+  done;
+  !e
+[@@fastpath]
+
+(* Linear counting over the occupancy bitmap: with z of w bits still
+   zero, the maximum-likelihood distinct count is w * ln (w/z).  When
+   the bitmap saturates (z = 0) the estimate degrades to the scheme's
+   ceiling, w * ln w — the signal to rotate epochs. *)
+let cardinality t =
+  if t.updates = 0 then 0
+  else begin
+    let w = float_of_int card_bits in
+    if t.zero_bits <= 0 then int_of_float (w *. log w)
+    else
+      int_of_float (Float.round (w *. log (w /. float_of_int t.zero_bits)))
+  end
+
+let clear t =
+  Array.fill t.cells 0 (Array.length t.cells) 0;
+  Bytes.fill t.seen 0 (Bytes.length t.seen) '\000';
+  t.zero_bits <- card_bits;
+  t.updates <- 0;
+  t.last_pkts <- 0;
+  t.last_bytes <- 0

@@ -1,0 +1,51 @@
+(** Count-min sketch with conservative update (E20).
+
+    Sublinear-memory per-flow counters: [depth] rows of [width] cells,
+    each flow hashed to one cell per row by a seeded multiply-shift
+    hash.  Estimates are one-sided — {!estimate_packets} and
+    {!estimate_bytes} never return less than the true totals attributed
+    via {!update} — and conservative update keeps the overestimate small
+    on skewed traffic.  All hot operations are allocation-free
+    ([@@fastpath], checked by catenet-lint). *)
+
+type t
+
+val mix : int -> int
+(** Splitmix-style 63-bit finalizer (also used for the row seeds);
+    exposed so callers build flow fingerprints with the same diffusion.
+    Allocation-free. *)
+
+val create : ?seed:int -> width:int -> depth:int -> unit -> t
+(** [width] must be a power of two (>= 8), [depth] >= 1.  Memory is
+    [2 * width * depth] words plus the fixed 32 KB cardinality
+    bitmap. *)
+
+val width : t -> int
+val depth : t -> int
+
+val update : t -> int -> bytes:int -> unit
+(** [update t fp ~bytes] attributes one packet of [bytes] wire bytes to
+    fingerprint [fp].  Allocation-free. *)
+
+val estimate_packets : t -> int -> int
+val estimate_bytes : t -> int -> int
+(** Never underestimate the totals recorded for that fingerprint;
+    overestimates shrink with [width] and [depth]. *)
+
+val last_estimate_packets : t -> int
+val last_estimate_bytes : t -> int
+(** The post-update estimates of the key passed to the most recent
+    {!update} — read them immediately after updating to avoid
+    re-hashing (the heavy-hitter admission test does). *)
+
+val cardinality : t -> int
+(** Linear-counting estimate of the number of distinct fingerprints seen
+    since creation or {!clear}, from a dedicated 2^18-bit occupancy
+    bitmap (32 KB, independent of [width]).  Saturates around
+    3 * 10^6; rotate epochs before that. *)
+
+val updates : t -> int
+(** Packets recorded since creation or {!clear}. *)
+
+val clear : t -> unit
+(** Zero every cell and the occupancy bitmap (epoch rotation). *)

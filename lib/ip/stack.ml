@@ -394,14 +394,11 @@ let forward_fast t (h : Ipv4.header) frame =
           (Trace.Event.Ip_forward
              { node = t.node; src = h.Ipv4.src; dst = h.Ipv4.dst;
                ttl = h.Ipv4.ttl - 1; len = Bytes.length frame });
+      (* Sketch-mode accounting updates flat counters in place, so
+         goal 7 no longer costs a payload copy or a slow-path bail. *)
       (match t.accounting with
       | None -> ()
-      | Some acc ->
-          Accounting.record acc
-            { h with Ipv4.ttl = h.Ipv4.ttl - 1 }
-            ~payload:(Ipv4.payload_of frame)
-            ~wire_bytes:(Bytes.length frame))
-      [@fastpath.exempt];
+      | Some acc -> Accounting.record_fast acc h ~frame);
       transmit t route.Route_table.iface
         ~priority:(h.Ipv4.tos = Ipv4.Tos.Low_delay)
         frame
@@ -424,16 +421,16 @@ let receive t ~iface:_ frame =
              delivery roads a frame handler cannot take (fragments, plain
              handlers) materialize the payload. *)
           let frame_handler =
-            if
-              h.Ipv4.frag_offset = 0
-              && (not h.Ipv4.more_fragments)
-              && Option.is_none t.accounting
-            then Hashtbl.find_opt t.frame_protos (Ipv4.Proto.to_int h.Ipv4.proto)
+            if h.Ipv4.frag_offset = 0 && not h.Ipv4.more_fragments then
+              Hashtbl.find_opt t.frame_protos (Ipv4.Proto.to_int h.Ipv4.proto)
             else None
           in
           match frame_handler with
           | Some f ->
               t.c.delivered <- t.c.delivered + 1;
+              (match t.accounting with
+              | None -> ()
+              | Some acc -> Accounting.record_fast acc h ~frame);
               trace_deliver t h
                 ~len:(Bytes.length frame - Ipv4.header_size);
               f h frame ~pos:Ipv4.header_size
@@ -560,11 +557,11 @@ let send_echo_request t ~dst ~id ~seq ~payload =
   let msg = Icmp.Echo_request { id; seq; payload } in
   ignore (send t ~proto:Ipv4.Proto.Icmp ~dst (Icmp.encode msg))
 
-let enable_accounting t =
+let enable_accounting ?mode t =
   match t.accounting with
   | Some acc -> acc
   | None ->
-      let acc = Accounting.create () in
+      let acc = Accounting.create ?mode () in
       t.accounting <- Some acc;
       acc
 

@@ -83,9 +83,11 @@ val register_proto_frame :
 (** Optional zero-copy overlay on {!register_proto}: on the receive fast
     path, an unfragmented datagram for a protocol with a frame handler is
     delivered as the whole received frame with the payload starting at
-    [pos], sparing the payload copy.  Fragmented datagrams, accounting
-    runs, loopback sends and the slow path still use the plain
-    [register_proto] handler, which must also be installed. *)
+    [pos], sparing the payload copy.  Fragmented datagrams, loopback
+    sends and the slow path still use the plain [register_proto]
+    handler, which must also be installed.  Accounting no longer forces
+    the slow road: enabled ledgers are fed by [Accounting.record_fast]
+    straight off the frame. *)
 
 val add_error_handler :
   t -> (from:Addr.t -> Packet.Icmp_wire.t -> unit) -> unit
@@ -144,9 +146,12 @@ val route_cache_capacity : int
     each other.  The cache can never outgrow it no matter how many
     distinct destinations transit the stack. *)
 
-val enable_accounting : t -> Accounting.t
+val enable_accounting : ?mode:Accounting.mode -> t -> Accounting.t
 (** Start attributing every datagram forwarded (or locally delivered) by
-    this stack to flows; returns the live ledger. *)
+    this stack to flows; returns the live ledger.  Default mode is
+    [Exact]; pass [Sketch _] for scale runs — sketch-mode attribution is
+    allocation-free, so datagrams stay on [forward_fast] and the
+    frame-handler delivery road with accounting enabled. *)
 
 val accounting : t -> Accounting.t option
 (** The ledger, if {!enable_accounting} has been called. *)

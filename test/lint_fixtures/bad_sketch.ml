@@ -1,0 +1,10 @@
+(* Fixture: a count-min update written the tempting-but-allocating way —
+   fresh slot array per call, Array.fill (untagged), boxed closure — all
+   claiming the fast-path contract the real Ip.Sketch keeps. *)
+
+let slots_of width depth fp = Array.init depth (fun i -> (fp * i) land (width - 1))
+[@@fastpath]
+
+let clear_row row = Array.fill row 0 (Array.length row) 0 [@@fastpath]
+
+let update_all rows f = Array.iter (fun r -> ignore (f r)) rows [@@fastpath]
