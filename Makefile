@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-smoke gauntlet-smoke topo-smoke acct-smoke clean
+.PHONY: all build test check lint bench bench-smoke gauntlet-smoke topo-smoke acct-smoke names-smoke clean
 
 all: build
 
@@ -44,6 +44,14 @@ topo-smoke:
 # in bin/check.sh reads the committed full-run BENCH_accounting.json.)
 acct-smoke:
 	dune exec bench/main.exe -- --smoke --only E20 --out=_smoke
+
+# The E21 name/service layer alone, scaled down: root + region
+# authorities, caching resolvers, anycast replicas with a crash-driven
+# failover and resolver amnesia, end to end.  (Smoke-scale numbers are
+# not the gated contract; the gate in bin/check.sh reads the committed
+# full-run BENCH_names.json.)
+names-smoke:
+	dune exec bench/main.exe -- --smoke --only E21 --out=_smoke
 
 clean:
 	dune clean

@@ -23,6 +23,7 @@ let experiments =
     ("E16", "survivability gauntlet", E16.run);
     ("E17", "internet-scale topology", E17.run);
     ("E20", "sketch accounting at scale", E20.run);
+    ("E21", "name/service layer at scale", E21.run);
     ("A1", "ablation: delayed acknowledgments", Abl.a1);
     ("A2", "ablation: Nagle on keystrokes", Abl.a2);
     ("A3", "ablation: DV vs LS convergence", Abl.a3);

@@ -147,4 +147,39 @@ else
   echo "  skipped (no BENCH_accounting.json; run: dune exec bench/main.exe -- --only E20)"
 fi
 
+# The name/service contract (E21, DESIGN.md §name/service layer): the
+# resolver caches must absorb >=95% of the open-loop lookup storm at
+# steady state, p99 resolve latency must stay inside its budget, anycast
+# failover must beat the E16 reconvergence budget, and no session may be
+# lost outside the declared crash/amnesia windows.  As above, gate on
+# the committed full-run artifact, not smoke numbers.
+echo "== name/service gate (BENCH_names.json)"
+if [ -f BENCH_names.json ]; then
+  awk '
+    function num(line,   v) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+    /"clients"/ { clients = num($0) }
+    /"steady_hit_pct"/ { hit = num($0); have_h = 1 }
+    /"hit_floor_pct"/ { floor = num($0) }
+    /"p99_resolve_ms"/ { p99 = num($0); have_p = 1 }
+    /"p99_budget_ms"/ { p99_budget = num($0) }
+    /"failover_s"/ { fo = num($0); have_f = 1 }
+    /"failover_budget_s"/ { fo_budget = num($0) }
+    /"lost_outside_crash"/ { lost = num($0); have_l = 1 }
+    END {
+      if (floor == 0) floor = 95.0
+      if (p99_budget == 0) p99_budget = 20.0
+      if (fo_budget == 0) fo_budget = 12.0
+      bad = 0
+      if (clients < 100000) { printf "FAIL: artifact covers only %d clients (need >= 10^5)\n", clients; bad = 1 }
+      if (!have_h || hit < floor) { printf "FAIL: steady-state cache hit %.2f%% below the %.1f%% floor\n", hit, floor; bad = 1 }
+      if (!have_p || p99 > p99_budget) { printf "FAIL: p99 resolve latency %.2fms exceeds the %.1fms budget\n", p99, p99_budget; bad = 1 }
+      if (!have_f || fo < 0 || fo > fo_budget) { printf "FAIL: anycast failover %.2fs outside the %.1fs budget\n", fo, fo_budget; bad = 1 }
+      if (!have_l || lost != 0) { printf "FAIL: %d sessions lost outside the crash windows\n", lost; bad = 1 }
+      if (!bad) printf "  %d clients: cache hit %.2f%% (floor %.1f%%), p99 resolve %.2fms (budget %.1fms), failover %.2fs (budget %.1fs), zero loss outside windows\n", clients, hit, floor, p99, p99_budget, fo, fo_budget
+      exit bad
+    }' BENCH_names.json
+else
+  echo "  skipped (no BENCH_names.json; run: dune exec bench/main.exe -- --only E21)"
+fi
+
 echo "check: OK"

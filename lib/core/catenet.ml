@@ -8,6 +8,7 @@
     - {!Packet} — wire formats and checksums
     - {!Ip} — the internet layer (datagrams, fragmentation, ICMP)
     - {!Udp}, {!Tcp} — the two types of service
+    - {!Names} — the name/service layer (resolvers, anycast)
     - {!Routing} — distance-vector and link-state survivability machinery
     - {!Vc} — the virtual-circuit baseline architecture
     - {!Apps} — workload applications
@@ -22,6 +23,7 @@ module Packet = Packet
 module Ip = Ip
 module Udp = Udp
 module Tcp = Tcp
+module Names = Names
 module Routing = Routing
 module Vc = Vc
 module Apps = Apps

@@ -32,6 +32,18 @@ type t = {
   mutable rx_stray : int;
       (* frames reaching a pooled host that are not pool datagrams for
          its address: wrong dst, wrong proto, malformed *)
+  mutable udp_sink :
+    (int ->
+    src:Addr.t ->
+    src_port:int ->
+    dst_port:int ->
+    bytes ->
+    unit)
+    option;
+      (* one shared closure, like the receive handler: lets a workload
+         give pooled hosts behavior (echo replicas, request/response
+         clients) without per-host closures.  UDP only; pool datagrams
+         stay count-only. *)
 }
 
 let addr_bits a = Int32.to_int (Addr.to_int32 a) land 0xffffffff
@@ -46,7 +58,19 @@ let receive t ~node ~iface:_ frame =
               p = proto || p = 17 (* UDP: see [send_udp] *))
              && addr_bits h.Ipv4.dst = Array.unsafe_get t.addr slot ->
           Array.unsafe_set t.rx slot (Array.unsafe_get t.rx slot + 1);
-          t.rx_total <- t.rx_total + 1
+          t.rx_total <- t.rx_total + 1;
+          (match t.udp_sink with
+          | Some sink when Ipv4.Proto.to_int h.Ipv4.proto = 17 -> (
+              let plen = Bytes.length frame - Ipv4.header_size in
+              match
+                Udp_wire.decode ~src:h.Ipv4.src ~dst:h.Ipv4.dst
+                  (Bytes.sub frame Ipv4.header_size plen)
+              with
+              | Ok d ->
+                  sink slot ~src:h.Ipv4.src ~src_port:d.Udp_wire.src_port
+                    ~dst_port:d.Udp_wire.dst_port d.Udp_wire.payload
+              | Error _ -> ())
+          | Some _ | None -> ())
       | Ok _ | Error _ -> t.rx_stray <- t.rx_stray + 1
     end
   end
@@ -65,6 +89,7 @@ let create net =
       tx_total = 0;
       rx_total = 0;
       rx_stray = 0;
+      udp_sink = None;
     }
   in
   Netsim.set_default_handler net
@@ -97,6 +122,7 @@ let attach t ~node ~iface ~addr =
   t.n <- t.n + 1;
   slot
 
+let set_udp_sink t sink = t.udp_sink <- sink
 let node t slot = t.node.(slot)
 let addr t slot = Addr.of_int32 (Int32.of_int t.addr.(slot))
 let tx_count t slot = t.tx.(slot)

@@ -46,6 +46,23 @@ val send_udp :
     receive closure counts inbound UDP for the host's address as
     delivered, same as pool datagrams. *)
 
+val set_udp_sink :
+  t ->
+  (int ->
+  src:Packet.Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  bytes ->
+  unit)
+  option ->
+  unit
+(** Attach (or detach) the pool-wide UDP payload sink: fires as
+    [(sink slot ~src ~src_port ~dst_port payload)] for every delivered,
+    checksum-valid UDP datagram, after the rx counters.  One shared
+    closure — like the receive handler — so a workload can give pooled
+    hosts behavior (echo replicas, request/response clients) without
+    per-host closures.  Pool datagrams (proto 225) stay count-only. *)
+
 val size : t -> int
 val node : t -> int -> Netsim.node_id
 val addr : t -> int -> Packet.Addr.t

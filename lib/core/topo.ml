@@ -50,6 +50,8 @@ type t = {
   core_gw : Ip.Stack.t array;
   region_gw : Ip.Stack.t array;
   host_slot : int array array;  (* region -> index -> pool slot *)
+  core_dist : int array array;  (* core gw -> core gw -> hops *)
+  extra : int array;  (* region -> full-stack hosts added past the pool *)
   cfg : config;
 }
 
@@ -72,6 +74,14 @@ let region_prefix r =
 
 let region_host r i =
   Addr.of_int32 (Int32.of_int (0x0A000000 lor (r lsl 12) lor (2 + i)))
+
+(* The region gateway's in-region address, .1 of the region's /20: the
+   one gateway address that is *globally routed* (via the region's
+   aggregate), unlike its transit-link /30 addresses.  Services that
+   must be reachable from everywhere — the per-region resolver lives
+   here — bind to this. *)
+let region_gw_addr r =
+  Addr.of_int32 (Int32.of_int (0x0A000000 lor (r lsl 12) lor 1))
 
 (* Transit p2p links draw /30s from 172.16.0.0/12. *)
 let transit_net k = 0xAC100000 + (4 * k)
@@ -162,6 +172,26 @@ let build cfg =
     done;
     hop
   in
+  (* core hop-count matrix (for nearest-replica selection and the like):
+     one BFS per core gateway over the final core graph *)
+  let core_dist =
+    Array.init cfg.core (fun s ->
+        let d = Array.make cfg.core max_int in
+        let q = Queue.create () in
+        d.(s) <- 0;
+        Queue.add s q;
+        while not (Queue.is_empty q) do
+          let v = Queue.take q in
+          List.iter
+            (fun (p, _, _) ->
+              if d.(p) = max_int then begin
+                d.(p) <- d.(v) + 1;
+                Queue.add p q
+              end)
+            adj.(v)
+        done;
+        d)
+  in
   (* --- stub regions ---------------------------------------------------- *)
   let pool = Hostpool.create net in
   let region_gw = Array.make cfg.regions core_gw.(0) in
@@ -209,10 +239,55 @@ let build cfg =
       let hn = Netsim.add_node net "h" in
       let hl = Netsim.add_link net cfg.host_profile gw_node hn in
       let (_, gw_host_if), (_, host_if) = Netsim.endpoints net hl in
+      (* the gateway's routed in-region address (.1/32) rides the first
+         leaf link's gateway-side interface — any in-region interface
+         would do, the /32 connected route is what matters *)
+      if i = 0 then
+        Ip.Stack.configure_iface gw gw_host_if ~addr:(region_gw_addr r)
+          ~prefix_len:32;
       Ip.Route_table.add (Ip.Stack.table gw)
         { Ip.Route_table.prefix = Prefix.host a; iface = gw_host_if;
           next_hop = None; metric = 0 };
       host_slot.(r).(i) <- Hostpool.attach pool ~node:hn ~iface:host_if ~addr:a
     done
   done;
-  { eng; net; pool; core_gw; region_gw; host_slot; cfg }
+  { eng; net; pool; core_gw; region_gw; host_slot; core_dist;
+    extra = Array.make cfg.regions 0; cfg }
+
+let region_attach t r = r mod Array.length t.core_gw
+
+(* Region-to-region distance in gateway hops: up the uplink, across the
+   core, down the far uplink.  Only the ordering matters to anycast
+   selection, but the numbers are true hop counts. *)
+let region_hops t ra rb =
+  if ra = rb then 0
+  else 2 + t.core_dist.(region_attach t ra).(region_attach t rb)
+
+(* A full-stack host inside a region, for infrastructure endpoints (name
+   servers, service directories) that must speak real UDP: address drawn
+   past the pooled range, /32 host route at the region gateway, default
+   route up — reachable from everywhere via the region's aggregate. *)
+let add_full_host t ~region =
+  let r = region in
+  if r < 0 || r >= Array.length t.region_gw then
+    invalid_arg "Topo.add_full_host: region out of range";
+  let idx = t.cfg.hosts_per_region + t.extra.(r) in
+  if 2 + idx > 4094 then
+    invalid_arg "Topo.add_full_host: region address space exhausted";
+  t.extra.(r) <- t.extra.(r) + 1;
+  let a = region_host r idx in
+  let gw = t.region_gw.(r) in
+  let hn = Netsim.add_node t.net "fh" in
+  let hl =
+    Netsim.add_link t.net t.cfg.host_profile (Ip.Stack.node_id gw) hn
+  in
+  let (_, gw_if), (_, host_if) = Netsim.endpoints t.net hl in
+  let st = Ip.Stack.create t.net hn in
+  Ip.Stack.configure_iface st host_if ~addr:a ~prefix_len:32;
+  Ip.Route_table.add (Ip.Stack.table st)
+    { Ip.Route_table.prefix = Prefix.default; iface = host_if;
+      next_hop = None; metric = 0 };
+  Ip.Route_table.add (Ip.Stack.table gw)
+    { Ip.Route_table.prefix = Prefix.host a; iface = gw_if;
+      next_hop = None; metric = 0 };
+  (st, a)

@@ -52,6 +52,28 @@ val host_addr : t -> region:int -> index:int -> Packet.Addr.t
 val region_prefix : int -> Packet.Addr.Prefix.t
 (** The /20 a region announces into the core. *)
 
+val region_gw_addr : int -> Packet.Addr.t
+(** The region gateway's in-region address (.1 of the region's /20) —
+    the one gateway address reachable from everywhere via the region's
+    aggregate; transit-link /30 addresses are not globally routed.
+    Region-local services (the E21 resolver) bind here. *)
+
+val region_attach : t -> int -> int
+(** The core gateway a region hangs off. *)
+
+val region_hops : t -> int -> int -> int
+(** Gateway hops between two regions (0 within a region): uplink, the
+    BFS core distance between their attach gateways, far uplink.  The
+    anycast directory's distance function. *)
+
+val add_full_host : t -> region:int -> Ip.Stack.t * Packet.Addr.t
+(** Attach a full-stack host inside a region, addressed past the pooled
+    range: /32 at the region gateway, default route up, reachable from
+    everywhere via the region's aggregate.  For infrastructure
+    endpoints (name servers, anycast directories) that need real UDP
+    rather than pooled send/sink.  Raises [Invalid_argument] when the
+    region's /20 is exhausted. *)
+
 val route_entries_total : t -> int
 (** Sum of all gateway table sizes — the catenet's total forwarding
     state. *)

@@ -27,15 +27,28 @@ type engine =
   | Exact_table of (flow, usage) Hashtbl.t
   | Sketched of { sk : Sketch.t; hh : Heavy_hitters.t }
 
+(* A closed epoch's headline record, taken at rotation so the heavy
+   hitters of epoch [n] survive into epoch [n+1] instead of vanishing
+   with the cleared engines (the E20 leftover: billing needs the ledger
+   that *was*, not only the one that is). *)
+type snapshot = {
+  snap_epoch : int;
+  snap_packets : int;
+  snap_bytes : int;
+  snap_top : (flow * usage) list;
+}
+
 type t = {
   mode : mode;
   engine : engine;
   mutable total_packets : int;
   mutable total_bytes : int;
   mutable epoch : int;
+  history_limit : int;
+  mutable history : snapshot list;  (* newest first, bounded *)
 }
 
-let create ?(mode = Exact) () =
+let create ?(mode = Exact) ?(history = 4) () =
   let engine =
     match mode with
     | Exact -> Exact_table (Hashtbl.create 32)
@@ -44,7 +57,8 @@ let create ?(mode = Exact) () =
           { sk = Sketch.create ~width ~depth ();
             hh = Heavy_hitters.create ~capacity:top_k }
   in
-  { mode; engine; total_packets = 0; total_bytes = 0; epoch = 0 }
+  { mode; engine; total_packets = 0; total_bytes = 0; epoch = 0;
+    history_limit = max 0 history; history = [] }
 
 let mode t = t.mode
 let epoch t = t.epoch
@@ -184,18 +198,6 @@ let record_fast t (h : Ipv4.header) ~frame =
       [@fastpath.exempt]
 [@@fastpath]
 
-(* -- epoch rotation -------------------------------------------------- *)
-
-let rotate t =
-  (match t.engine with
-  | Exact_table tbl -> Hashtbl.reset tbl
-  | Sketched e ->
-      Sketch.clear e.sk;
-      Heavy_hitters.clear e.hh);
-  t.total_packets <- 0;
-  t.total_bytes <- 0;
-  t.epoch <- t.epoch + 1
-
 (* -- queries --------------------------------------------------------- *)
 
 (* The ledger hands out copies so callers cannot alias live counters. *)
@@ -242,6 +244,33 @@ let flows ?limit t =
   in
   match limit with None -> sorted | Some n -> take n sorted
 
+(* -- epoch rotation -------------------------------------------------- *)
+
+(* Snapshot-then-clear: the top flows of the closing epoch are copied
+   out before the engines reset, so rotation loses the long tail (which
+   sketch mode never held exactly anyway) but never the heavy hitters.
+   History is bounded and newest-first; a zero limit disables it. *)
+let rotate t =
+  if t.history_limit > 0 then begin
+    let snap =
+      { snap_epoch = t.epoch;
+        snap_packets = t.total_packets;
+        snap_bytes = t.total_bytes;
+        snap_top = flows ~limit:100 t }
+    in
+    t.history <- take t.history_limit (snap :: t.history)
+  end;
+  (match t.engine with
+  | Exact_table tbl -> Hashtbl.reset tbl
+  | Sketched e ->
+      Sketch.clear e.sk;
+      Heavy_hitters.clear e.hh);
+  t.total_packets <- 0;
+  t.total_bytes <- 0;
+  t.epoch <- t.epoch + 1
+
+let history t = t.history
+
 let lookup t flow =
   match t.engine with
   | Exact_table tbl -> Option.map copy (Hashtbl.find_opt tbl flow)
@@ -279,23 +308,36 @@ let mode_to_string = function
 
 let to_json ?(limit = 100) t =
   let open Trace.Json in
+  let flow_list l =
+    List
+      (List.map
+         (fun (f, u) ->
+           Obj
+             [ ("flow", Str (flow_to_string f));
+               ("packets", Int u.packets); ("bytes", Int u.bytes) ])
+         l)
+  in
   Obj
     [ ("mode", Str (mode_to_string t.mode));
       ("epoch", Int t.epoch);
       ("flow_count", Int (flow_count t));
       ("total_packets", Int t.total_packets);
       ("total_bytes", Int t.total_bytes);
-      ( "flows",
+      ("flows", flow_list (flows ~limit t));
+      ( "history",
         List
           (List.map
-             (fun (f, u) ->
+             (fun s ->
                Obj
-                 [ ("flow", Str (flow_to_string f));
-                   ("packets", Int u.packets); ("bytes", Int u.bytes) ])
-             (flows ~limit t)) ) ]
+                 [ ("epoch", Int s.snap_epoch);
+                   ("packets", Int s.snap_packets);
+                   ("bytes", Int s.snap_bytes);
+                   ("top", flow_list (take limit s.snap_top)) ])
+             t.history) ) ]
 
 let metrics_items t () =
   [ ("flows", Trace.Metrics.Int (flow_count t));
     ("packets", Trace.Metrics.Int t.total_packets);
     ("bytes", Trace.Metrics.Int t.total_bytes);
-    ("epoch", Trace.Metrics.Int t.epoch) ]
+    ("epoch", Trace.Metrics.Int t.epoch);
+    ("history_epochs", Trace.Metrics.Int (List.length t.history)) ]

@@ -39,10 +39,22 @@ type mode =
       (** [width] cells (power of two) × [depth] rows of count-min,
           plus a [top_k]-entry heavy-hitter tracker. *)
 
+type snapshot = {
+  snap_epoch : int;
+  snap_packets : int;
+  snap_bytes : int;
+  snap_top : (flow * usage) list;  (** Top 100 by bytes, largest first. *)
+}
+(** A closed epoch's headline record, captured by {!rotate} before the
+    engines reset: the heavy hitters of epoch [n] survive into epoch
+    [n+1] for billing and post-mortems. *)
+
 type t
 
-val create : ?mode:mode -> unit -> t
-(** Default mode is [Exact] (the historical behavior). *)
+val create : ?mode:mode -> ?history:int -> unit -> t
+(** Default mode is [Exact] (the historical behavior).  [history]
+    (default 4) bounds how many closed-epoch {!snapshot}s {!rotate}
+    retains; 0 disables retention. *)
 
 val mode : t -> mode
 
@@ -58,11 +70,16 @@ val record_fast : t -> Packet.Ipv4.header -> frame:bytes -> unit
     catenet-lint); exact mode takes the same ledger path as {!record}. *)
 
 val rotate : t -> unit
-(** Start a new accounting epoch: reset all counters and tracked flows,
-    increment {!epoch}.  Long sketch-mode runs rotate before the
+(** Start a new accounting epoch: snapshot the closing epoch's top
+    flows and totals into {!history}, reset all counters and tracked
+    flows, increment {!epoch}.  Long sketch-mode runs rotate before the
     cardinality bitmap saturates. *)
 
 val epoch : t -> int
+
+val history : t -> snapshot list
+(** Closed epochs, newest first, at most the [history] bound given to
+    {!create}. *)
 
 val flows : ?limit:int -> t -> (flow * usage) list
 (** Largest byte counts first; [limit] bounds the result.  Exact mode
@@ -91,10 +108,11 @@ val pp_flow : Format.formatter -> flow -> unit
 val flow_to_string : flow -> string
 
 val to_json : ?limit:int -> t -> Trace.Json.t
-(** Mode, epoch, flow count, totals, and the top [limit] (default 100)
-    flows by bytes — bounded output even at millions of flows; wired
-    into [Internet.metrics] snapshots. *)
+(** Mode, epoch, flow count, totals, the top [limit] (default 100)
+    flows by bytes, and the retained per-epoch {!history} (each entry's
+    top list also clipped to [limit]) — bounded output even at millions
+    of flows; wired into [Internet.metrics] snapshots. *)
 
 val metrics_items : t -> unit -> (string * Trace.Metrics.value) list
-(** Pull-based summary source (flow count, totals, epoch) for
-    [Trace.Metrics.register]. *)
+(** Pull-based summary source (flow count, totals, epoch, retained
+    history depth) for [Trace.Metrics.register]. *)

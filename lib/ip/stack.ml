@@ -75,6 +75,10 @@ type t = {
   mutable tap : (rx:bool -> bytes -> unit) option;
       (* Observes every frame this stack receives or transmits, for pcap
          capture at the host rather than on a link. *)
+  mutable on_flush : (unit -> unit) list;
+      (* Soft-state subscribers above IP (resolver caches, name-server
+         state): run after flush_soft_state clears the stack's own soft
+         state, so crash amnesia reaches every layer that caches. *)
 }
 
 let net t = t.net
@@ -581,7 +585,10 @@ let flush_soft_state t =
       if r.next_hop <> None || r.metric > 0 then Route_table.remove t.table r.prefix)
     (Route_table.entries t.table);
   if Trace.want Trace.Cls.fault then
-    Trace.emit (Trace.Event.Fault_soft_reset { node = t.node })
+    Trace.emit (Trace.Event.Fault_soft_reset { node = t.node });
+  List.iter (fun f -> f ()) t.on_flush
+
+let on_soft_flush t f = t.on_flush <- t.on_flush @ [ f ]
 
 let metrics_items t () =
   let i v = Trace.Metrics.Int v in
@@ -627,6 +634,7 @@ let create ?(forwarding = false) net node =
       c = new_counters ();
       accounting = None;
       tap = None;
+      on_flush = [];
     }
   in
   Netsim.set_handler net node (fun ~iface frame -> receive t ~iface frame);

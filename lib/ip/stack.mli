@@ -164,7 +164,14 @@ val flush_soft_state : t -> unit
     learned route (anything with a next hop or a nonzero metric), and
     all pending reassembly buffers.  Connected interface routes remain —
     they are configuration, not soft state.  Emits
-    [Trace.Event.Fault_soft_reset] when the fault class is enabled. *)
+    [Trace.Event.Fault_soft_reset] when the fault class is enabled, then
+    runs every {!on_soft_flush} subscriber. *)
+
+val on_soft_flush : t -> (unit -> unit) -> unit
+(** Subscribe to {!flush_soft_state}: layers above IP that keep derived
+    state (resolver caches, name-server health views) register here so a
+    crash's amnesia reaches them too.  Subscribers run in registration
+    order, after the stack's own soft state is gone. *)
 
 val set_tap : t -> (rx:bool -> bytes -> unit) option -> unit
 (** Attach (or detach) a frame observer at this host: fires once for

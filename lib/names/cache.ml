@@ -1,0 +1,134 @@
+(* LRU + TTL record cache shared by positive answers, negative answers
+   (NXNAME) and cached delegations.
+
+   One intrusive doubly-linked list ordered by recency (sentinel-headed)
+   plus a hashtable from packed key to node: find, insert and evict are
+   all O(1), and the resident set is hard-bounded by [capacity] — a
+   resolver serving 10^5 clients must not grow without bound just
+   because the query stream has a long tail.
+
+   TTL is checked lazily at lookup: an expired entry is a miss (counted
+   separately) and is unlinked on discovery.  Soft state in the Clark
+   sense — a crash simply forgets all of it ({!flush}), correctness is
+   preserved because every record can be re-fetched from its
+   authority. *)
+
+type entry = {
+  e_key : int;
+  mutable e_rcode : int;
+  mutable e_answer : int;
+  mutable e_expires_us : int;
+  mutable e_prev : entry;
+  mutable e_next : entry;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;  (* absent entirely *)
+  mutable expired : int;  (* present but past its TTL: also a miss *)
+  mutable insertions : int;
+  mutable evictions : int;  (* LRU pressure, not TTL *)
+  mutable flushes : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (int, entry) Hashtbl.t;
+  head : entry;  (* sentinel: head.e_next = most recent *)
+  stats : stats;
+}
+
+(* Pack (qtype, l0, l1, l2) into one immediate int: cheap hashing, and
+   no polymorphic comparison anywhere near the hot path. *)
+let key ~qtype ~l0 ~l1 ~l2 =
+  (qtype lsl 48) lor (l0 lsl 32) lor (l1 lsl 16) lor l2
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  let rec head =
+    { e_key = -1; e_rcode = 0; e_answer = 0; e_expires_us = 0;
+      e_prev = head; e_next = head }
+  in
+  { capacity;
+    tbl = Hashtbl.create (min capacity 4096);
+    head;
+    stats =
+      { hits = 0; misses = 0; expired = 0; insertions = 0; evictions = 0;
+        flushes = 0 } }
+
+let unlink e =
+  e.e_prev.e_next <- e.e_next;
+  e.e_next.e_prev <- e.e_prev
+
+let push_front t e =
+  e.e_next <- t.head.e_next;
+  e.e_prev <- t.head;
+  t.head.e_next.e_prev <- e;
+  t.head.e_next <- e
+
+let len t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+let stats t = t.stats
+
+(* Remaining lifetime rounded up: an entry with 1us left still serves as
+   ttl 1, never 0 (a 0 TTL would tell the client "uncacheable"). *)
+let remaining_s ~now_us e = ((e.e_expires_us - now_us) + 999_999) / 1_000_000
+
+let find t ~now_us k =
+  match Hashtbl.find_opt t.tbl k with
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+  | Some e ->
+      if e.e_expires_us <= now_us then begin
+        unlink e;
+        Hashtbl.remove t.tbl k;
+        t.stats.expired <- t.stats.expired + 1;
+        None
+      end
+      else begin
+        unlink e;
+        push_front t e;
+        t.stats.hits <- t.stats.hits + 1;
+        Some (e.e_rcode, e.e_answer, remaining_s ~now_us e)
+      end
+
+let insert t ~now_us ~key:k ~rcode ~answer ~ttl_s =
+  if ttl_s > 0 then begin
+    let expires = now_us + (ttl_s * 1_000_000) in
+    (match Hashtbl.find_opt t.tbl k with
+    | Some e ->
+        e.e_rcode <- rcode;
+        e.e_answer <- answer;
+        e.e_expires_us <- expires;
+        unlink e;
+        push_front t e
+    | None ->
+        if Hashtbl.length t.tbl >= t.capacity then begin
+          (* evict the least recently used (tail) *)
+          let lru = t.head.e_prev in
+          unlink lru;
+          Hashtbl.remove t.tbl lru.e_key;
+          t.stats.evictions <- t.stats.evictions + 1
+        end;
+        let e =
+          { e_key = k; e_rcode = rcode; e_answer = answer;
+            e_expires_us = expires; e_prev = t.head; e_next = t.head }
+        in
+        push_front t e;
+        Hashtbl.add t.tbl k e);
+    t.stats.insertions <- t.stats.insertions + 1
+  end
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some e ->
+      unlink e;
+      Hashtbl.remove t.tbl k
+
+let flush t =
+  Hashtbl.reset t.tbl;
+  t.head.e_next <- t.head;
+  t.head.e_prev <- t.head;
+  t.stats.flushes <- t.stats.flushes + 1

@@ -1,0 +1,46 @@
+(** LRU + TTL record cache for resolver soft state.
+
+    One bounded cache holds positive answers, negative (NXNAME) answers
+    and delegations (under {!Names_wire.qtype_deleg}): O(1) find,
+    insert, evict; TTLs checked lazily at lookup.  This is soft state
+    in the fate-sharing sense — {!flush} forgets everything and the
+    system stays correct, because each record can be re-fetched from
+    its authority. *)
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;  (** Absent entirely. *)
+  mutable expired : int;  (** Present but past TTL — also a miss. *)
+  mutable insertions : int;
+  mutable evictions : int;  (** LRU pressure, not TTL expiry. *)
+  mutable flushes : int;
+}
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val key : qtype:int -> l0:int -> l1:int -> l2:int -> int
+(** Pack a (qtype, labels) query identity into one immediate int. *)
+
+val find : t -> now_us:int -> int -> (int * int * int) option
+(** [(rcode, answer, remaining_ttl_s)] if present and fresh at
+    [now_us]; remaining TTL is rounded up, so a live entry never
+    re-serves as TTL 0.  An expired entry is removed and counted in
+    [expired]. *)
+
+val insert :
+  t -> now_us:int -> key:int -> rcode:int -> answer:int -> ttl_s:int -> unit
+(** Insert or refresh; a [ttl_s <= 0] record is not cached.  At
+    capacity, the least recently used entry is evicted. *)
+
+val remove : t -> int -> unit
+(** Targeted invalidation (no stats impact). *)
+
+val flush : t -> unit
+(** Crash amnesia: drop every entry, count one flush. *)
+
+val len : t -> int
+val capacity : t -> int
+val stats : t -> stats

@@ -1,0 +1,23 @@
+(** The name/service layer (E21).
+
+    The 1988 architecture identifies hosts by address alone; this
+    subsystem adds what the real Internet had to bolt on to be usable —
+    names — as four small pieces over UDP:
+
+    - {!Wire} — a 20-byte fixed-width name protocol (lint-checked
+      layout): query/response, TTL, rcode, three integer labels
+      mirroring the root -> region -> host hierarchy.
+    - {!Cache} — bounded LRU+TTL soft state for answers, negative
+      answers and delegations.
+    - {!Server} — authoritative endpoints holding zone configuration
+      (hard state), with stock root and region zone closures.
+    - {!Resolver} — the caching recursing resolver with single-flight
+      dedup and crash amnesia via [Ip.Stack.on_soft_flush].
+    - {!Service} — anycast: one name, many replicas, health-probed,
+      nearest-by-region-hops selection. *)
+
+module Wire = Names_wire
+module Cache = Cache
+module Server = Server
+module Service = Service
+module Resolver = Resolver

@@ -1,0 +1,14 @@
+(** The name/service layer (E21): what the address-only 1988
+    architecture had to bolt on to be usable.
+
+    - {!Wire} — 20-byte fixed-width name protocol (lint-checked layout)
+    - {!Cache} — bounded LRU+TTL resolver soft state
+    - {!Server} — authoritative endpoints (zones are hard state)
+    - {!Resolver} — caching recursion, single-flight, crash amnesia
+    - {!Service} — anycast replicas with health-probed failover *)
+
+module Wire = Names_wire
+module Cache = Cache
+module Server = Server
+module Service = Service
+module Resolver = Resolver

@@ -1,0 +1,77 @@
+(** The name protocol's wire format: one 20-byte fixed message.
+
+    DNS's variable-length labels and compression pointers are where its
+    parsers historically bled; this protocol keeps the three-level
+    hierarchy (root -> region -> host) but encodes each label as a
+    fixed-width 16-bit integer, so a message is a single bounded read
+    and the whole format is one catenet-lint-checked [layout] table. *)
+
+val header_size : int
+(** 20 bytes; a message is exactly the header, no payload. *)
+
+val layout : (string * int * int) list
+(** [(field, offset, width)] — the machine-checked wire contract. *)
+
+(** {2 Query types} *)
+
+val qtype_deleg : int
+(** 0 — a referral (delegation) record: the answer names the server
+    authoritative for the queried name's region.  Never sent in a
+    query; carried in referral responses and used as the cache key
+    pseudo-type for cached delegations. *)
+
+val qtype_host : int
+(** 1 — resolve labels (region, host, 0) to the host's address. *)
+
+val qtype_svc : int
+(** 2 — resolve labels (service, 0, 0) to a replica address (anycast:
+    which replica depends on who asks and who is healthy). *)
+
+(** {2 Response codes} *)
+
+val rcode_ok : int
+
+val rcode_nxname : int
+(** The name does not exist (cacheable). *)
+
+val rcode_servfail : int
+(** Resolution failed upstream (not cached). *)
+
+val rcode_refused : int
+(** Recursion refused (RD to a pure authority). *)
+
+val rcode_referral : int
+(** A non-terminal answer: [answer] is the next server to ask. *)
+
+type t = {
+  id : int;  (** Query/response correlation, 16 bits. *)
+  response : bool;
+  rd : bool;  (** Recursion desired: client -> resolver queries only. *)
+  aa : bool;  (** Authoritative answer. *)
+  rcode : int;
+  qtype : int;
+  l0 : int;  (** First label: region (host names) or service id. *)
+  l1 : int;  (** Second label: host index within the region. *)
+  l2 : int;  (** Third label: spare (always 0 today). *)
+  ttl_s : int;  (** Seconds the answer may be cached; 0 on queries. *)
+  answer : int;  (** Address bits (or referral server bits); 0 on queries. *)
+}
+
+type error = [ `Truncated | `Bad_header of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val query : id:int -> rd:bool -> qtype:int -> l0:int -> l1:int -> l2:int -> t
+
+val response : of_:t -> aa:bool -> rcode:int -> ttl_s:int -> answer:int -> t
+(** A response echoing the query's id, qtype and labels. *)
+
+val encode : t -> bytes
+(** @raise Invalid_argument when a field is out of its wire range. *)
+
+val decode : bytes -> (t, error) result
+
+val answer_addr : t -> Packet.Addr.t
+val addr_bits : Packet.Addr.t -> int
+val rcode_to_string : int -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(** The caching, recursing resolver.
+
+    One per region gateway: clients send RD queries to port 53; the
+    resolver answers from its {!Cache} or walks the hierarchy
+    iteratively (root authority, then the referred region authority),
+    caching answers, negative answers and delegations, and coalescing
+    concurrent identical queries into one upstream walk
+    (single-flight).  Unanswered upstream queries are retried on a
+    timer, then answered SERVFAIL (never cached).
+
+    Everything here is soft state: {!flush} — registered on
+    [Ip.Stack.on_soft_flush] at creation, so a chaos crash triggers it
+    — forgets the cache and aborts every in-flight walk.  Clients
+    retry, authorities still hold the zones, the caches re-warm:
+    fate-sharing applied to the naming layer. *)
+
+val well_known_port : int
+(** 53. *)
+
+type t
+
+type stats = {
+  mutable lookups : int;
+  mutable cache_hits : int;
+  mutable coalesced : int;  (** Joined an existing in-flight walk. *)
+  mutable upstream : int;  (** Upstream queries sent, retries included. *)
+  mutable retries : int;
+  mutable answers : int;  (** Terminal answers delivered (any rcode). *)
+  mutable servfails : int;
+  mutable bad : int;  (** Undecodable or unexpected datagrams. *)
+  mutable flushes : int;
+}
+
+val create :
+  udp:Udp.t ->
+  eng:Engine.t ->
+  node:int ->
+  ?src:Packet.Addr.t ->
+  root:Packet.Addr.t ->
+  ?port:int ->
+  ?authority_port:int ->
+  ?cache_capacity:int ->
+  ?timeout_us:int ->
+  ?retries:int ->
+  ?max_hops:int ->
+  unit ->
+  t
+(** Bind the client-facing socket at [port] (default 53) and register
+    crash amnesia on the stack's flush hook.  [node] tags trace events;
+    [src] pins the source address of every datagram sent (required when
+    the outgoing interface address is not globally routed); [root] is
+    the root authority's address, queried at [authority_port] (default
+    {!Server.well_known_port}).  Defaults: 4096-entry cache, 250 ms
+    upstream timeout, 2 retries, 4 referral hops. *)
+
+val resolve :
+  t ->
+  qtype:int ->
+  l0:int ->
+  l1:int ->
+  l2:int ->
+  (rcode:int -> answer:int -> ttl_s:int -> unit) ->
+  unit
+(** In-process query: same cache, same single-flight walk as wire
+    queries.  The callback fires exactly once — possibly synchronously
+    on a cache hit, and with SERVFAIL if the resolver is flushed while
+    the walk is in flight. *)
+
+val flush : t -> unit
+(** Crash amnesia, also invoked by the stack's soft-state flush: drop
+    the cache and abort every in-flight walk (local waiters hear
+    SERVFAIL; remote waiters hear nothing, as from a real crash). *)
+
+val cache : t -> Cache.t
+val stats : t -> stats
+val metrics_items : t -> unit -> (string * Trace.Metrics.value) list

@@ -1,0 +1,106 @@
+module Addr = Packet.Addr
+module Wire = Names_wire
+
+(* An authoritative name-server endpoint: a UDP socket at the authority
+   port plus a pure closure from query to answer.  Authorities hold
+   *hard* state (their zone is configuration, like connected routes) —
+   all the soft state in the name system lives in resolver caches, so a
+   crashed authority comes back with its zone intact and the resolvers
+   re-learn everything else. *)
+
+let well_known_port = 5353
+
+type answer =
+  | Answer of { aa : bool; rcode : int; ttl_s : int; answer : int }
+  | Referral of { server : int; ttl_s : int }
+      (** Non-terminal: ask [server] (address bits) next. *)
+
+type stats = {
+  mutable queries : int;
+  mutable referrals : int;
+  mutable refused : int;
+  mutable bad : int;  (* undecodable or unexpected (response to us) *)
+}
+
+type t = {
+  udp : Udp.t;
+  sock : Udp.socket;
+  src : Addr.t option;
+  stats : stats;
+}
+
+let stats t = t.stats
+
+let reply t ~dst ~dst_port msg =
+  ignore
+    (Udp.sendto t.sock ?src:t.src ~dst ~dst_port (Wire.encode msg)
+      : (unit, Udp.send_error) result)
+
+let handle t authority ~src ~src_port buf =
+  match Wire.decode buf with
+  | Error _ -> t.stats.bad <- t.stats.bad + 1
+  | Ok q when q.Wire.response -> t.stats.bad <- t.stats.bad + 1
+  | Ok q ->
+      t.stats.queries <- t.stats.queries + 1;
+      if q.Wire.rd then begin
+        (* A pure authority does no recursion; cacheable refusal is
+           wrong (the client should retry a real resolver), so TTL 0. *)
+        t.stats.refused <- t.stats.refused + 1;
+        reply t ~dst:src ~dst_port:src_port
+          (Wire.response ~of_:q ~aa:false ~rcode:Wire.rcode_refused ~ttl_s:0
+             ~answer:0)
+      end
+      else
+        match authority ~src q with
+        | Answer { aa; rcode; ttl_s; answer } ->
+            reply t ~dst:src ~dst_port:src_port
+              (Wire.response ~of_:q ~aa ~rcode ~ttl_s ~answer)
+        | Referral { server; ttl_s } ->
+            t.stats.referrals <- t.stats.referrals + 1;
+            reply t ~dst:src ~dst_port:src_port
+              { (Wire.response ~of_:q ~aa:false ~rcode:Wire.rcode_referral
+                   ~ttl_s ~answer:server)
+                with Wire.qtype = Wire.qtype_deleg }
+
+let create ~udp ?src ?(port = well_known_port) ~authority () =
+  let stats = { queries = 0; referrals = 0; refused = 0; bad = 0 } in
+  let t_ref = ref None in
+  let sock =
+    Udp.bind udp ~port
+      ~recv:(fun ~src ~src_port buf ->
+        match !t_ref with
+        | Some t -> handle t authority ~src ~src_port buf
+        | None -> ())
+      ()
+  in
+  let t = { udp; sock; src; stats } in
+  t_ref := Some t;
+  t
+
+(* A region's zone: host names (region, 0..hosts-1, 0), each mapping to
+   the leaf's address.  Queries for another region's names are lame
+   here — answer Refused so a buggy resolver fails loudly instead of
+   caching garbage. *)
+let region_authority ~region ~hosts ~host_addr_bits ~ttl_s ~src:_
+    (q : Wire.t) =
+  if q.Wire.qtype <> Wire.qtype_host || q.Wire.l0 <> region then
+    Answer { aa = false; rcode = Wire.rcode_refused; ttl_s = 0; answer = 0 }
+  else if q.Wire.l1 < hosts && q.Wire.l2 = 0 then
+    Answer
+      { aa = true; rcode = Wire.rcode_ok; ttl_s;
+        answer = host_addr_bits q.Wire.l1 }
+  else Answer { aa = true; rcode = Wire.rcode_nxname; ttl_s; answer = 0 }
+
+(* The root zone: delegates each region's host names to that region's
+   authority, and answers service names itself via [svc] (the anycast
+   directory decides which replica, and with what rcode). *)
+let root_authority ~regions ~region_server_bits ~deleg_ttl_s ~svc ~src
+    (q : Wire.t) =
+  if q.Wire.qtype = Wire.qtype_host then
+    if q.Wire.l0 < regions then
+      Referral { server = region_server_bits q.Wire.l0; ttl_s = deleg_ttl_s }
+    else
+      Answer
+        { aa = true; rcode = Wire.rcode_nxname; ttl_s = deleg_ttl_s;
+          answer = 0 }
+  else svc ~src q

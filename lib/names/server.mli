@@ -1,0 +1,65 @@
+(** Authoritative name-server endpoint.
+
+    A UDP socket at the authority port plus a pure closure from query
+    to answer.  A zone is {e hard} state — configuration, like
+    connected routes — so a crashed authority reboots with its zone
+    intact; all the name system's soft state lives in resolver caches
+    ({!Cache}). *)
+
+val well_known_port : int
+(** 5353 — where authorities listen (resolvers listen on 53). *)
+
+type answer =
+  | Answer of { aa : bool; rcode : int; ttl_s : int; answer : int }
+  | Referral of { server : int; ttl_s : int }
+      (** Non-terminal: ask [server] (address bits) next; sent with
+          [rcode_referral] and qtype {!Names_wire.qtype_deleg}. *)
+
+type stats = {
+  mutable queries : int;
+  mutable referrals : int;
+  mutable refused : int;  (** RD queries — authorities do no recursion. *)
+  mutable bad : int;  (** Undecodable datagrams, or responses sent at us. *)
+}
+
+type t
+
+val create :
+  udp:Udp.t ->
+  ?src:Packet.Addr.t ->
+  ?port:int ->
+  authority:(src:Packet.Addr.t -> Names_wire.t -> answer) ->
+  unit ->
+  t
+(** Bind the authority at [port] (default {!well_known_port}).  [src]
+    pins the response source address (see {!Udp.sendto}).  [authority]
+    sees the querier's address so anycast zones can answer
+    topology-dependently. *)
+
+val stats : t -> stats
+
+(** {2 Stock zone closures} *)
+
+val region_authority :
+  region:int ->
+  hosts:int ->
+  host_addr_bits:(int -> int) ->
+  ttl_s:int ->
+  src:Packet.Addr.t ->
+  Names_wire.t ->
+  answer
+(** The zone for one region's host names (region, 0..hosts-1, 0):
+    authoritative answers with [ttl_s], NXNAME past [hosts], Refused
+    for any other region's names (lame delegation fails loudly). *)
+
+val root_authority :
+  regions:int ->
+  region_server_bits:(int -> int) ->
+  deleg_ttl_s:int ->
+  svc:(src:Packet.Addr.t -> Names_wire.t -> answer) ->
+  src:Packet.Addr.t ->
+  Names_wire.t ->
+  answer
+(** The root zone: host queries for region [r < regions] get a referral
+    to [region_server_bits r] cacheable for [deleg_ttl_s]; service
+    queries are delegated to [svc] (see {!Service.answer_for}). *)

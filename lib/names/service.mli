@@ -1,0 +1,60 @@
+(** Anycast service directory: one name, many replica hosts.
+
+    Lives beside the root authority.  Service queries are answered with
+    the healthy replica nearest (in region hops) to the querier —
+    "gateway-assisted" selection, because the directory is handed the
+    topology's own distance function rather than guessing.  Health is
+    soft state maintained by an active UDP prober: [strike_limit]
+    consecutive unanswered probes mark a replica down (emitting
+    [Trace.Event.Name_failover]), the first echo marks it back up. *)
+
+type t
+
+type stats = {
+  mutable probes : int;
+  mutable probe_misses : int;
+  mutable failovers_down : int;
+  mutable failovers_up : int;
+  mutable picks : int;
+  mutable all_down : int;  (** Queries finding no healthy replica. *)
+}
+
+val create :
+  udp:Udp.t ->
+  eng:Engine.t ->
+  ?src:Packet.Addr.t ->
+  service_port:int ->
+  ?svc_ttl_s:int ->
+  ?strike_limit:int ->
+  unit ->
+  t
+(** [service_port] is where replicas answer requests — probes go there
+    too, so a probe echo proves the actual service path.  [svc_ttl_s]
+    (default 1) is deliberately short: it bounds how long resolver
+    caches point at a crashed replica.  [strike_limit] defaults to 2. *)
+
+val register : t -> service:int -> (int * Packet.Addr.t) list -> unit
+(** Replicas as [(region, address)], all initially up. *)
+
+val set_distance : t -> (int -> int -> int) -> unit
+(** Region-to-region hop count from the topology (e.g.
+    [Topo.region_hops]); defaults to a constant, making selection
+    arbitrary-but-healthy. *)
+
+val pick : t -> service:int -> client_region:int -> int option
+(** Nearest healthy replica's address bits, or [None] if the service is
+    unknown or every replica is down. *)
+
+val answer_for : t -> src:Packet.Addr.t -> Names_wire.t -> Server.answer
+(** The service half of the root zone; plug into
+    {!Server.root_authority}'s [svc].  OK + replica address with the
+    service TTL; NXNAME for unknown services; SERVFAIL (TTL 0, never
+    cached) when every replica is down. *)
+
+val start_probing : t -> interval_us:int -> unit
+(** Begin the periodic probe loop on the directory's engine.  Note the
+    loop re-arms forever: drive the engine with [Engine.run ~until]. *)
+
+val replica_up : t -> service:int -> index:int -> bool
+val stats : t -> stats
+val metrics_items : t -> unit -> (string * Trace.Metrics.value) list

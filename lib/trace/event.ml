@@ -94,6 +94,14 @@ type t =
       (** Node crashed or rebooted. *)
   | Fault_soft_reset of { node : int }
       (** A node's soft state (route cache, RIB, reassembly) was cleared. *)
+  | Name_lookup of { node : int; qtype : int; hit : bool }
+      (** A resolver answered a client query from (or past) its cache. *)
+  | Name_upstream of { node : int; qtype : int; retry : int }
+      (** A resolver sent (or re-sent) an iterative query upstream. *)
+  | Name_answer of { node : int; rcode : int; ttl : int }
+      (** A terminal answer (or SERVFAIL) reached the querying client. *)
+  | Name_failover of { service : int; replica : int; up : bool }
+      (** An anycast replica's health state flipped. *)
 
 (* Event classes, a bitmask: the recorder's enable check is one [land]
    against these.  Keep them disjoint powers of two. *)
@@ -105,12 +113,16 @@ module Cls = struct
   let timer = 16
   let route = 32
   let fault = 64
-  let all = link lor ip lor frag lor tcp lor timer lor route lor fault
+  let name = 128
+
+  let all =
+    link lor ip lor frag lor tcp lor timer lor route lor fault lor name
 
   let to_string c =
     let names =
       [ (link, "link"); (ip, "ip"); (frag, "frag"); (tcp, "tcp");
-        (timer, "timer"); (route, "route"); (fault, "fault") ]
+        (timer, "timer"); (route, "route"); (fault, "fault");
+        (name, "name") ]
     in
     String.concat "+"
       (List.filter_map
@@ -127,13 +139,16 @@ let cls = function
   | Timer_arm _ | Timer_fire _ -> Cls.timer
   | Route_change _ -> Cls.route
   | Fault_link _ | Fault_node _ | Fault_soft_reset _ -> Cls.fault
+  | Name_lookup _ | Name_upstream _ | Name_answer _ | Name_failover _ ->
+      Cls.name
 
 let drop_reason_of = function
   | Link_drop { reason; _ } | Ip_drop { reason; _ } -> Some reason
   | Link_enqueue _ | Link_dequeue _ | Link_deliver _ | Ip_forward _
   | Ip_deliver _ | Ip_fragment _ | Ip_reassembled _ | Tcp_segment_out _
   | Tcp_retransmit _ | Tcp_rto_fire _ | Timer_arm _ | Timer_fire _
-  | Route_change _ | Fault_link _ | Fault_node _ | Fault_soft_reset _ ->
+  | Route_change _ | Fault_link _ | Fault_node _ | Fault_soft_reset _
+  | Name_lookup _ | Name_upstream _ | Name_answer _ | Name_failover _ ->
       None
 
 let tcp_flag_bits ~fin ~syn ~rst ~psh ~ack =
@@ -200,6 +215,18 @@ let pp fmt e =
         (if up then "up" else "down")
   | Fault_soft_reset { node } ->
       Format.fprintf fmt "FAULT node %d soft-state reset" node
+  | Name_lookup { node; qtype; hit } ->
+      Format.fprintf fmt "node %d name lookup qtype=%d %s" node qtype
+        (if hit then "HIT" else "miss")
+  | Name_upstream { node; qtype; retry } ->
+      Format.fprintf fmt "node %d name upstream qtype=%d retry=%d" node
+        qtype retry
+  | Name_answer { node; rcode; ttl } ->
+      Format.fprintf fmt "node %d name answer rcode=%d ttl=%d" node rcode
+        ttl
+  | Name_failover { service; replica; up } ->
+      Format.fprintf fmt "service %d replica %d %s" service replica
+        (if up then "up" else "DOWN")
 
 let to_json e =
   let base kind fields = Json.Obj (("event", Json.Str kind) :: fields) in
@@ -273,3 +300,19 @@ let to_json e =
       base "fault_node" [ ("node", Json.Int node); ("up", Json.Bool up) ]
   | Fault_soft_reset { node } ->
       base "fault_soft_reset" [ ("node", Json.Int node) ]
+  | Name_lookup { node; qtype; hit } ->
+      base "name_lookup"
+        [ ("node", Json.Int node); ("qtype", Json.Int qtype);
+          ("hit", Json.Bool hit) ]
+  | Name_upstream { node; qtype; retry } ->
+      base "name_upstream"
+        [ ("node", Json.Int node); ("qtype", Json.Int qtype);
+          ("retry", Json.Int retry) ]
+  | Name_answer { node; rcode; ttl } ->
+      base "name_answer"
+        [ ("node", Json.Int node); ("rcode", Json.Int rcode);
+          ("ttl", Json.Int ttl) ]
+  | Name_failover { service; replica; up } ->
+      base "name_failover"
+        [ ("service", Json.Int service); ("replica", Json.Int replica);
+          ("up", Json.Bool up) ]

@@ -68,6 +68,14 @@ type t =
       (** Node crashed or rebooted. *)
   | Fault_soft_reset of { node : int }
       (** A node's soft state (route cache, RIB, reassembly) was cleared. *)
+  | Name_lookup of { node : int; qtype : int; hit : bool }
+      (** A resolver answered a client query from (or past) its cache. *)
+  | Name_upstream of { node : int; qtype : int; retry : int }
+      (** A resolver sent (or re-sent) an iterative query upstream. *)
+  | Name_answer of { node : int; rcode : int; ttl : int }
+      (** A terminal answer (or SERVFAIL) reached the querying client. *)
+  | Name_failover of { service : int; replica : int; up : bool }
+      (** An anycast replica's health state flipped. *)
 
 (** Event classes, a bitmask: the recorder's enable check is one [land]
     against these. *)
@@ -79,6 +87,7 @@ module Cls : sig
   val timer : int
   val route : int
   val fault : int
+  val name : int
   val all : int
   val to_string : int -> string
 end

@@ -7,12 +7,16 @@ type stats = {
   mutable datagrams_out : int;
   mutable bad : int;
   mutable no_port : int;
+  mutable eph_allocs : int;
+  mutable eph_reuses : int;
+  mutable eph_exhausted : int;
 }
 
 type t = {
   ip : Ip.Stack.t;
   ports : (int, socket) Hashtbl.t;
   mutable next_ephemeral : int;
+  eph_seen : Bytes.t;  (* one bit per ephemeral port: allocated before? *)
   stats : stats;
 }
 
@@ -49,7 +53,10 @@ let metrics_items t () =
   [ ("datagrams_in", Trace.Metrics.Int t.stats.datagrams_in);
     ("datagrams_out", Trace.Metrics.Int t.stats.datagrams_out);
     ("bad", Trace.Metrics.Int t.stats.bad);
-    ("no_port", Trace.Metrics.Int t.stats.no_port) ]
+    ("no_port", Trace.Metrics.Int t.stats.no_port);
+    ("eph_allocs", Trace.Metrics.Int t.stats.eph_allocs);
+    ("eph_reuses", Trace.Metrics.Int t.stats.eph_reuses);
+    ("eph_exhausted", Trace.Metrics.Int t.stats.eph_exhausted) ]
 let port s = s.sock_port
 
 let handle t (h : Ipv4.header) payload =
@@ -72,7 +79,17 @@ let create ip =
       ip;
       ports = Hashtbl.create 8;
       next_ephemeral = 49152;
-      stats = { datagrams_in = 0; datagrams_out = 0; bad = 0; no_port = 0 };
+      eph_seen = Bytes.make 2048 '\000';
+      stats =
+        {
+          datagrams_in = 0;
+          datagrams_out = 0;
+          bad = 0;
+          no_port = 0;
+          eph_allocs = 0;
+          eph_reuses = 0;
+          eph_exhausted = 0;
+        };
     }
   in
   Ip.Stack.register_proto ip Ipv4.Proto.Udp (handle t);
@@ -88,13 +105,25 @@ let ephemeral_hi = 65535
 let alloc_ephemeral t =
   let range = ephemeral_hi - ephemeral_lo + 1 in
   let rec probe p tried =
-    if tried >= range then raise (Bind_error No_free_ports)
+    if tried >= range then begin
+      t.stats.eph_exhausted <- t.stats.eph_exhausted + 1;
+      raise (Bind_error No_free_ports)
+    end
     else
       let p = if p > ephemeral_hi then ephemeral_lo else p in
       if not (Hashtbl.mem t.ports p) then p else probe (p + 1) (tried + 1)
   in
   let p = probe t.next_ephemeral 0 in
   t.next_ephemeral <- (if p + 1 > ephemeral_hi then ephemeral_lo else p + 1);
+  (* Churn accounting for the open-loop workloads: an alloc of a port
+     this instance handed out before is a reuse — the wrap has come back
+     around, which is the signal ephemeral pressure is real. *)
+  let bit = p - ephemeral_lo in
+  let byte = Char.code (Bytes.get t.eph_seen (bit lsr 3)) in
+  let mask = 1 lsl (bit land 7) in
+  t.stats.eph_allocs <- t.stats.eph_allocs + 1;
+  if byte land mask <> 0 then t.stats.eph_reuses <- t.stats.eph_reuses + 1
+  else Bytes.set t.eph_seen (bit lsr 3) (Char.chr (byte lor mask));
   p
 
 let bind t ?(port = 0) ~recv () =
@@ -111,21 +140,29 @@ let close s =
     Hashtbl.remove s.udp.ports s.sock_port
   end
 
-let sendto s ?tos ?ttl ~dst ~dst_port payload : (unit, send_error) result =
+let sendto s ?src ?tos ?ttl ~dst ~dst_port payload :
+    (unit, send_error) result =
   if not s.open_ then Error `Closed
   else begin
   let t = s.udp in
   (* The checksum needs the source address, which IP chooses from the
-     route; resolve it the same way. *)
+     route; resolve it the same way unless the caller pinned one (a
+     resolver answering from its service address must not source from a
+     transit link that is never globally routed). *)
   let src =
-    match Ip.Route_table.lookup (Ip.Stack.table t.ip) dst with
-    | Some r -> (
-        match Ip.Stack.iface_addr t.ip r.Ip.Route_table.iface with
-        | Some a -> a
-        | None -> Ip.Stack.primary_addr t.ip)
-    | None -> Ip.Stack.primary_addr t.ip
+    match src with
+    | Some a -> a
+    | None -> (
+        let routed =
+          match Ip.Route_table.lookup (Ip.Stack.table t.ip) dst with
+          | Some r -> (
+              match Ip.Stack.iface_addr t.ip r.Ip.Route_table.iface with
+              | Some a -> a
+              | None -> Ip.Stack.primary_addr t.ip)
+          | None -> Ip.Stack.primary_addr t.ip
+        in
+        if Ip.Stack.has_addr t.ip dst then dst else routed)
   in
-  let src = if Ip.Stack.has_addr t.ip dst then dst else src in
   (* Assemble the whole frame once — reserved IP-header prefix, UDP header,
      payload — and hand it to the stack without further copying. *)
   let plen = Bytes.length payload in

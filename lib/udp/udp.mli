@@ -16,6 +16,11 @@ type stats = {
   mutable datagrams_out : int;
   mutable bad : int;  (** Malformed or checksum-failing datagrams. *)
   mutable no_port : int;  (** Arrived for a port nobody had bound. *)
+  mutable eph_allocs : int;  (** Ephemeral ports handed out. *)
+  mutable eph_reuses : int;
+      (** Allocations of a port this instance handed out before — the
+          wrap has come back around (churn pressure). *)
+  mutable eph_exhausted : int;  (** [No_free_ports] raised. *)
 }
 
 type bind_error =
@@ -49,12 +54,16 @@ val port : socket -> int
 
 val sendto :
   socket ->
+  ?src:Packet.Addr.t ->
   ?tos:Packet.Ipv4.Tos.t ->
   ?ttl:int ->
   dst:Packet.Addr.t ->
   dst_port:int ->
   bytes ->
   (unit, send_error) result
+(** [src] pins the source address instead of deriving it from the
+    route's outgoing interface — needed when answering from an address
+    that is routed globally while the interface address is not. *)
 
 val close : socket -> unit
 (** Release the port; further arrivals count as [no_port]. *)

@@ -1,0 +1,25 @@
+(* Fixture: name-protocol wire asymmetry.  The layout duplicates a
+   field name ("flags" appears twice), the encoder writes "ttl" that no
+   decoder ever reads, and the decoder reads "answer" that the encoder
+   never writes — the E21 drift the symmetry rule exists to catch. *)
+
+let layout =
+  [ ("id", 0, 2); ("flags", 2, 2); ("flags", 4, 1); ("qtype", 5, 1);
+    ("ttl", 6, 4); ("answer", 10, 4) ]
+
+let encode id flags ttl =
+  let buf = Bytes.create 14 in
+  Bytes.set_uint16_be buf 0 id;
+  Bytes.set_uint16_be buf 2 flags;
+  Bytes.set_uint8 buf 4 0;
+  Bytes.set_uint8 buf 5 1;
+  Bytes.set_int32_be buf 6 ttl;
+  buf
+
+let decode buf =
+  let id = Bytes.get_uint16_be buf 0 in
+  let flags = Bytes.get_uint16_be buf 2 in
+  let aa = Bytes.get_uint8 buf 4 in
+  let qtype = Bytes.get_uint8 buf 5 in
+  let answer = Bytes.get_int32_be buf 10 in
+  (id, flags, aa, qtype, answer)

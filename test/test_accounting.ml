@@ -162,6 +162,54 @@ let test_rotation_resets () =
   check Alcotest.int "exact ledger reset" 0 (Acct.flow_count ex);
   check Alcotest.int "exact epoch advanced" 1 (Acct.epoch ex)
 
+(* Rotation must not amnesia the billing record: each closed epoch's
+   totals and top flows survive as a bounded snapshot history. *)
+let test_rotation_history () =
+  let acc = Acct.create ~mode:sketch_mode ~history:2 () in
+  let trace = zipf_trace ~seed:11 ~flows:40 ~packets:400 in
+  List.iter (feed_fast acc) trace;
+  let before = Acct.total acc in
+  Acct.rotate acc;
+  (match Acct.history acc with
+  | [ s ] ->
+      check Alcotest.int "snapshot names its epoch" 0 s.Acct.snap_epoch;
+      check Alcotest.int "snapshot keeps the epoch's packets"
+        before.Acct.packets s.Acct.snap_packets;
+      check Alcotest.int "snapshot keeps the epoch's bytes" before.Acct.bytes
+        s.Acct.snap_bytes;
+      check Alcotest.bool "snapshot carries top flows" true
+        (s.Acct.snap_top <> []);
+      (match s.Acct.snap_top with
+      | (_, a) :: (_, b) :: _ ->
+          check Alcotest.bool "top flows sorted by bytes" true
+            (a.Acct.bytes >= b.Acct.bytes)
+      | _ -> ())
+  | l -> Alcotest.failf "expected 1 snapshot, got %d" (List.length l));
+  (* the bound holds: rotating past [history] drops the oldest *)
+  feed_fast acc { src = 1; dst = 2; sp = 3; dp = 4; len = 99 };
+  Acct.rotate acc;
+  Acct.rotate acc;
+  Acct.rotate acc;
+  (match Acct.history acc with
+  | [ a; b ] ->
+      check Alcotest.int "newest first" 3 a.Acct.snap_epoch;
+      check Alcotest.int "oldest retained" 2 b.Acct.snap_epoch
+  | l -> Alcotest.failf "expected 2 snapshots, got %d" (List.length l));
+  (* history reaches the observability surface *)
+  (match Acct.to_json acc with
+  | Trace.Json.Obj kvs -> (
+      match List.assoc_opt "history" kvs with
+      | Some (Trace.Json.List l) ->
+          check Alcotest.int "json history bounded" 2 (List.length l)
+      | _ -> Alcotest.fail "to_json lacks history")
+  | _ -> Alcotest.fail "to_json not an object");
+  (* history:0 disables retention entirely *)
+  let off = Acct.create ~history:0 () in
+  feed_record off { src = 1; dst = 2; sp = 3; dp = 4; len = 10 };
+  Acct.rotate off;
+  check Alcotest.int "history 0 retains nothing" 0
+    (List.length (Acct.history off))
+
 (* Sketch-mode [record_fast] must not allocate: it is what lets
    accounting ride [forward_fast].  Same Gc discipline as the
    route-cache and trie lookup tests. *)
@@ -307,6 +355,8 @@ let () =
       ( "directed",
         [
           Alcotest.test_case "epoch rotation resets" `Quick test_rotation_resets;
+          Alcotest.test_case "rotation snapshots history" `Quick
+            test_rotation_history;
           Alcotest.test_case "record_fast allocation-free" `Quick
             test_record_fast_allocation_free;
           Alcotest.test_case "portless flows do not alias" `Quick

@@ -1,0 +1,395 @@
+(* The name/service layer (E21): fixed-width wire format, LRU+TTL
+   resolver soft state, hierarchical delegation over the E17 topology,
+   and anycast failover driven by health probes.  The architectural
+   claims under test: resolver caches are pure soft state (a crash
+   loses nothing but time), zones are hard state, and one service name
+   can move between replicas without clients learning anything new. *)
+
+open Catenet
+module W = Names.Wire
+module Cache = Names.Cache
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let sec = 1_000_000
+
+(* -- wire format ----------------------------------------------------- *)
+
+let arb_msg =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" W.pp t)
+    QCheck.Gen.(
+      let lbl = int_bound 0xffff in
+      let u32 = map (fun i -> i land 0xffffffff) (int_bound max_int) in
+      map
+        (fun ((id, response, rd, aa), (rcode, qtype), (l0, l1, l2), ttl, ans) ->
+          { W.id; response; rd; aa; rcode; qtype; l0; l1; l2;
+            ttl_s = ttl; answer = ans })
+        (tup5
+           (tup4 lbl bool bool bool)
+           (tup2 (int_bound 4) (int_bound 2))
+           (tup3 lbl lbl lbl) u32 u32))
+
+let wire_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"encode/decode roundtrip" arb_msg
+    (fun t ->
+      match W.decode (W.encode t) with Ok t' -> t = t' | Error _ -> false)
+
+let test_wire_rejects () =
+  let q = W.query ~id:7 ~rd:true ~qtype:W.qtype_host ~l0:1 ~l1:2 ~l2:0 in
+  let b = W.encode q in
+  (match W.decode (Bytes.sub b 0 (W.header_size - 1)) with
+  | Error `Truncated -> ()
+  | Ok _ | Error _ -> Alcotest.fail "short buffer accepted");
+  let bad off v msg =
+    let b' = Bytes.copy b in
+    Bytes.set_uint8 b' off v;
+    match W.decode b' with
+    | Error (`Bad_header _) -> ()
+    | Ok _ | Error `Truncated -> Alcotest.fail msg
+  in
+  bad 3 0xf0 "unknown flag bits accepted";
+  bad 4 5 "rcode 5 accepted";
+  bad 5 3 "qtype 3 accepted";
+  (* out-of-range fields refuse to encode at all *)
+  Alcotest.check_raises "oversized label refuses to encode"
+    (Invalid_argument "Names_wire.encode: label out of range") (fun () ->
+      ignore (W.encode { q with W.l0 = 0x10000 }))
+
+let test_wire_layout_covers_header () =
+  let covered =
+    List.fold_left (fun a (_, _, w) -> a + w) 0 W.layout
+  in
+  check Alcotest.int "layout is gapless over the header" W.header_size
+    covered
+
+(* -- cache ----------------------------------------------------------- *)
+
+let test_cache_ttl () =
+  let c = Cache.create ~capacity:8 in
+  let k = Cache.key ~qtype:W.qtype_host ~l0:3 ~l1:9 ~l2:0 in
+  Cache.insert c ~now_us:0 ~key:k ~rcode:W.rcode_ok ~answer:42 ~ttl_s:2;
+  (match Cache.find c ~now_us:(sec + (sec / 2)) k with
+  | Some (rc, ans, ttl) ->
+      check Alcotest.int "rcode" W.rcode_ok rc;
+      check Alcotest.int "answer" 42 ans;
+      check Alcotest.int "remaining ttl rounds up, never 0" 1 ttl
+  | None -> Alcotest.fail "fresh entry missed");
+  check Alcotest.bool "expired at exactly ttl" true
+    (Cache.find c ~now_us:(2 * sec) k = None);
+  check Alcotest.int "expiry counted" 1 (Cache.stats c).Cache.expired;
+  check Alcotest.int "expired entry removed" 0 (Cache.len c);
+  (* ttl <= 0 records are not cached at all *)
+  Cache.insert c ~now_us:0 ~key:k ~rcode:W.rcode_ok ~answer:1 ~ttl_s:0;
+  check Alcotest.int "ttl 0 not cached" 0 (Cache.len c)
+
+let test_cache_negative () =
+  let c = Cache.create ~capacity:8 in
+  let k = Cache.key ~qtype:W.qtype_host ~l0:1 ~l1:4000 ~l2:0 in
+  Cache.insert c ~now_us:0 ~key:k ~rcode:W.rcode_nxname ~answer:0 ~ttl_s:1;
+  (match Cache.find c ~now_us:(sec / 2) k with
+  | Some (rc, _, _) ->
+      check Alcotest.int "negative answer served" W.rcode_nxname rc
+  | None -> Alcotest.fail "negative entry missed");
+  check Alcotest.bool "negative entry expires" true
+    (Cache.find c ~now_us:(sec + 1) k = None)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  let key i = Cache.key ~qtype:W.qtype_host ~l0:i ~l1:0 ~l2:0 in
+  let put i =
+    Cache.insert c ~now_us:0 ~key:(key i) ~rcode:W.rcode_ok ~answer:i
+      ~ttl_s:60
+  in
+  put 1;
+  put 2;
+  ignore (Cache.find c ~now_us:0 (key 1));
+  (* 2 is now least recently used *)
+  put 3;
+  check Alcotest.bool "touched entry survives" true
+    (Cache.find c ~now_us:0 (key 1) <> None);
+  check Alcotest.bool "lru entry evicted" true
+    (Cache.find c ~now_us:0 (key 2) = None);
+  check Alcotest.int "one eviction" 1 (Cache.stats c).Cache.evictions;
+  Cache.flush c;
+  check Alcotest.int "flush empties" 0 (Cache.len c);
+  check Alcotest.int "flush counted" 1 (Cache.stats c).Cache.flushes
+
+(* -- resolution over the hierarchy ----------------------------------- *)
+
+(* A tiny E17 catenet with the full E21 control plane: root authority
+   and service directory on a full-stack host in region 0, a region
+   authority and a resolver on every region gateway. *)
+type world = {
+  topo : Topo.t;
+  eng : Engine.t;
+  dir : Names.Service.t;
+  resolvers : Names.Resolver.t array;
+  root_server : Names.Server.t;
+}
+
+let build_world ?(regions = 3) ?(hosts = 8) () =
+  let topo =
+    Topo.build
+      { Topo.default_config with Topo.seed = 21; core = 2; chords = 0;
+        regions; hosts_per_region = hosts }
+  in
+  let eng = Topo.engine topo in
+  let root_stack, root_addr = Topo.add_full_host topo ~region:0 in
+  let root_udp = Udp.create root_stack in
+  let dir =
+    Names.Service.create ~udp:root_udp ~eng ~src:root_addr
+      ~service_port:7000 ()
+  in
+  Names.Service.set_distance dir (Topo.region_hops topo);
+  let root_server =
+    Names.Server.create ~udp:root_udp ~src:root_addr
+      ~authority:
+        (Names.Server.root_authority ~regions
+           ~region_server_bits:(fun r ->
+             W.addr_bits (Topo.region_gw_addr r))
+           ~deleg_ttl_s:30
+           ~svc:(fun ~src q -> Names.Service.answer_for dir ~src q))
+      ()
+  in
+  let resolvers =
+    Array.init regions (fun r ->
+        let gw = Topo.region_gw topo r in
+        let udp = Udp.create gw in
+        ignore
+          (Names.Server.create ~udp ~src:(Topo.region_gw_addr r)
+             ~authority:
+               (Names.Server.region_authority ~region:r ~hosts
+                  ~host_addr_bits:(fun i ->
+                    W.addr_bits (Topo.host_addr topo ~region:r ~index:i))
+                  ~ttl_s:10)
+             ()
+            : Names.Server.t);
+        Names.Resolver.create ~udp ~eng ~node:(Ip.Stack.node_id gw)
+          ~src:(Topo.region_gw_addr r) ~root:root_addr ())
+  in
+  { topo; eng; dir; resolvers; root_server }
+
+let resolve_sync w r ~qtype ~l0 ~l1 =
+  let got = ref None in
+  Names.Resolver.resolve w.resolvers.(r) ~qtype ~l0 ~l1 ~l2:0
+    (fun ~rcode ~answer ~ttl_s -> got := Some (rcode, answer, ttl_s));
+  Engine.run ~until:(Engine.now w.eng + (5 * sec)) w.eng;
+  match !got with
+  | Some a -> a
+  | None -> Alcotest.fail "resolve never answered"
+
+let test_delegation_walk () =
+  let w = build_world () in
+  let rc, ans, ttl = resolve_sync w 2 ~qtype:W.qtype_host ~l0:0 ~l1:5 in
+  check Alcotest.int "rcode ok" W.rcode_ok rc;
+  check Alcotest.int "answer is the host's address"
+    (W.addr_bits (Topo.host_addr w.topo ~region:0 ~index:5))
+    ans;
+  check Alcotest.bool "positive ttl" true (ttl > 0);
+  let st = Names.Resolver.stats w.resolvers.(2) in
+  (* an uncached walk is exactly two upstream queries: root referral,
+     then the region authority *)
+  check Alcotest.int "two upstream queries" 2 st.Names.Resolver.upstream;
+  check Alcotest.int "root referred" 1
+    (Names.Server.stats w.root_server).Names.Server.referrals;
+  (* same name again: answered from cache, no new upstream traffic *)
+  let rc2, ans2, _ = resolve_sync w 2 ~qtype:W.qtype_host ~l0:0 ~l1:5 in
+  check Alcotest.int "cached rcode" W.rcode_ok rc2;
+  check Alcotest.int "cached answer" ans ans2;
+  check Alcotest.int "no new upstream" 2 st.Names.Resolver.upstream;
+  check Alcotest.int "one cache hit" 1 st.Names.Resolver.cache_hits;
+  (* a sibling name in the same region reuses the cached delegation:
+     one more upstream query, not two *)
+  let rc3, _, _ = resolve_sync w 2 ~qtype:W.qtype_host ~l0:0 ~l1:6 in
+  check Alcotest.int "sibling ok" W.rcode_ok rc3;
+  check Alcotest.int "delegation reused" 3 st.Names.Resolver.upstream
+
+let test_negative_cached () =
+  let w = build_world () in
+  let rc, _, ttl = resolve_sync w 1 ~qtype:W.qtype_host ~l0:0 ~l1:999 in
+  check Alcotest.int "nxname" W.rcode_nxname rc;
+  check Alcotest.bool "negative answers carry a ttl" true (ttl > 0);
+  let st = Names.Resolver.stats w.resolvers.(1) in
+  let up = st.Names.Resolver.upstream in
+  let rc2, _, _ = resolve_sync w 1 ~qtype:W.qtype_host ~l0:0 ~l1:999 in
+  check Alcotest.int "nxname from cache" W.rcode_nxname rc2;
+  check Alcotest.int "no new upstream for cached negative" up
+    st.Names.Resolver.upstream
+
+let test_single_flight () =
+  let w = build_world () in
+  let answers = ref [] in
+  for _ = 1 to 5 do
+    Names.Resolver.resolve w.resolvers.(1) ~qtype:W.qtype_host ~l0:2 ~l1:3
+      ~l2:0 (fun ~rcode ~answer ~ttl_s:_ ->
+        answers := (rcode, answer) :: !answers)
+  done;
+  Engine.run ~until:(5 * sec) w.eng;
+  check Alcotest.int "every waiter answered" 5 (List.length !answers);
+  List.iter
+    (fun (rc, ans) ->
+      check Alcotest.int "ok" W.rcode_ok rc;
+      check Alcotest.int "same answer"
+        (W.addr_bits (Topo.host_addr w.topo ~region:2 ~index:3))
+        ans)
+    !answers;
+  let st = Names.Resolver.stats w.resolvers.(1) in
+  check Alcotest.int "four waiters coalesced" 4 st.Names.Resolver.coalesced;
+  check Alcotest.int "one walk upstream" 2 st.Names.Resolver.upstream
+
+let test_crash_amnesia () =
+  let w = build_world () in
+  (* Resolver in region 0: the whole walk rides connected /32 routes
+     that survive a soft flush, so re-resolution works immediately —
+     what a crash costs is the cache, not correctness. *)
+  let r = w.resolvers.(0) in
+  let st = Names.Resolver.stats r in
+  ignore (resolve_sync w 0 ~qtype:W.qtype_host ~l0:0 ~l1:1);
+  check Alcotest.bool "cache warm" true (Cache.len (Names.Resolver.cache r) > 0);
+  let up_before = st.Names.Resolver.upstream in
+  (* a walk caught in flight when the crash hits is aborted: SERVFAIL *)
+  let inflight = ref None in
+  Names.Resolver.resolve r ~qtype:W.qtype_host ~l0:1 ~l1:2 ~l2:0
+    (fun ~rcode ~answer:_ ~ttl_s:_ -> inflight := Some rcode);
+  Ip.Stack.flush_soft_state (Topo.region_gw w.topo 0);
+  check Alcotest.int "stack flush reached the resolver" 1
+    st.Names.Resolver.flushes;
+  check Alcotest.int "cache forgotten" 0 (Cache.len (Names.Resolver.cache r));
+  check Alcotest.bool "in-flight walk aborted with servfail" true
+    (!inflight = Some W.rcode_servfail);
+  (* amnesia, not damage: the same name resolves again from scratch *)
+  let rc, ans, _ = resolve_sync w 0 ~qtype:W.qtype_host ~l0:0 ~l1:1 in
+  check Alcotest.int "re-resolves after crash" W.rcode_ok rc;
+  check Alcotest.int "same answer as before the crash"
+    (W.addr_bits (Topo.host_addr w.topo ~region:0 ~index:1))
+    ans;
+  check Alcotest.bool "cache re-warmed the hard way" true
+    (st.Names.Resolver.upstream > up_before)
+
+let test_timeout_servfail () =
+  let w = build_world () in
+  (* A resolver whose root is a silent pooled host: every walk times
+     out, retries, then fails — and SERVFAIL is never cached. *)
+  let gw = Topo.region_gw w.topo 1 in
+  let udp = Udp.create gw in
+  let r =
+    Names.Resolver.create ~udp ~eng:w.eng ~node:(Ip.Stack.node_id gw)
+      ~src:(Topo.region_gw_addr 1)
+      ~root:(Topo.host_addr w.topo ~region:0 ~index:0)
+      ~port:54 ~timeout_us:(sec / 10) ~retries:1 ()
+  in
+  let got = ref None in
+  Names.Resolver.resolve r ~qtype:W.qtype_host ~l0:2 ~l1:1 ~l2:0
+    (fun ~rcode ~answer:_ ~ttl_s:_ -> got := Some rcode);
+  Engine.run ~until:(Engine.now w.eng + (2 * sec)) w.eng;
+  check Alcotest.bool "servfail after retries" true
+    (!got = Some W.rcode_servfail);
+  let st = Names.Resolver.stats r in
+  check Alcotest.int "one retry" 1 st.Names.Resolver.retries;
+  check Alcotest.int "servfail not cached" 0 (Cache.len (Names.Resolver.cache r))
+
+(* -- anycast --------------------------------------------------------- *)
+
+let test_anycast_nearest_and_failover () =
+  let w = build_world () in
+  let pool = Topo.pool w.topo in
+  (* service 7: one replica in region 1, one in region 2, both pooled
+     hosts that echo whatever arrives on the service port *)
+  let svc_port = 7000 in
+  let rep1 = Topo.host_slot w.topo ~region:1 ~index:0 in
+  let rep2 = Topo.host_slot w.topo ~region:2 ~index:0 in
+  let dead = ref (-1) in
+  Hostpool.set_udp_sink pool
+    (Some
+       (fun slot ~src ~src_port ~dst_port payload ->
+         if dst_port = svc_port && slot <> !dead then
+           ignore
+             (Hostpool.send_udp pool slot ~dst:src ~src_port:dst_port
+                ~dst_port:src_port payload
+               : bool)));
+  Names.Service.register w.dir ~service:7
+    [ (1, Topo.host_addr w.topo ~region:1 ~index:0);
+      (2, Topo.host_addr w.topo ~region:2 ~index:0) ];
+  Names.Service.start_probing w.dir ~interval_us:(sec / 4);
+  (* a client in region 1 is served the region-1 replica *)
+  let rc, ans, ttl = resolve_sync w 1 ~qtype:W.qtype_svc ~l0:7 ~l1:0 in
+  check Alcotest.int "svc ok" W.rcode_ok rc;
+  check Alcotest.int "nearest replica chosen"
+    (W.addr_bits (Hostpool.addr pool rep1)) ans;
+  check Alcotest.bool "svc ttl is short" true (ttl <= 1);
+  (* unknown service: nxname *)
+  let rc_nx, _, _ = resolve_sync w 1 ~qtype:W.qtype_svc ~l0:99 ~l1:0 in
+  check Alcotest.int "unknown service nxname" W.rcode_nxname rc_nx;
+  (* crash the near replica (it stops echoing); probing must notice,
+     fail over, and later resolves get the far replica *)
+  dead := rep1;
+  Engine.run ~until:(Engine.now w.eng + (3 * sec)) w.eng;
+  check Alcotest.bool "replica marked down" false
+    (Names.Service.replica_up w.dir ~service:7 ~index:0);
+  check Alcotest.int "one failover event" 1
+    (Names.Service.stats w.dir).Names.Service.failovers_down;
+  let rc2, ans2, _ = resolve_sync w 1 ~qtype:W.qtype_svc ~l0:7 ~l1:0 in
+  check Alcotest.int "svc still ok" W.rcode_ok rc2;
+  check Alcotest.int "failed over to the far replica"
+    (W.addr_bits (Hostpool.addr pool rep2)) ans2;
+  (* recovery: first echo marks it up again *)
+  dead := -1;
+  Engine.run ~until:(Engine.now w.eng + (2 * sec)) w.eng;
+  check Alcotest.bool "replica back up" true
+    (Names.Service.replica_up w.dir ~service:7 ~index:0);
+  check Alcotest.int "recovery counted" 1
+    (Names.Service.stats w.dir).Names.Service.failovers_up
+
+(* -- ephemeral-port churn accounting --------------------------------- *)
+
+let test_udp_eph_counters () =
+  let w = build_world ~regions:1 () in
+  let gw = Topo.region_gw w.topo 0 in
+  let udp = Udp.create gw in
+  let s1 = Udp.bind udp ~recv:(fun ~src:_ ~src_port:_ _ -> ()) () in
+  let p1 = Udp.port s1 in
+  Udp.close s1;
+  let s2 = Udp.bind udp ~recv:(fun ~src:_ ~src_port:_ _ -> ()) () in
+  let st = Udp.stats udp in
+  check Alcotest.int "two ephemeral allocations" 2 st.Udp.eph_allocs;
+  check Alcotest.bool "second bind on a fresh port is no reuse" true
+    (Udp.port s2 <> p1 && st.Udp.eph_reuses = 0);
+  check Alcotest.int "no exhaustion" 0 st.Udp.eph_exhausted
+
+let () =
+  Alcotest.run "names"
+    [
+      ( "wire",
+        [
+          qcheck wire_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_wire_rejects;
+          Alcotest.test_case "layout gapless" `Quick
+            test_wire_layout_covers_header;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "ttl expiry" `Quick test_cache_ttl;
+          Alcotest.test_case "negative entries" `Quick test_cache_negative;
+          Alcotest.test_case "lru + flush" `Quick test_cache_lru;
+        ] );
+      ( "resolver",
+        [
+          Alcotest.test_case "delegation walk" `Quick test_delegation_walk;
+          Alcotest.test_case "negative caching" `Quick test_negative_cached;
+          Alcotest.test_case "single flight" `Quick test_single_flight;
+          Alcotest.test_case "crash amnesia" `Quick test_crash_amnesia;
+          Alcotest.test_case "timeout -> servfail" `Quick
+            test_timeout_servfail;
+        ] );
+      ( "anycast",
+        [
+          Alcotest.test_case "nearest + failover" `Quick
+            test_anycast_nearest_and_failover;
+        ] );
+      ( "udp churn",
+        [
+          Alcotest.test_case "ephemeral counters" `Quick
+            test_udp_eph_counters;
+        ] );
+    ]
