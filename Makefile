@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-smoke gauntlet-smoke topo-smoke acct-smoke names-smoke clean
+.PHONY: all build test check lint bench bench-smoke gauntlet-smoke topo-smoke acct-smoke names-smoke adversary-smoke clean
 
 all: build
 
@@ -52,6 +52,14 @@ acct-smoke:
 # full-run BENCH_names.json.)
 names-smoke:
 	dune exec bench/main.exe -- --smoke --only E21 --out=_smoke
+
+# The E18 adversarial conformance experiment alone, scaled down: the
+# seeded hostile peer forging RSTs, in-window SYNs and ACK probes into a
+# live transfer, plus the >64 KiB-window LFN run.  (Smoke-scale numbers
+# are not the gated contract; the gate in bin/check.sh reads the
+# committed full-run BENCH_tcp_adversary.json.)
+adversary-smoke:
+	dune exec bench/main.exe -- --smoke --only E18 --out=_smoke
 
 clean:
 	dune clean

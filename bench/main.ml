@@ -22,6 +22,7 @@ let experiments =
     ("E15", "observability overhead", E15.run);
     ("E16", "survivability gauntlet", E16.run);
     ("E17", "internet-scale topology", E17.run);
+    ("E18", "tcp under blind in-window attack", E18.run);
     ("E20", "sketch accounting at scale", E20.run);
     ("E21", "name/service layer at scale", E21.run);
     ("A1", "ablation: delayed acknowledgments", Abl.a1);

@@ -3,8 +3,10 @@
 # smoke, the survivability gauntlet smoke, and the gates over the
 # committed BENCH_trace.json (DESIGN.md §observability),
 # BENCH_topology.json (DESIGN.md §scale engine),
-# BENCH_survivability.json (DESIGN.md §survivability gauntlet) and
-# BENCH_accounting.json (DESIGN.md §accounting-at-scale).
+# BENCH_survivability.json (DESIGN.md §survivability gauntlet),
+# BENCH_accounting.json (DESIGN.md §accounting-at-scale),
+# BENCH_names.json (DESIGN.md §name/service layer) and
+# BENCH_tcp_adversary.json (DESIGN.md §transport hardening).
 # Usage: bin/check.sh  (or `make check`)
 set -eu
 cd "$(dirname "$0")/.."
@@ -180,6 +182,43 @@ if [ -f BENCH_names.json ]; then
     }' BENCH_names.json
 else
   echo "  skipped (no BENCH_names.json; run: dune exec bench/main.exe -- --only E21)"
+fi
+
+# The hardening contract (E18, DESIGN.md §transport hardening): >=10^4
+# forged in-window segments must kill zero connections while goodput
+# holds at >=90% of the unattacked run with the fast path byte-identical
+# to the slow path, and window scaling must carry the LFN window past
+# 64 KiB for a real speedup.  As above, gate on the committed full-run
+# artifact, not smoke numbers.
+echo "== adversary gate (BENCH_tcp_adversary.json)"
+if [ -f BENCH_tcp_adversary.json ]; then
+  awk '
+    function num(line,   v) { sub(/.*: */, "", line); sub(/,.*/, "", line); return line + 0 }
+    /"hostile_segments"/ { hostile = num($0) }
+    /"hostile_floor"/ { hostile_floor = num($0) }
+    /"kills"/ { kills = num($0); have_k = 1 }
+    /"goodput_attacked_pct"/ { goodput = num($0); have_g = 1 }
+    /"goodput_floor_pct"/ { goodput_floor = num($0) }
+    /"fast_slow_identical"/ { agree = num($0); have_a = 1 }
+    /"wscale_shift"/ { shift = num($0); have_w = 1 }
+    /"peak_window"/ && $0 !~ /unscaled/ { peak = num($0) }
+    /"speedup"/ { speedup = num($0); have_s = 1 }
+    END {
+      if (hostile_floor == 0) hostile_floor = 10000
+      if (goodput_floor == 0) goodput_floor = 90.0
+      bad = 0
+      if (hostile < hostile_floor) { printf "FAIL: only %d hostile segments injected (need >= %d)\n", hostile, hostile_floor; bad = 1 }
+      if (!have_k || kills != 0) { printf "FAIL: %d connections killed by forged segments\n", kills; bad = 1 }
+      if (!have_g || goodput < goodput_floor) { printf "FAIL: goodput under attack %.1f%% below the %.1f%% floor\n", goodput, goodput_floor; bad = 1 }
+      if (!have_a || agree != 1) { printf "FAIL: fast path diverged from slow path under attack\n"; bad = 1 }
+      if (!have_w || shift < 2) { printf "FAIL: LFN wscale shift %d (need >= 2)\n", shift; bad = 1 }
+      if (peak <= 65535) { printf "FAIL: LFN peak window %d never exceeded 64 KiB\n", peak; bad = 1 }
+      if (!have_s || speedup <= 1.0) { printf "FAIL: window scaling speedup %.2fx (need > 1)\n", speedup; bad = 1 }
+      if (!bad) printf "  %d forgeries, %d kills, goodput %.1f%% (floor %.1f%%), fast=slow, wscale shift %d, peak window %d, LFN speedup %.2fx\n", hostile, kills, goodput, goodput_floor, shift, peak, speedup
+      exit bad
+    }' BENCH_tcp_adversary.json
+else
+  echo "  skipped (no BENCH_tcp_adversary.json; run: dune exec bench/main.exe -- --only E18)"
 fi
 
 echo "check: OK"

@@ -37,13 +37,17 @@ type t = {
   window : int;
   urgent : int;
   mss : int option;
+  wscale : int option;
+  sack_permitted : bool;
+  sack : (int * int) list;
   payload : bytes;
 }
 
 let make ?(seq = 0) ?(ack_n = 0) ?(flags = no_flags) ?(window = 0)
-    ?(urgent = 0) ?(mss = None) ?(payload = Bytes.empty) ~src_port ~dst_port
-    () =
-  { src_port; dst_port; seq; ack_n; flags; window; urgent; mss; payload }
+    ?(urgent = 0) ?(mss = None) ?(wscale = None) ?(sack_permitted = false)
+    ?(sack = []) ?(payload = Bytes.empty) ~src_port ~dst_port () =
+  { src_port; dst_port; seq; ack_n; flags; window; urgent; mss; wscale;
+    sack_permitted; sack; payload }
 
 type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
 
@@ -52,13 +56,58 @@ let pp_error fmt = function
   | `Bad_checksum -> Format.pp_print_string fmt "bad TCP checksum"
   | `Bad_header m -> Format.fprintf fmt "bad TCP header: %s" m
 
-let header_size t = match t.mss with None -> 20 | Some _ -> 24
+let max_sack_blocks = 4
 
-(* Machine-checked wire contract (see catenet-lint): fixed 20-byte
-   header plus the single 4-byte MSS option this stack speaks.  The
-   opt_* fields are written by encode but only read through the
-   variable-offset option parser, which the linter cannot follow - the
-   asymmetry is allowlisted. *)
+(* Which of the three canonical option blocks a segment carries.  The
+   encoder speaks exactly these shapes so that every option byte lands at
+   a fixed, lint-checkable offset:
+   - [O_mss]: the historical lone 4-byte MSS option (24-byte header);
+   - [O_syn]: the 12-byte SYN block - MSS, window scale (or NOPs),
+     SACK-permitted (or NOPs), NOP padding (32-byte header);
+   - [O_sack]: NOP NOP SACK on established-connection ACKs
+     (24..56-byte header). *)
+type opt_block =
+  | O_none
+  | O_mss of int
+  | O_syn of { o_mss : int; o_ws : int option; o_sackp : bool }
+  | O_sack of (int * int) list
+
+let opt_block ~mss ~wscale ~sack_permitted ~sack =
+  if sack <> [] then begin
+    if mss <> None || wscale <> None || sack_permitted then
+      invalid_arg "Tcp_wire: SACK blocks cannot share a segment with SYN options";
+    if List.length sack > max_sack_blocks then
+      invalid_arg "Tcp_wire: more than 4 SACK blocks";
+    O_sack sack
+  end
+  else if wscale <> None || sack_permitted then
+    (* The SYN block always carries an MSS; RFC 1122's 536 default keeps
+       the block shape fixed when the caller has no MSS to advertise. *)
+    O_syn
+      { o_mss = (match mss with Some m -> m | None -> 536);
+        o_ws = wscale;
+        o_sackp = sack_permitted }
+  else match mss with Some m -> O_mss m | None -> O_none
+
+let block_size = function
+  | O_none -> 0
+  | O_mss _ -> 4
+  | O_syn _ -> 12
+  | O_sack bs -> 4 + (8 * List.length bs)
+
+let header_size t =
+  20
+  + block_size
+      (opt_block ~mss:t.mss ~wscale:t.wscale ~sack_permitted:t.sack_permitted
+         ~sack:t.sack)
+
+(* Machine-checked wire contract (see catenet-lint): a fixed 20-byte
+   header followed by one of three canonical option blocks, each with its
+   own layout table so every constant-offset access in the writers below
+   lands on declared field boundaries.  The option bytes are read back
+   through the variable-offset option parser, which the linter cannot
+   follow; with multiple tables the write/read symmetry rule does not
+   apply, so no allowlist entry is needed. *)
 let layout : (string * int * int) list =
   [ ("src_port", 0, 2);
     ("dst_port", 2, 2);
@@ -72,6 +121,54 @@ let layout : (string * int * int) list =
     ("opt_len", 21, 1);
     ("opt_mss", 22, 2) ]
 
+(* SYN option block: MSS, window scale (RFC 7323) or NOP padding,
+   SACK-permitted (RFC 2018) or NOP padding, two closing NOPs. *)
+let syn_opts_layout : (string * int * int) list =
+  [ ("src_port", 0, 2);
+    ("dst_port", 2, 2);
+    ("seq", 4, 4);
+    ("ack", 8, 4);
+    ("off_flags", 12, 2);
+    ("window", 14, 2);
+    ("checksum", 16, 2);
+    ("urgent", 18, 2);
+    ("opt_mss_kind", 20, 1);
+    ("opt_mss_len", 21, 1);
+    ("opt_mss_val", 22, 2);
+    ("opt_ws_kind", 24, 1);
+    ("opt_ws_len", 25, 1);
+    ("opt_ws_shift", 26, 1);
+    ("opt_pad27", 27, 1);
+    ("opt_sackp_kind", 28, 1);
+    ("opt_sackp_len", 29, 1);
+    ("opt_pad30", 30, 1);
+    ("opt_pad31", 31, 1) ]
+
+(* SACK block (RFC 2018) on established-connection segments: two NOPs
+   align the kind/len pair so the up-to-four (left, right) edges sit on
+   32-bit boundaries. *)
+let sack_opts_layout : (string * int * int) list =
+  [ ("src_port", 0, 2);
+    ("dst_port", 2, 2);
+    ("seq", 4, 4);
+    ("ack", 8, 4);
+    ("off_flags", 12, 2);
+    ("window", 14, 2);
+    ("checksum", 16, 2);
+    ("urgent", 18, 2);
+    ("opt_nop20", 20, 1);
+    ("opt_nop21", 21, 1);
+    ("opt_sack_kind", 22, 1);
+    ("opt_sack_len", 23, 1);
+    ("sack0_left", 24, 4);
+    ("sack0_right", 28, 4);
+    ("sack1_left", 32, 4);
+    ("sack1_right", 36, 4);
+    ("sack2_left", 40, 4);
+    ("sack2_right", 44, 4);
+    ("sack3_left", 48, 4);
+    ("sack3_right", 52, 4) ]
+
 let flags_bits f =
   (if f.urg then 0x20 else 0)
   lor (if f.ack then 0x10 else 0)
@@ -84,6 +181,13 @@ let check_range name v bound =
   if v < 0 || v > bound then
     invalid_arg (Printf.sprintf "Tcp_wire.encode: %s out of range" name)
 
+let check_sack_edges sack =
+  List.iter
+    (fun (l, r) ->
+      check_range "sack left edge" l 0xFFFFFFFF;
+      check_range "sack right edge" r 0xFFFFFFFF)
+    sack
+
 let encode ~src ~dst t =
   check_range "src_port" t.src_port 0xffff;
   check_range "dst_port" t.dst_port 0xffff;
@@ -91,7 +195,11 @@ let encode ~src ~dst t =
   check_range "ack" t.ack_n 0xFFFFFFFF;
   check_range "window" t.window 0xffff;
   check_range "urgent" t.urgent 0xffff;
-  let hsize = header_size t in
+  let block =
+    opt_block ~mss:t.mss ~wscale:t.wscale ~sack_permitted:t.sack_permitted
+      ~sack:t.sack
+  in
+  let hsize = 20 + block_size block in
   let total = hsize + Bytes.length t.payload in
   let module W = Stdext.Bytio.W in
   let w = W.create total in
@@ -104,13 +212,48 @@ let encode ~src ~dst t =
   W.u16 w t.window;
   W.u16 w 0 (* checksum placeholder *);
   W.u16 w t.urgent;
-  (match t.mss with
-  | None -> ()
-  | Some mss ->
+  (match block with
+  | O_none -> ()
+  | O_mss mss ->
       check_range "mss" mss 0xffff;
       W.u8 w 2;
       W.u8 w 4;
-      W.u16 w mss);
+      W.u16 w mss
+  | O_syn { o_mss; o_ws; o_sackp } ->
+      check_range "mss" o_mss 0xffff;
+      W.u8 w 2;
+      W.u8 w 4;
+      W.u16 w o_mss;
+      (match o_ws with
+      | Some s ->
+          check_range "wscale" s 14;
+          W.u8 w 3;
+          W.u8 w 3;
+          W.u8 w s
+      | None ->
+          W.u8 w 1;
+          W.u8 w 1;
+          W.u8 w 1);
+      W.u8 w 1;
+      (if o_sackp then begin
+         W.u8 w 4;
+         W.u8 w 2
+       end
+       else begin
+         W.u8 w 1;
+         W.u8 w 1
+       end);
+      W.u16 w 0x0101
+  | O_sack bs ->
+      check_sack_edges bs;
+      W.u16 w 0x0101;
+      W.u8 w 5;
+      W.u8 w (2 + (8 * List.length bs));
+      List.iter
+        (fun (l, r) ->
+          W.u32_of_int w l;
+          W.u32_of_int w r)
+        bs);
   W.bytes w t.payload;
   let buf = W.contents w in
   let acc =
@@ -121,21 +264,25 @@ let encode ~src ~dst t =
   Bytes.set_uint16_be buf 16 csum;
   buf
 
-let header_bytes ~mss = match mss with None -> 20 | Some _ -> 24
+let header_bytes ?(wscale = None) ?(sack_permitted = false) ?(sack = []) ~mss
+    () =
+  20 + block_size (opt_block ~mss ~wscale ~sack_permitted ~sack)
 
 (* Allocation-free counterpart of {!encode}: the caller has already placed
-   the payload at [pos + header_bytes ~mss] in [buf] and we fill in the
+   the payload at [pos + header_bytes ~mss ...] in [buf] and we fill in the
    header around it, checksumming header and payload in a single pass.
    Byte-for-byte identical output to {!encode}. *)
 let encode_into ~src ~dst ~src_port ~dst_port ~seq ~ack_n ~flags ~window
-    ?(urgent = 0) ?(mss = None) ~payload_len buf ~pos =
+    ?(urgent = 0) ?(mss = None) ?(wscale = None) ?(sack_permitted = false)
+    ?(sack = []) ~payload_len buf ~pos =
   check_range "src_port" src_port 0xffff;
   check_range "dst_port" dst_port 0xffff;
   check_range "seq" seq 0xFFFFFFFF;
   check_range "ack" ack_n 0xFFFFFFFF;
   check_range "window" window 0xffff;
   check_range "urgent" urgent 0xffff;
-  let hsize = header_bytes ~mss in
+  let block = opt_block ~mss ~wscale ~sack_permitted ~sack in
+  let hsize = 20 + block_size block in
   let total = hsize + payload_len in
   if pos < 0 || payload_len < 0 || pos + total > Bytes.length buf then
     invalid_arg "Tcp_wire.encode_into: buffer too small";
@@ -148,13 +295,48 @@ let encode_into ~src ~dst ~src_port ~dst_port ~seq ~ack_n ~flags ~window
   Bytes.set_uint16_be buf (pos + 14) window;
   Bytes.set_uint16_be buf (pos + 16) 0 (* checksum placeholder *);
   Bytes.set_uint16_be buf (pos + 18) urgent;
-  (match mss with
-  | None -> ()
-  | Some m ->
+  (match block with
+  | O_none -> ()
+  | O_mss m ->
       check_range "mss" m 0xffff;
       Bytes.set_uint8 buf (pos + 20) 2;
       Bytes.set_uint8 buf (pos + 21) 4;
-      Bytes.set_uint16_be buf (pos + 22) m);
+      Bytes.set_uint16_be buf (pos + 22) m
+  | O_syn { o_mss; o_ws; o_sackp } ->
+      check_range "mss" o_mss 0xffff;
+      Bytes.set_uint8 buf (pos + 20) 2;
+      Bytes.set_uint8 buf (pos + 21) 4;
+      Bytes.set_uint16_be buf (pos + 22) o_mss;
+      (match o_ws with
+      | Some s ->
+          check_range "wscale" s 14;
+          Bytes.set_uint8 buf (pos + 24) 3;
+          Bytes.set_uint8 buf (pos + 25) 3;
+          Bytes.set_uint8 buf (pos + 26) s
+      | None ->
+          Bytes.set_uint8 buf (pos + 24) 1;
+          Bytes.set_uint8 buf (pos + 25) 1;
+          Bytes.set_uint8 buf (pos + 26) 1);
+      Bytes.set_uint8 buf (pos + 27) 1;
+      (if o_sackp then begin
+         Bytes.set_uint8 buf (pos + 28) 4;
+         Bytes.set_uint8 buf (pos + 29) 2
+       end
+       else begin
+         Bytes.set_uint8 buf (pos + 28) 1;
+         Bytes.set_uint8 buf (pos + 29) 1
+       end);
+      Bytes.set_uint16_be buf (pos + 30) 0x0101
+  | O_sack bs ->
+      check_sack_edges bs;
+      Bytes.set_uint16_be buf (pos + 20) 0x0101;
+      Bytes.set_uint8 buf (pos + 22) 5;
+      Bytes.set_uint8 buf (pos + 23) (2 + (8 * List.length bs));
+      List.iteri
+        (fun i (l, r) ->
+          Bytes.set_int32_be buf (pos + 24 + (8 * i)) (Int32.of_int l);
+          Bytes.set_int32_be buf (pos + 28 + (8 * i)) (Int32.of_int r))
+        bs);
   let acc =
     Checksum.pseudo_header ~src:(Addr.to_int32 src) ~dst:(Addr.to_int32 dst)
       ~proto:6 ~len:total
@@ -163,10 +345,21 @@ let encode_into ~src ~dst ~src_port ~dst_port ~seq ~ack_n ~flags ~window
   Bytes.set_uint16_be buf (pos + 16) csum;
   total
 
-(* Parse the option block, accepting MSS, NOP and end-of-options and
-   skipping unknown options by their declared length. *)
+type opts = {
+  o_mss : int option;
+  o_wscale : int option;
+  o_sack_permitted : bool;
+  o_sack : (int * int) list;
+}
+
+let no_opts =
+  { o_mss = None; o_wscale = None; o_sack_permitted = false; o_sack = [] }
+
+(* Parse the option block, accepting MSS, window scale, SACK-permitted,
+   SACK, NOP and end-of-options, and skipping unknown options by their
+   declared length. *)
 let parse_options buf ~pos ~len =
-  let mss = ref None in
+  let opts = ref no_opts in
   let i = ref pos in
   let stop = pos + len in
   let bad = ref None in
@@ -180,14 +373,44 @@ let parse_options buf ~pos ~len =
           let olen = Bytes.get_uint8 buf (!i + 1) in
           if olen < 2 || !i + olen > stop then bad := Some "bad option length"
           else begin
-            if kind = 2 then
-              if olen = 4 then mss := Some (Bytes.get_uint16_be buf (!i + 2))
-              else bad := Some "bad MSS option length";
+            (match kind with
+            | 2 ->
+                if olen = 4 then
+                  opts :=
+                    { !opts with o_mss = Some (Bytes.get_uint16_be buf (!i + 2)) }
+                else bad := Some "bad MSS option length"
+            | 3 ->
+                if olen = 3 then
+                  opts :=
+                    { !opts with o_wscale = Some (Bytes.get_uint8 buf (!i + 2)) }
+                else bad := Some "bad window scale option length"
+            | 4 ->
+                if olen = 2 then opts := { !opts with o_sack_permitted = true }
+                else bad := Some "bad SACK-permitted option length"
+            | 5 ->
+                if olen >= 10 && (olen - 2) mod 8 = 0 then begin
+                  let n = (olen - 2) / 8 in
+                  let bs = ref [] in
+                  for b = n - 1 downto 0 do
+                    let base = !i + 2 + (8 * b) in
+                    let l =
+                      Int32.to_int (Bytes.get_int32_be buf base) land 0xFFFFFFFF
+                    in
+                    let r =
+                      Int32.to_int (Bytes.get_int32_be buf (base + 4))
+                      land 0xFFFFFFFF
+                    in
+                    bs := (l, r) :: !bs
+                  done;
+                  opts := { !opts with o_sack = !bs }
+                end
+                else bad := Some "bad SACK option length"
+            | _ -> ());
             i := !i + olen
           end
         end
   done;
-  match !bad with Some m -> Error (`Bad_header m) | None -> Ok !mss
+  match !bad with Some m -> Error (`Bad_header m) | None -> Ok !opts
 
 (* Validate the fixed header and checksum without building a [t]; the
    receive fast path reads the few fields it needs straight from the
@@ -225,7 +448,7 @@ let of_peeked buf ~data_offset =
   let len = Bytes.length buf in
   match parse_options buf ~pos:20 ~len:(data_offset - 20) with
   | Error _ as e -> e
-  | Ok mss ->
+  | Ok opts ->
       let bits = Bytes.get_uint16_be buf 12 land 0x3f in
       let flags =
         {
@@ -246,7 +469,10 @@ let of_peeked buf ~data_offset =
           flags;
           window = peek_window buf;
           urgent = Bytes.get_uint16_be buf 18;
-          mss;
+          mss = opts.o_mss;
+          wscale = opts.o_wscale;
+          sack_permitted = opts.o_sack_permitted;
+          sack = opts.o_sack;
           payload = Bytes.sub buf data_offset (len - data_offset);
         }
 
@@ -256,7 +482,15 @@ let decode ~src ~dst buf =
   | Ok data_offset -> of_peeked buf ~data_offset
 
 let pp fmt t =
-  Format.fprintf fmt "%d>%d %a seq=%d ack=%d win=%d len=%d%s" t.src_port
+  Format.fprintf fmt "%d>%d %a seq=%d ack=%d win=%d len=%d%s%s%s%s" t.src_port
     t.dst_port pp_flags t.flags t.seq t.ack_n t.window
     (Bytes.length t.payload)
     (match t.mss with None -> "" | Some m -> Printf.sprintf " mss=%d" m)
+    (match t.wscale with None -> "" | Some s -> Printf.sprintf " ws=%d" s)
+    (if t.sack_permitted then " sackOK" else "")
+    (match t.sack with
+    | [] -> ""
+    | bs ->
+        Printf.sprintf " sack=%s"
+          (String.concat ","
+             (List.map (fun (l, r) -> Printf.sprintf "%d-%d" l r) bs)))

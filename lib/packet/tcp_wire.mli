@@ -1,4 +1,5 @@
-(** TCP segment wire format (RFC 793), with the MSS option.
+(** TCP segment wire format (RFC 793), with the MSS (RFC 1122), window
+    scale (RFC 7323), SACK-permitted and SACK (RFC 2018) options.
 
     Sequence and acknowledgment numbers are represented as non-negative
     OCaml ints in [\[0, 2^32)]; modular comparison lives in the TCP
@@ -34,9 +35,19 @@ type t = {
   seq : int;  (** [\[0, 2^32)]. *)
   ack_n : int;  (** Acknowledgment number, meaningful when [flags.ack]. *)
   flags : flags;
-  window : int;  (** Advertised receive window, 16 bits. *)
+  window : int;  (** Advertised receive window field, 16 bits (unscaled). *)
   urgent : int;
   mss : int option;  (** MSS option, normally only on SYN segments. *)
+  wscale : int option;
+      (** Window scale shift (RFC 7323), only meaningful on SYN segments;
+          encoded alongside MSS in the canonical SYN option block. *)
+  sack_permitted : bool;
+      (** SACK-permitted option (RFC 2018), only meaningful on SYN
+          segments. *)
+  sack : (int * int) list;
+      (** SACK blocks as [(left, right)] sequence-number edges (right edge
+          exclusive), at most 4; never on SYN segments — a segment cannot
+          carry both SYN options and SACK blocks. *)
   payload : bytes;
 }
 
@@ -47,11 +58,17 @@ val make :
   ?window:int ->
   ?urgent:int ->
   ?mss:int option ->
+  ?wscale:int option ->
+  ?sack_permitted:bool ->
+  ?sack:(int * int) list ->
   ?payload:bytes ->
   src_port:int ->
   dst_port:int ->
   unit ->
   t
+
+val max_sack_blocks : int
+(** 4: as many (left, right) pairs as fit a 40-byte option area. *)
 
 type error = [ `Truncated | `Bad_checksum | `Bad_header of string ]
 
@@ -59,21 +76,40 @@ val pp_error : Format.formatter -> error -> unit
 
 val encode : src:Addr.t -> dst:Addr.t -> t -> bytes
 (** Serialize with the checksum computed over the RFC 793 pseudo-header.
-    The addresses are those of the enclosing IP datagram. *)
+    The addresses are those of the enclosing IP datagram.
+    @raise Invalid_argument if a field is out of range, if [sack] holds
+    more than {!max_sack_blocks} blocks, or if SACK blocks are combined
+    with SYN-only options (MSS / wscale / SACK-permitted). *)
 
 val decode : src:Addr.t -> dst:Addr.t -> bytes -> (t, error) result
 
 val header_size : t -> int
-(** Bytes of TCP header this segment carries on the wire (20, or 24 with
-    an MSS option). *)
+(** Bytes of TCP header this segment carries on the wire: 20 bare, 24
+    with the lone MSS option, 32 with the canonical SYN option block
+    (MSS + wscale + SACK-permitted), 20 + 4 + 8·blocks with SACK. *)
 
-val header_bytes : mss:int option -> int
+val header_bytes :
+  ?wscale:int option ->
+  ?sack_permitted:bool ->
+  ?sack:(int * int) list ->
+  mss:int option ->
+  unit ->
+  int
 (** {!header_size} from the option set alone, for sizing an
     {!encode_into} buffer before the segment exists. *)
 
 val layout : (string * int * int) list
 (** [(field, offset, width)] wire contract, machine-checked by
-    catenet-lint: fixed header plus the 4-byte MSS option block. *)
+    catenet-lint: fixed header plus the historical 4-byte MSS option
+    block. *)
+
+val syn_opts_layout : (string * int * int) list
+(** Wire contract for the canonical 12-byte SYN option block: MSS,
+    window scale (or NOP padding), SACK-permitted (or NOP padding). *)
+
+val sack_opts_layout : (string * int * int) list
+(** Wire contract for the NOP-NOP-SACK option block carrying up to
+    {!max_sack_blocks} (left, right) edges. *)
 
 val encode_into :
   src:Addr.t ->
@@ -86,12 +122,15 @@ val encode_into :
   window:int ->
   ?urgent:int ->
   ?mss:int option ->
+  ?wscale:int option ->
+  ?sack_permitted:bool ->
+  ?sack:(int * int) list ->
   payload_len:int ->
   bytes ->
   pos:int ->
   int
 (** Allocation-free {!encode}: the payload must already occupy
-    [pos + header_bytes ~mss .. pos + header_bytes ~mss + payload_len) in
+    [pos + header_bytes ... .. pos + header_bytes ... + payload_len) in
     the buffer; the header is written around it and the checksum computed
     over the whole segment in one pass.  Returns the total segment length.
     Output is byte-for-byte identical to {!encode}. *)

@@ -4,6 +4,7 @@ module Wire = Packet.Tcp_wire
 module Seq = Seq_num
 module Rto = Rto
 module Sendbuf = Sendbuf
+module Sack = Sack
 
 type cc_algo = No_cc | Tahoe | Reno
 
@@ -23,6 +24,8 @@ type config = {
   persist_us : int;
   send_buffer : int;
   tos : Ipv4.Tos.t;
+  sack : bool;
+  window_scaling : bool;
 }
 
 let default_config =
@@ -38,7 +41,17 @@ let default_config =
     persist_us = 1_000_000;
     send_buffer = 262_144;
     tos = Ipv4.Tos.Routine;
+    sack = true;
+    window_scaling = true;
   }
+
+(* The smallest shift that lets the configured receive window fit the
+   16-bit wire field (RFC 7323 caps the shift at 14). *)
+let desired_wscale cfg =
+  let rec go s =
+    if s >= 14 || cfg.window lsr s <= 65535 then s else go (s + 1)
+  in
+  go 0
 
 type state =
   | Closed
@@ -100,6 +113,10 @@ type stats = {
   mutable resets_in : int;
   mutable bad_segments : int;
   mutable no_listener : int;
+  (* RFC 5961 guards. *)
+  mutable challenge_acks_out : int;
+  mutable rst_rejected_inexact : int;
+  mutable dropped_acks_invalid : int;
 }
 
 type key = int32 * int * int32 * int
@@ -113,6 +130,11 @@ type t = {
   mutable next_ephemeral : int;
   rng : Stdext.Rng.t;
   gstats : stats;
+  (* Challenge-ACK rate limit (RFC 5961 §10): a per-instance budget per
+     one-second window, so a flood of forged segments cannot be turned
+     into an ACK flood. *)
+  mutable challenge_epoch : int;
+  mutable challenge_count : int;
   (* Fast path switch: header-predicted receive and allocation-free
      emission.  Off = the reference RFC 793 dispatch everywhere; protocol
      behaviour is identical either way (property-tested). *)
@@ -143,14 +165,26 @@ and conn = {
   mutable snd_wl1 : int;
   mutable snd_wl2 : int;
   mutable snd_max : int; (* highest snd_nxt ever reached *)
+  mutable max_snd_wnd : int; (* largest send window ever seen (RFC 5961 §5) *)
   sndbuf : Sendbuf.t;
+  scoreboard : Sack.t;
   mutable fin_pending : bool;
   mutable fin_sent : bool;
   mutable eff_mss : int;
+  (* Negotiated options.  [ws_send]/[sackp_send] are what our SYN or
+     SYN-ACK offers (fixed at open so handshake retransmits are
+     identical); the scales and [sack_ok] take effect once both sides
+     have offered. *)
+  mutable ws_send : int option;
+  mutable sackp_send : bool;
+  mutable snd_wscale : int; (* shift applied to windows the peer sends *)
+  mutable rcv_wscale : int; (* shift applied to windows we advertise *)
+  mutable sack_ok : bool;
   (* Receive side. *)
   mutable irs : int;
   mutable rcv_nxt : int;
   mutable ooo : (int * bytes) list;
+  mutable last_ooo_seq : int; (* most recent out-of-order arrival (RFC 2018) *)
   recvq : Buffer.t;
   mutable paused : bool;
   (* Congestion. *)
@@ -210,6 +244,9 @@ let metrics_items t () =
     ("resets_in", i t.gstats.resets_in);
     ("bad_segments", i t.gstats.bad_segments);
     ("no_listener", i t.gstats.no_listener);
+    ("challenge_acks_out", i t.gstats.challenge_acks_out);
+    ("rst_rejected_inexact", i t.gstats.rst_rejected_inexact);
+    ("acks_dropped_invalid", i t.gstats.dropped_acks_invalid);
     ("connections", i (Hashtbl.length t.conns)) ]
 let state c = c.st
 let stats c = c.cstats
@@ -237,7 +274,21 @@ let flight c = Seq.diff c.snd_nxt c.snd_una [@@fastpath]
 
 let rcv_window c =
   let used = Buffer.length c.recvq in
-  min 65535 (max 0 (c.cfg.window - used))
+  min (65535 lsl c.rcv_wscale) (max 0 (c.cfg.window - used))
+[@@fastpath]
+
+(* The 16-bit window field for an outgoing segment.  Windows on SYN
+   segments are never scaled (RFC 7323 §2.2); afterwards the advertised
+   window is rounded down to the granularity of our shift. *)
+let wire_window c ~syn =
+  if syn then min 65535 (rcv_window c) else rcv_window c lsr c.rcv_wscale
+[@@fastpath]
+
+(* Every send-window update funnels through here so the RFC 5961 ACK
+   acceptability test can use the largest window ever granted. *)
+let set_snd_wnd c w =
+  c.snd_wnd <- w;
+  if w > c.max_snd_wnd then c.max_snd_wnd <- w
 [@@fastpath]
 
 let effective_cwnd c =
@@ -285,7 +336,7 @@ let destroy c reason =
    [Wire.make]/[Wire.encode]/[Stack.send] chain; both produce identical
    wire bytes. *)
 let emit_segment c ?(payload_off = 0) ?(payload_len = 0) ?(mss_opt = None)
-    ~flags ~seq () =
+    ?(ws_opt = None) ?(sackp = false) ?(sack = []) ~flags ~seq () =
   c.cstats.segs_out <- c.cstats.segs_out + 1;
   if Trace.want Trace.Cls.tcp then
     Trace.emit
@@ -302,8 +353,12 @@ let emit_segment c ?(payload_off = 0) ?(payload_len = 0) ?(mss_opt = None)
     c.delack_timer <- None;
     c.ack_pending <- 0
   end;
+  let window = wire_window c ~syn:flags.Wire.syn in
   if c.tcp.fast then begin
-    let hsize = Wire.header_bytes ~mss:mss_opt in
+    let hsize =
+      Wire.header_bytes ~wscale:ws_opt ~sack_permitted:sackp ~sack
+        ~mss:mss_opt ()
+    in
     let frame = Bytes.create (Ipv4.header_size + hsize + payload_len) in
     if payload_len > 0 then
       Sendbuf.blit c.sndbuf ~off:payload_off ~len:payload_len frame
@@ -312,8 +367,8 @@ let emit_segment c ?(payload_off = 0) ?(payload_len = 0) ?(mss_opt = None)
       (Wire.encode_into ~src:c.local_addr ~dst:c.remote_addr
          ~src_port:c.local_port ~dst_port:c.remote_port ~seq
          ~ack_n:(if flags.Wire.ack then c.rcv_nxt else 0)
-         ~flags ~window:(rcv_window c) ~mss:mss_opt ~payload_len frame
-         ~pos:Ipv4.header_size);
+         ~flags ~window ~mss:mss_opt ~wscale:ws_opt ~sack_permitted:sackp
+         ~sack ~payload_len frame ~pos:Ipv4.header_size);
     ignore
       (Ip.Stack.send_frame c.tcp.ip ~tos:c.cfg.tos ~src:c.local_addr
          ~proto:Ipv4.Proto.Tcp ~dst:c.remote_addr frame)
@@ -327,8 +382,8 @@ let emit_segment c ?(payload_off = 0) ?(payload_len = 0) ?(mss_opt = None)
     let seg =
       Wire.make ~seq
         ~ack_n:(if flags.Wire.ack then c.rcv_nxt else 0)
-        ~flags ~window:(rcv_window c) ~mss:mss_opt ~payload
-        ~src_port:c.local_port ~dst_port:c.remote_port ()
+        ~flags ~window ~mss:mss_opt ~wscale:ws_opt ~sack_permitted:sackp
+        ~sack ~payload ~src_port:c.local_port ~dst_port:c.remote_port ()
     in
     let bytes = Wire.encode ~src:c.local_addr ~dst:c.remote_addr seg in
     ignore
@@ -336,8 +391,62 @@ let emit_segment c ?(payload_off = 0) ?(payload_len = 0) ?(mss_opt = None)
          ~proto:Ipv4.Proto.Tcp ~dst:c.remote_addr bytes)
   end
 
+(* SACK blocks advertising the out-of-order queue (RFC 2018 §4): coalesce
+   the sorted ooo list into ranges, then put the range holding the most
+   recent arrival first so a lost ACK costs the peer the least
+   information. *)
+let sack_blocks_of_ooo c =
+  let ranges =
+    List.fold_left
+      (fun acc (s, d) ->
+        let r = Seq.add s (Bytes.length d) in
+        match acc with
+        | (l0, r0) :: rest when Seq.le s r0 ->
+            (l0, if Seq.gt r r0 then r else r0) :: rest
+        | _ -> (s, r) :: acc)
+      [] c.ooo
+  in
+  (* [ranges] is highest-first; move the freshest range up front. *)
+  let fresh, others =
+    List.partition
+      (fun (l, r) -> Seq.le l c.last_ooo_seq && Seq.lt c.last_ooo_seq r)
+      ranges
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  take Wire.max_sack_blocks (fresh @ others)
+
 let send_ack c =
-  emit_segment c ~flags:(Wire.flags ~ack:true ()) ~seq:c.snd_nxt ()
+  let sack =
+    if c.sack_ok && c.ooo <> [] then sack_blocks_of_ooo c else []
+  in
+  emit_segment c ~flags:(Wire.flags ~ack:true ()) ~sack ~seq:c.snd_nxt ()
+
+(* Challenge ACK (RFC 5961): the answer to a suspicious but in-window RST
+   or SYN.  A legitimate peer that really did lose state replies with an
+   exact-sequence RST; a blind attacker learns nothing.  Rate-limited
+   per instance so forged floods cannot become ACK floods. *)
+let challenge_ack_limit = 100 (* per second *)
+
+let send_challenge_ack c =
+  let t = c.tcp in
+  let now = Engine.now t.eng in
+  if now - t.challenge_epoch >= 1_000_000 then begin
+    t.challenge_epoch <- now;
+    t.challenge_count <- 0
+  end;
+  if t.challenge_count < challenge_ack_limit then begin
+    t.challenge_count <- t.challenge_count + 1;
+    t.gstats.challenge_acks_out <- t.gstats.challenge_acks_out + 1;
+    if Trace.want Trace.Cls.tcp then
+      Trace.emit
+        (Trace.Event.Tcp_guard
+           { node = Ip.Stack.node_id t.ip; dst = c.remote_addr;
+             kind = Trace.Event.Guard_challenge_ack });
+    send_ack c
+  end
 
 (* Send a RST in reply to an orphan segment (RFC 793 p.36). *)
 let send_rst_for t ~(ip : Ipv4.header) (seg : Wire.t) =
@@ -405,17 +514,26 @@ and retransmit_one c =
   | Syn_sent ->
       emit_segment c
         ~flags:(Wire.flags ~syn:true ())
-        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ()
+        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ~ws_opt:c.ws_send
+        ~sackp:c.sackp_send ()
   | Syn_received ->
       emit_segment c
         ~flags:(Wire.flags ~syn:true ~ack:true ())
-        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ()
+        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ~ws_opt:c.ws_send
+        ~sackp:c.sackp_send ()
   | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
     ->
       let off = off_of_seq c c.snd_una in
       let data_left = Sendbuf.tail c.sndbuf - off in
       if data_left > 0 then begin
         let len = min c.eff_mss data_left in
+        (* Never re-send bytes the peer has SACKed past the hole. *)
+        let len =
+          match Sack.next_left c.scoreboard c.snd_una with
+          | Some l when Seq.gt l c.snd_una ->
+              min len (Seq.diff l c.snd_una)
+          | Some _ | None -> len
+        in
         c.cstats.bytes_retransmitted <- c.cstats.bytes_retransmitted + len;
         emit_segment c
           ~flags:(Wire.flags ~ack:true ~psh:(len = data_left) ())
@@ -460,7 +578,10 @@ and on_rto c =
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
     | Last_ack ->
         (* Go-back-N rollback: pull snd_nxt to the oldest unacked byte and
-           let the (collapsed) window drive retransmission. *)
+           let the (collapsed) window drive retransmission.  The
+           scoreboard survives (RFC 2018 §8 makes discarding it optional,
+           and the peer's reneging would show up as holes re-reported),
+           so the rollback resend skips SACKed ranges. *)
         c.timing <- None;
         c.snd_nxt <- c.snd_una;
         if c.fin_sent && Seq.le c.snd_una (fin_seq c) then
@@ -486,6 +607,13 @@ let rec output c =
     let progress = ref true in
     while !progress do
       progress := false;
+      (* SACK: when retransmitting (snd_nxt below the high-water mark),
+         hop over ranges the peer already holds. *)
+      (if Seq.lt c.snd_nxt c.snd_max then
+         match Sack.sacked_to c.scoreboard c.snd_nxt with
+         | Some r when Seq.gt r c.snd_nxt && Seq.le r c.snd_max ->
+             c.snd_nxt <- r
+         | Some _ | None -> ());
       let fl = flight c in
       let wnd = min c.snd_wnd (effective_cwnd c) in
       let usable = wnd - fl in
@@ -493,6 +621,15 @@ let rec output c =
       let avail = Sendbuf.tail c.sndbuf - nxt_off in
       if can_send_data c && avail > 0 && usable > 0 then begin
         let chunk = min c.eff_mss (min avail usable) in
+        (* A retransmission run must stop at the next SACKed range. *)
+        let chunk =
+          if Seq.lt c.snd_nxt c.snd_max then
+            match Sack.next_left c.scoreboard c.snd_nxt with
+            | Some l when Seq.gt l c.snd_nxt ->
+                min chunk (Seq.diff l c.snd_nxt)
+            | Some _ | None -> chunk
+          else chunk
+        in
         (* Nagle: withhold a final sub-MSS segment while data is in
            flight. *)
         let nagle_hold =
@@ -698,11 +835,27 @@ let process_ack c (seg : Wire.t) =
     send_ack c;
     false
   end
+  else if Seq.lt ack (Seq.add c.snd_una (-max 1 c.max_snd_wnd)) then begin
+    (* RFC 5961 §5.2: an ACK below [snd_una - max_snd_wnd] cannot be a
+       late arrival from this connection — drop it outright so blind
+       ACK-range probes neither touch cc state nor trigger a reply. *)
+    c.tcp.gstats.dropped_acks_invalid <- c.tcp.gstats.dropped_acks_invalid + 1;
+    if Trace.want Trace.Cls.tcp then
+      Trace.emit
+        (Trace.Event.Tcp_guard
+           { node = Ip.Stack.node_id c.tcp.ip; dst = c.remote_addr;
+             kind = Trace.Event.Guard_ack_invalid });
+    false
+  end
   else begin
     let seg_len = Bytes.length seg.Wire.payload in
+    if c.sack_ok && seg.Wire.sack <> [] then
+      Sack.record c.scoreboard ~una:c.snd_una ~high:c.snd_max
+        seg.Wire.sack;
     if Seq.gt ack c.snd_una then begin
       let acked = Seq.diff ack c.snd_una in
       c.snd_una <- ack;
+      Sack.clear_below c.scoreboard ack;
       if Seq.lt c.snd_nxt c.snd_una then c.snd_nxt <- c.snd_una;
       (* Drop acknowledged stream bytes (the FIN consumes no buffer). *)
       let new_base = min (off_of_seq c ack) (Sendbuf.tail c.sndbuf) in
@@ -726,7 +879,8 @@ let process_ack c (seg : Wire.t) =
     end
     else if
       seg_len = 0
-      && seg.Wire.window = c.snd_wnd
+      && ack = c.snd_una
+      && seg.Wire.window lsl c.snd_wscale = c.snd_wnd
       && Seq.lt c.snd_una c.snd_nxt
       && not seg.Wire.flags.Wire.syn
       && not seg.Wire.flags.Wire.fin
@@ -747,7 +901,7 @@ let process_ack c (seg : Wire.t) =
       || (c.snd_wl1 = seg.Wire.seq && Seq.le c.snd_wl2 ack)
     then begin
       let old_wnd = c.snd_wnd in
-      c.snd_wnd <- seg.Wire.window;
+      set_snd_wnd c (seg.Wire.window lsl c.snd_wscale);
       c.snd_wl1 <- seg.Wire.seq;
       c.snd_wl2 <- ack;
       if old_wnd = 0 && c.snd_wnd > 0 then begin
@@ -804,13 +958,22 @@ let store_ooo c seq data =
     | (s, _) :: _ as l when s = seq -> l (* duplicate: keep first *)
     | l -> (seq, data) :: l
   in
-  if List.length c.ooo < 256 then c.ooo <- ins c.ooo
+  if List.length c.ooo < 256 then begin
+    c.ooo <- ins c.ooo;
+    (* Most recent arrival: its range leads the SACK list (RFC 2018 §4). *)
+    c.last_ooo_seq <- seq
+  end
 
 (* Segment arrival for synchronized states. *)
 let rec process_segment c (seg : Wire.t) =
   c.cstats.segs_in <- c.cstats.segs_in + 1;
   let seg_len =
-    Bytes.length seg.Wire.payload + (if seg.Wire.flags.Wire.fin then 1 else 0)
+    (* RFC 793 §3.3: SYN and FIN each occupy one sequence number, so both
+       count toward the acceptability test — a FIN exactly at the right
+       window edge is acceptable, one just past it is not. *)
+    Bytes.length seg.Wire.payload
+    + (if seg.Wire.flags.Wire.syn then 1 else 0)
+    + (if seg.Wire.flags.Wire.fin then 1 else 0)
   in
   let wnd = rcv_window c in
   (* Acceptability check (RFC 793 p.69). *)
@@ -828,14 +991,35 @@ let rec process_segment c (seg : Wire.t) =
     if not seg.Wire.flags.Wire.rst then send_ack c
   end
   else if seg.Wire.flags.Wire.rst then begin
-    c.tcp.gstats.resets_in <- c.tcp.gstats.resets_in + 1;
-    destroy c Reset
+    (* RFC 5961 §3.2: a reset is honored only when it names the exact
+       next expected sequence.  Merely in-window resets — what a blind
+       attacker can forge — earn a challenge ACK; a legitimate peer
+       answers with nothing, a desynchronized one with an exact RST. *)
+    if seg.Wire.seq = c.rcv_nxt then begin
+      c.tcp.gstats.resets_in <- c.tcp.gstats.resets_in + 1;
+      destroy c Reset
+    end
+    else begin
+      c.tcp.gstats.rst_rejected_inexact <-
+        c.tcp.gstats.rst_rejected_inexact + 1;
+      if Trace.want Trace.Cls.tcp then
+        Trace.emit
+          (Trace.Event.Tcp_guard
+             { node = Ip.Stack.node_id c.tcp.ip; dst = c.remote_addr;
+               kind = Trace.Event.Guard_rst_inexact });
+      send_challenge_ack c
+    end
   end
   else if seg.Wire.flags.Wire.syn then begin
-    (* SYN inside the window: fatal error per RFC 793. *)
-    c.tcp.gstats.resets_out <- c.tcp.gstats.resets_out + 1;
-    emit_segment c ~flags:(Wire.flags ~rst:true ()) ~seq:c.snd_nxt ();
-    destroy c Reset
+    (* RFC 5961 §4.2: never tear down a synchronized connection on an
+       in-window SYN (RFC 793 said abort).  Challenge-ACK instead; a
+       genuinely restarted peer replies with an exact-sequence RST. *)
+    if Trace.want Trace.Cls.tcp then
+      Trace.emit
+        (Trace.Event.Tcp_guard
+           { node = Ip.Stack.node_id c.tcp.ip; dst = c.remote_addr;
+             kind = Trace.Event.Guard_syn_in_window });
+    send_challenge_ack c
   end
   else if not seg.Wire.flags.Wire.ack then ()
   else if
@@ -848,7 +1032,8 @@ let rec process_segment c (seg : Wire.t) =
         ~size:(Seq.diff c.snd_nxt c.snd_una)
     then begin
       c.snd_una <- seg.Wire.ack_n;
-      c.snd_wnd <- seg.Wire.window;
+      (* First post-handshake window: scaling is in effect from here on. *)
+      set_snd_wnd c (seg.Wire.window lsl c.snd_wscale);
       c.snd_wl1 <- seg.Wire.seq;
       c.snd_wl2 <- seg.Wire.ack_n;
       cancel_timer c.rto_timer;
@@ -949,9 +1134,20 @@ let process_syn_sent c (seg : Wire.t) =
     (match seg.Wire.mss with
     | Some peer_mss -> c.eff_mss <- min c.cfg.mss peer_mss
     | None -> c.eff_mss <- min c.cfg.mss 536);
+    (* RFC 7323 §2.2: scaling is live only if both SYNs carried the
+       option; RFC 2018 likewise for SACK. *)
+    (match (seg.Wire.wscale, c.ws_send) with
+    | Some peer_shift, Some our_shift ->
+        c.snd_wscale <- min peer_shift 14;
+        c.rcv_wscale <- our_shift
+    | _ ->
+        c.snd_wscale <- 0;
+        c.rcv_wscale <- 0);
+    c.sack_ok <- seg.Wire.sack_permitted && c.sackp_send;
     if ack_ok then begin
       c.snd_una <- seg.Wire.ack_n;
-      c.snd_wnd <- seg.Wire.window;
+      (* A window carried on a SYN is never scaled (RFC 7323 §2.2). *)
+      set_snd_wnd c seg.Wire.window;
       c.snd_wl1 <- seg.Wire.seq;
       c.snd_wl2 <- seg.Wire.ack_n;
       cancel_timer c.rto_timer;
@@ -971,7 +1167,8 @@ let process_syn_sent c (seg : Wire.t) =
       c.st <- Syn_received;
       emit_segment c
         ~flags:(Wire.flags ~syn:true ~ack:true ())
-        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ();
+        ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ~ws_opt:c.ws_send
+        ~sackp:c.sackp_send ();
       arm_rto c
     end
   end
@@ -997,19 +1194,29 @@ let make_conn t ~cfg ~local_addr ~local_port ~remote_addr ~remote_port
       snd_nxt = Seq.add iss 1;
       snd_max = Seq.add iss 1;
       snd_wnd = 0;
+      max_snd_wnd = 0;
       snd_wl1 = 0;
       snd_wl2 = 0;
       sndbuf = Sendbuf.create ~limit:cfg.send_buffer ();
+      scoreboard = Sack.create ();
       fin_pending = false;
       fin_sent = false;
       eff_mss = min cfg.mss 536;
+      ws_send = None;
+      sackp_send = false;
+      snd_wscale = 0;
+      rcv_wscale = 0;
+      sack_ok = false;
       irs = 0;
       rcv_nxt = 0;
       ooo = [];
+      last_ooo_seq = 0;
       recvq = Buffer.create 256;
       paused = false;
       cwnd = 2 * cfg.mss;
-      ssthresh = 65535;
+      (* RFC 5681 §3.1: initial ssthresh may be arbitrarily high; cap it
+         at the peer's possible window, not at the pre-7323 64 KiB. *)
+      ssthresh = max 65535 cfg.window;
       dupacks = 0;
       recover = iss;
       in_recovery = false;
@@ -1057,9 +1264,12 @@ let connect t ?config ~dst ~dst_port () =
       ~remote_port:dst_port ~via_listener:None ~st:Syn_sent
       ~iss:(fresh_iss t)
   in
+  if cfg.window_scaling then c.ws_send <- Some (desired_wscale cfg);
+  c.sackp_send <- cfg.sack;
   emit_segment c
     ~flags:(Wire.flags ~syn:true ())
-    ~seq:c.iss ~mss_opt:(Some cfg.mss) ();
+    ~seq:c.iss ~mss_opt:(Some cfg.mss) ~ws_opt:c.ws_send ~sackp:c.sackp_send
+    ();
   c.timing <- Some (c.iss, Engine.now t.eng);
   arm_rto c;
   c
@@ -1100,15 +1310,27 @@ let passive_open t l ~(ip : Ipv4.header) (seg : Wire.t) =
   in
   c.irs <- seg.Wire.seq;
   c.rcv_nxt <- Seq.add seg.Wire.seq 1;
-  c.snd_wnd <- seg.Wire.window;
+  (* SYN windows are never scaled (RFC 7323 §2.2). *)
+  set_snd_wnd c seg.Wire.window;
   c.snd_wl1 <- seg.Wire.seq;
   c.snd_wl2 <- 0;
   (match seg.Wire.mss with
   | Some peer_mss -> c.eff_mss <- min c.cfg.mss peer_mss
   | None -> c.eff_mss <- min c.cfg.mss 536);
+  (* Offer wscale only in response to an offer, per RFC 7323 §2.2. *)
+  (match seg.Wire.wscale with
+  | Some peer_shift when c.cfg.window_scaling ->
+      let ours = desired_wscale c.cfg in
+      c.ws_send <- Some ours;
+      c.rcv_wscale <- ours;
+      c.snd_wscale <- min peer_shift 14
+  | Some _ | None -> ());
+  c.sackp_send <- c.cfg.sack && seg.Wire.sack_permitted;
+  c.sack_ok <- c.sackp_send;
   emit_segment c
     ~flags:(Wire.flags ~syn:true ~ack:true ())
-    ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ();
+    ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ~ws_opt:c.ws_send
+    ~sackp:c.sackp_send ();
   arm_rto c
 
 (* Header prediction (Van Jacobson): in ESTABLISHED, bulk traffic is a run
@@ -1188,7 +1410,8 @@ let fast_data c ~seq ~ack buf ~pos ~plen =
 let try_fast c buf ~pos =
   let plen = Bytes.length buf - pos - 20 in
   let seq = Wire.peek_seq ~pos buf in
-  if seq <> c.rcv_nxt || Wire.peek_window ~pos buf <> c.snd_wnd then false
+  if seq <> c.rcv_nxt || Wire.peek_window ~pos buf lsl c.snd_wscale <> c.snd_wnd
+  then false
   else begin
     let ack = Wire.peek_ack_n ~pos buf in
     if plen = 0 then
@@ -1316,7 +1539,12 @@ let create ?(config = default_config) ip =
           resets_in = 0;
           bad_segments = 0;
           no_listener = 0;
+          challenge_acks_out = 0;
+          rst_rejected_inexact = 0;
+          dropped_acks_invalid = 0;
         };
+      challenge_epoch = 0;
+      challenge_count = 0;
       fast = true;
     }
   in
@@ -1331,3 +1559,7 @@ let snd_nxt c = c.snd_nxt
 let rcv_nxt c = c.rcv_nxt
 let ooo_segments c = List.length c.ooo
 let rto_us c = Rto.rto c.rto
+let snd_wscale c = c.snd_wscale
+let rcv_wscale c = c.rcv_wscale
+let sack_enabled c = c.sack_ok
+let sacked_bytes c = Sack.sacked_bytes c.scoreboard

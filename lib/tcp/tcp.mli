@@ -21,6 +21,7 @@
 module Seq = Seq_num
 module Rto = Rto
 module Sendbuf = Sendbuf
+module Sack = Sack
 
 type cc_algo = No_cc | Tahoe | Reno
 
@@ -38,6 +39,13 @@ type config = {
   persist_us : int;  (** Initial zero-window probe interval (1 s). *)
   send_buffer : int;  (** Send-buffer bytes (default 262144). *)
   tos : Packet.Ipv4.Tos.t;  (** ToS for all segments (default Routine). *)
+  sack : bool;
+      (** Offer/accept selective acknowledgment, RFC 2018 (default
+          [true]).  Live on a connection only when both SYNs carried
+          sack-permitted. *)
+  window_scaling : bool;
+      (** Offer window scaling, RFC 7323 (default [true]).  The shift is
+          derived from [window]; live only when both sides offer. *)
 }
 
 val default_config : config
@@ -177,6 +185,12 @@ type stats = {
   mutable resets_in : int;
   mutable bad_segments : int;
   mutable no_listener : int;
+  mutable challenge_acks_out : int;
+      (** Challenge ACKs sent for in-window RST/SYN (RFC 5961). *)
+  mutable rst_rejected_inexact : int;
+      (** In-window RSTs refused because seq <> rcv_nxt. *)
+  mutable dropped_acks_invalid : int;
+      (** ACKs outside [snd_una - max_wnd, snd_max], dropped. *)
 }
 
 val instance_stats : t -> stats
@@ -195,3 +209,15 @@ val snd_nxt : conn -> int
 val rcv_nxt : conn -> int
 val ooo_segments : conn -> int
 val rto_us : conn -> int
+
+val snd_wscale : conn -> int
+(** Shift applied to windows the peer advertises (0 = no scaling). *)
+
+val rcv_wscale : conn -> int
+(** Shift the peer applies to windows we advertise. *)
+
+val sack_enabled : conn -> bool
+(** Both SYNs carried sack-permitted. *)
+
+val sacked_bytes : conn -> int
+(** Bytes currently held on the sender's SACK scoreboard. *)

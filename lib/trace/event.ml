@@ -56,6 +56,21 @@ let drop_reason_counter = function
 
 type route_action = Route_add | Route_remove | Route_clear
 
+(* Which RFC 5961 guard fired in the TCP receive path: a blind segment was
+   neutralized (rejected or answered with a challenge ACK) instead of
+   tearing the connection down. *)
+type tcp_guard_kind =
+  | Guard_rst_inexact  (** In-window RST whose seq <> rcv_nxt. *)
+  | Guard_syn_in_window  (** SYN inside the window of a live connection. *)
+  | Guard_ack_invalid  (** ACK outside [snd_una - max_wnd, snd_max]. *)
+  | Guard_challenge_ack  (** Challenge ACK transmitted. *)
+
+let tcp_guard_kind_to_string = function
+  | Guard_rst_inexact -> "rst_inexact"
+  | Guard_syn_in_window -> "syn_in_window"
+  | Guard_ack_invalid -> "ack_invalid"
+  | Guard_challenge_ack -> "challenge_ack"
+
 (* One lifecycle event.  Every constructor carries plain scalars (node and
    link ids, addresses, lengths): recording an event allocates the
    constructor block and nothing else, and none is constructed at all
@@ -84,6 +99,7 @@ type t =
       }
   | Tcp_retransmit of { node : int; dst : Addr.t; seq : int; len : int }
   | Tcp_rto_fire of { node : int; dst : Addr.t; retries : int }
+  | Tcp_guard of { node : int; dst : Addr.t; kind : tcp_guard_kind }
   | Timer_arm of { at : int }
   | Timer_fire of { at : int }
   | Route_change of
@@ -135,7 +151,8 @@ let cls = function
       Cls.link
   | Ip_forward _ | Ip_deliver _ | Ip_drop _ -> Cls.ip
   | Ip_fragment _ | Ip_reassembled _ -> Cls.frag
-  | Tcp_segment_out _ | Tcp_retransmit _ | Tcp_rto_fire _ -> Cls.tcp
+  | Tcp_segment_out _ | Tcp_retransmit _ | Tcp_rto_fire _ | Tcp_guard _ ->
+      Cls.tcp
   | Timer_arm _ | Timer_fire _ -> Cls.timer
   | Route_change _ -> Cls.route
   | Fault_link _ | Fault_node _ | Fault_soft_reset _ -> Cls.fault
@@ -146,7 +163,8 @@ let drop_reason_of = function
   | Link_drop { reason; _ } | Ip_drop { reason; _ } -> Some reason
   | Link_enqueue _ | Link_dequeue _ | Link_deliver _ | Ip_forward _
   | Ip_deliver _ | Ip_fragment _ | Ip_reassembled _ | Tcp_segment_out _
-  | Tcp_retransmit _ | Tcp_rto_fire _ | Timer_arm _ | Timer_fire _
+  | Tcp_retransmit _ | Tcp_rto_fire _ | Tcp_guard _ | Timer_arm _
+  | Timer_fire _
   | Route_change _ | Fault_link _ | Fault_node _ | Fault_soft_reset _
   | Name_lookup _ | Name_upstream _ | Name_answer _ | Name_failover _ ->
       None
@@ -199,6 +217,9 @@ let pp fmt e =
   | Tcp_rto_fire { node; dst; retries } ->
       Format.fprintf fmt "node %d tcp RTO fire -> %a retries=%d" node a dst
         retries
+  | Tcp_guard { node; dst; kind } ->
+      Format.fprintf fmt "node %d tcp GUARD -> %a: %s" node a dst
+        (tcp_guard_kind_to_string kind)
   | Timer_arm { at } -> Format.fprintf fmt "timer arm at=%d" at
   | Timer_fire { at } -> Format.fprintf fmt "timer fire at=%d" at
   | Route_change { prefix; metric; action } ->
@@ -282,6 +303,10 @@ let to_json e =
       base "tcp_rto_fire"
         [ ("node", Json.Int node); ("dst", addr dst);
           ("retries", Json.Int retries) ]
+  | Tcp_guard { node; dst; kind } ->
+      base "tcp_guard"
+        [ ("node", Json.Int node); ("dst", addr dst);
+          ("kind", Json.Str (tcp_guard_kind_to_string kind)) ]
   | Timer_arm { at } -> base "timer_arm" [ ("at", Json.Int at) ]
   | Timer_fire { at } -> base "timer_fire" [ ("at", Json.Int at) ]
   | Route_change { prefix; metric; action } ->

@@ -34,6 +34,15 @@ val drop_reason_counter : drop_reason -> string
 
 type route_action = Route_add | Route_remove | Route_clear
 
+(** Which RFC 5961 guard fired in the TCP receive path. *)
+type tcp_guard_kind =
+  | Guard_rst_inexact  (** In-window RST whose seq <> rcv_nxt. *)
+  | Guard_syn_in_window  (** SYN inside the window of a live connection. *)
+  | Guard_ack_invalid  (** ACK outside [snd_una - max_wnd, snd_max]. *)
+  | Guard_challenge_ack  (** Challenge ACK transmitted. *)
+
+val tcp_guard_kind_to_string : tcp_guard_kind -> string
+
 type t =
   | Link_enqueue of { link : int; dir : int; len : int; priority : bool }
   | Link_dequeue of { link : int; dir : int; len : int }
@@ -58,6 +67,8 @@ type t =
       }
   | Tcp_retransmit of { node : int; dst : Addr.t; seq : int; len : int }
   | Tcp_rto_fire of { node : int; dst : Addr.t; retries : int }
+  | Tcp_guard of { node : int; dst : Addr.t; kind : tcp_guard_kind }
+      (** A blind in-window segment was neutralized (RFC 5961). *)
   | Timer_arm of { at : int }
   | Timer_fire of { at : int }
   | Route_change of

@@ -356,7 +356,7 @@ let prop_tcp_encode_into_matches_encode =
              ~dst_port:4321 ())
       in
       let pos = 11 (* deliberately unaligned prefix *) in
-      let hsize = Tcpw.header_bytes ~mss in
+      let hsize = Tcpw.header_bytes ~mss () in
       let plen = Bytes.length payload in
       let buf = Bytes.make (pos + hsize + plen + 7) '\xee' in
       Bytes.blit payload 0 buf (pos + hsize) plen;
@@ -369,6 +369,102 @@ let prop_tcp_encode_into_matches_encode =
       && (* bytes outside the segment untouched *)
       Bytes.sub buf 0 pos = Bytes.make pos '\xee'
       && Bytes.sub buf (pos + total) 7 = Bytes.make 7 '\xee')
+
+let prop_tcp_syn_options_roundtrip =
+  (* SYN option block (MSS + wscale + SACK-permitted): any combination
+     survives encode/decode, and the header length is exactly 24 (MSS
+     alone) or 32 (full block with NOP padding). *)
+  QCheck.Test.make ~name:"tcp syn options roundtrip" ~count:300
+    QCheck.(quad (int_range 1 0xFFFF) (int_bound 29) bool arb_bytes)
+    (fun (mss_v, ws_raw, sackp, payload) ->
+      let mss = Some mss_v in
+      let wscale = if ws_raw <= 14 then Some ws_raw else None in
+      let seg =
+        Tcpw.make ~seq:5 ~flags:(Tcpw.flags ~syn:true ()) ~window:1000 ~mss
+          ~wscale ~sack_permitted:sackp ~payload ~src_port:1 ~dst_port:2 ()
+      in
+      let expected_hsize = if wscale <> None || sackp then 32 else 24 in
+      Tcpw.header_size seg = expected_hsize
+      &&
+      match Tcpw.decode ~src ~dst (Tcpw.encode ~src ~dst seg) with
+      | Ok s ->
+          s.Tcpw.mss = mss && s.Tcpw.wscale = wscale
+          && s.Tcpw.sack_permitted = sackp
+          && Bytes.equal s.Tcpw.payload payload
+      | Error _ -> false)
+
+let prop_tcp_sack_roundtrip =
+  (* SACK blocks survive encode/decode in order, any count up to 4. *)
+  QCheck.Test.make ~name:"tcp sack blocks roundtrip" ~count:300
+    QCheck.(
+      pair
+        (list_of_size
+           Gen.(1 -- Tcpw.max_sack_blocks)
+           (pair (int_bound 0xFFFF) (int_bound 0xFFFF)))
+        arb_bytes)
+    (fun (raw, payload) ->
+      let sack =
+        List.map
+          (fun (a, b) ->
+            (a * 65521 land 0xFFFFFFFF, b * 65519 land 0xFFFFFFFF))
+          raw
+      in
+      let seg =
+        Tcpw.make ~seq:9 ~ack_n:4
+          ~flags:(Tcpw.flags ~ack:true ())
+          ~window:512 ~sack ~payload ~src_port:1 ~dst_port:2 ()
+      in
+      Tcpw.header_size seg = 24 + (8 * List.length sack)
+      &&
+      match Tcpw.decode ~src ~dst (Tcpw.encode ~src ~dst seg) with
+      | Ok s -> s.Tcpw.sack = sack && Bytes.equal s.Tcpw.payload payload
+      | Error _ -> false)
+
+let prop_tcp_encode_into_matches_encode_options =
+  (* The allocation-free emitter with option blocks — SYN options on one
+     branch, SACK blocks on the other — against the reference encoder. *)
+  QCheck.Test.make ~name:"tcp encode_into equals encode (options)" ~count:300
+    QCheck.(quad (int_bound 0xFFFF) (int_bound 14) bool arb_bytes)
+    (fun (seq_lo, shift, syn_case, payload) ->
+      let seq = seq_lo * 65521 land 0xFFFFFFFF in
+      let flags, mss, wscale, sackp, sack =
+        if syn_case then
+          ( Tcpw.flags ~syn:true (),
+            Some 1460,
+            Some shift,
+            shift mod 2 = 0,
+            [] )
+        else
+          ( Tcpw.flags ~ack:true (),
+            None,
+            None,
+            false,
+            [
+              ((seq + 100) land 0xFFFFFFFF, (seq + 200) land 0xFFFFFFFF);
+              ((seq + 400) land 0xFFFFFFFF, (seq + 900) land 0xFFFFFFFF);
+            ] )
+      in
+      let reference =
+        Tcpw.encode ~src ~dst
+          (Tcpw.make ~seq ~ack_n:77 ~flags ~window:3000 ~mss ~wscale
+             ~sack_permitted:sackp ~sack ~payload ~src_port:5 ~dst_port:6 ())
+      in
+      let pos = 3 in
+      let hsize =
+        Tcpw.header_bytes ~wscale ~sack_permitted:sackp ~sack ~mss ()
+      in
+      let plen = Bytes.length payload in
+      let buf = Bytes.make (pos + hsize + plen + 5) '\xc3' in
+      Bytes.blit payload 0 buf (pos + hsize) plen;
+      let total =
+        Tcpw.encode_into ~src ~dst ~src_port:5 ~dst_port:6 ~seq ~ack_n:77
+          ~flags ~window:3000 ~mss ~wscale ~sack_permitted:sackp ~sack
+          ~payload_len:plen buf ~pos
+      in
+      total = Bytes.length reference
+      && Bytes.equal reference (Bytes.sub buf pos total)
+      && Bytes.sub buf 0 pos = Bytes.make pos '\xc3'
+      && Bytes.sub buf (pos + total) 5 = Bytes.make 5 '\xc3')
 
 let prop_tcp_peek_matches_decode =
   QCheck.Test.make ~name:"tcp peek accessors equal decode" ~count:300
@@ -554,6 +650,9 @@ let () =
           Alcotest.test_case "flags pp" `Quick test_tcp_flags_pp;
           qcheck prop_tcp_roundtrip;
           qcheck prop_tcp_encode_into_matches_encode;
+          qcheck prop_tcp_syn_options_roundtrip;
+          qcheck prop_tcp_sack_roundtrip;
+          qcheck prop_tcp_encode_into_matches_encode_options;
           qcheck prop_tcp_peek_matches_decode;
         ] );
       ( "udp",

@@ -22,7 +22,7 @@ type world = {
   inbox : Wire.t list ref;
 }
 
-let world () =
+let world ?config () =
   let eng = Engine.create () in
   let net = Netsim.create ~seed:2 eng in
   let na = Netsim.add_node net "real" in
@@ -33,7 +33,7 @@ let world () =
   let a_addr = Addr.v 10 0 1 1 and b_addr = Addr.v 10 0 1 2 in
   Ip.Stack.configure_iface a_ip 0 ~addr:a_addr ~prefix_len:24;
   Ip.Stack.configure_iface b_ip 0 ~addr:b_addr ~prefix_len:24;
-  let a_tcp = Tcp.create a_ip in
+  let a_tcp = Tcp.create ?config a_ip in
   let inbox = ref [] in
   Ip.Stack.register_proto b_ip Ipv4.Proto.Tcp (fun h payload ->
       match Wire.decode ~src:h.Ipv4.src ~dst:h.Ipv4.dst payload with
@@ -204,20 +204,108 @@ let test_out_of_order_triggers_dup_ack () =
   ignore
     (expect w "ack covers both" (fun seg -> seg.Wire.ack_n = iss + 16))
 
-let test_syn_in_established_resets () =
+let test_syn_in_established_challenges () =
   let w = world () in
   let conn, a_iss, iss = scripted_handshake w ~port:80 in
   let closed = ref None in
   Tcp.on_close conn (fun r -> closed := Some r);
   drain w;
-  (* An in-window SYN is a fatal error per RFC 793 p.71. *)
+  (* RFC 793 p.71 said an in-window SYN aborts the connection — the blind
+     teardown vector.  RFC 5961 §4.2 replaces that with a challenge ACK
+     and the connection must stay up. *)
   inject w
     (Wire.make ~seq:(iss + 1) ~ack_n:(Seq.add a_iss 1)
        ~flags:(Wire.flags ~syn:true ~ack:true ())
        ~window:8192 ~src_port:5555 ~dst_port:80 ());
   run w;
-  check Alcotest.bool "connection reset" true (!closed = Some Tcp.Reset);
-  ignore (expect w "RST emitted" (fun seg -> seg.Wire.flags.Wire.rst))
+  check Alcotest.bool "connection survives" true (!closed = None);
+  check Alcotest.bool "still established" true
+    (Tcp.state conn = Tcp.Established);
+  ignore
+    (expect w "challenge ack, not RST" (fun seg ->
+         seg.Wire.flags.Wire.ack
+         && (not seg.Wire.flags.Wire.rst)
+         && seg.Wire.ack_n = iss + 1));
+  check Alcotest.int "counted" 1
+    (Tcp.instance_stats w.a_tcp).Tcp.challenge_acks_out
+
+let test_rst_inexact_seq_challenged () =
+  let w = world () in
+  let conn, a_iss, iss = scripted_handshake w ~port:80 in
+  let closed = ref None in
+  Tcp.on_close conn (fun r -> closed := Some r);
+  drain w;
+  (* A forged RST one past rcv_nxt: in-window, so pre-5961 stacks died
+     here.  Now it must only earn a challenge ACK. *)
+  inject w
+    (Wire.make ~seq:(iss + 2) ~ack_n:(Seq.add a_iss 1)
+       ~flags:(Wire.flags ~rst:true ())
+       ~window:8192 ~src_port:5555 ~dst_port:80 ());
+  run w;
+  check Alcotest.bool "connection survives" true (!closed = None);
+  ignore
+    (expect w "challenge ack" (fun seg ->
+         seg.Wire.flags.Wire.ack && not seg.Wire.flags.Wire.rst));
+  let st = Tcp.instance_stats w.a_tcp in
+  check Alcotest.int "rejection counted" 1 st.Tcp.rst_rejected_inexact;
+  check Alcotest.int "no reset recorded" 0 st.Tcp.resets_in;
+  (* The legitimate case still works: an exact-sequence RST resets. *)
+  inject w
+    (Wire.make ~seq:(iss + 1) ~ack_n:(Seq.add a_iss 1)
+       ~flags:(Wire.flags ~rst:true ())
+       ~window:8192 ~src_port:5555 ~dst_port:80 ());
+  run w;
+  check Alcotest.bool "exact RST still resets" true (!closed = Some Tcp.Reset)
+
+let test_invalid_ack_dropped_silently () =
+  let w = world () in
+  let conn, a_iss, iss = scripted_handshake w ~port:80 in
+  drain w;
+  (* An ACK far below snd_una - max_wnd (RFC 5961 §5.2): dropped with no
+     reply, unlike the too-new case which draws a corrective ACK. *)
+  inject w
+    (Wire.make ~seq:(iss + 1)
+       ~ack_n:(Seq.add a_iss (-200_000))
+       ~flags:(Wire.flags ~ack:true ())
+       ~window:8192 ~src_port:5555 ~dst_port:80 ());
+  run w;
+  check Alcotest.bool "no reply" true (take w = None);
+  check Alcotest.bool "still established" true
+    (Tcp.state conn = Tcp.Established);
+  check Alcotest.int "drop counted" 1
+    (Tcp.instance_stats w.a_tcp).Tcp.dropped_acks_invalid
+
+let test_fin_at_right_window_edge_accepted () =
+  (* A tiny receive window makes the right edge reachable in one segment. *)
+  let w = world ~config:{ Tcp.default_config with window = 64 } () in
+  let conn, a_iss, iss = scripted_handshake w ~port:80 in
+  let peer_fin = ref false in
+  Tcp.on_peer_fin conn (fun () -> peer_fin := true);
+  drain w;
+  (* Fill the window to one byte short of the right edge, then send that
+     last byte with FIN.  The FIN occupies the sequence number exactly at
+     the edge: only a seg_len that counts the FIN (RFC 793 §3.3) accepts
+     it.  rcv_window here is A's config window minus buffered bytes. *)
+  let wnd = 64 in
+  let chunk = Bytes.make (wnd - 1) 'x' in
+  inject w
+    (Wire.make ~seq:(iss + 1) ~ack_n:(Seq.add a_iss 1)
+       ~flags:(Wire.flags ~ack:true ())
+       ~window:8192 ~payload:chunk ~src_port:5555 ~dst_port:80 ());
+  run w;
+  drain w;
+  (* Window is now exactly 1 (unread data shrank it); the final byte plus
+     FIN ends exactly at the right edge. *)
+  inject w
+    (Wire.make ~seq:(iss + wnd) ~ack_n:(Seq.add a_iss 1)
+       ~flags:(Wire.flags ~ack:true ~fin:true ())
+       ~window:8192 ~payload:(Bytes.make 1 'y') ~src_port:5555 ~dst_port:80 ());
+  run w;
+  check Alcotest.bool "fin consumed" true !peer_fin;
+  check Alcotest.bool "close-wait" true (Tcp.state conn = Tcp.Close_wait);
+  ignore
+    (expect w "ack past the fin" (fun seg ->
+         seg.Wire.flags.Wire.ack && seg.Wire.ack_n = iss + wnd + 2))
 
 let test_out_of_window_segment_gets_corrective_ack () =
   let w = world () in
@@ -350,7 +438,13 @@ let () =
           Alcotest.test_case "out-of-order dup ack" `Quick
             test_out_of_order_triggers_dup_ack;
           Alcotest.test_case "syn in established" `Quick
-            test_syn_in_established_resets;
+            test_syn_in_established_challenges;
+          Alcotest.test_case "rst inexact seq" `Quick
+            test_rst_inexact_seq_challenged;
+          Alcotest.test_case "invalid ack" `Quick
+            test_invalid_ack_dropped_silently;
+          Alcotest.test_case "fin at window edge" `Quick
+            test_fin_at_right_window_edge_accepted;
           Alcotest.test_case "out-of-window" `Quick
             test_out_of_window_segment_gets_corrective_ack;
           Alcotest.test_case "stale ack" `Quick test_stale_ack_of_unsent_data;
