@@ -18,6 +18,8 @@ lint:
 	./_build/default/bin/lint/catenet_lint.exe --allow bin/lint/lint.allow \
 	  $$(find lib -name '*.ml' | sort) \
 	  $$(find _build/default/lib -name '*.cmt' | grep -v '__\.cmt$$' | sort)
+	./_build/default/bin/lint/catenet_lint.exe --rng-only \
+	  $$(find bench examples -name '*.ml' | sort)
 
 bench:
 	dune exec bench/main.exe

@@ -30,6 +30,33 @@ make --no-print-directory lint
 echo "== bench smoke"
 dune exec bench/main.exe -- --smoke --out=_smoke >/dev/null
 
+# Replay determinism (the E16 contract at PR time, backed by the
+# catenet-lint determinism pass): the same seed must produce the same
+# fault schedule and the same packet-level run digest in two separate
+# processes.  Any ambient input that slipped past the lint — wall
+# clock, hash-table iteration order, an unseeded RNG — shows up here
+# as a digest mismatch.
+echo "== replay determinism (E16 smoke x2)"
+rm -rf _replay1 _replay2
+dune exec bench/main.exe -- --smoke --only E16 --out=_replay1 >/dev/null
+dune exec bench/main.exe -- --smoke --only E16 --out=_replay2 >/dev/null
+digests() {
+  grep -o '"schedule_digest": "[^"]*"' "$1/BENCH_survivability.json"
+  grep -o '"run_digest": "[^"]*"' "$1/BENCH_survivability.json"
+}
+d1=$(digests _replay1)
+d2=$(digests _replay2)
+[ -n "$d1" ] || { echo "FAIL: no digests in _replay1/BENCH_survivability.json"; exit 1; }
+if [ "$d1" = "$d2" ]; then
+  echo "  digests identical across processes"
+else
+  echo "FAIL: replay digests differ between identical runs"
+  echo "  run 1: $d1"
+  echo "  run 2: $d2"
+  exit 1
+fi
+rm -rf _replay1 _replay2
+
 # The overhead contract: merely carrying the (disabled) tracing
 # instrumentation must not slow the E13/E14 fast paths by more than the
 # budget.  E15 measures this against the same harness run and records it

@@ -4,9 +4,12 @@
      catenet-lint [--allow FILE] [--no-mli] <file.ml|file.cmt> ...
 
    .ml arguments are parsed (Parsetree rules: wire layout, fastpath
-   allocation, observability totality, mli hygiene); .cmt arguments are
-   read for the typed rules (polymorphic-comparison ban, match hygiene,
-   partial application in fastpath spans).  Findings print as
+   allocation, observability totality, mli hygiene, replay determinism,
+   state-machine conformance); .cmt arguments are read for the typed
+   rules (polymorphic-comparison ban, match hygiene, partial
+   application in fastpath spans, wrap-safe sequence/time arithmetic).
+   [--rng-only] restricts the run to the seeded-RNG determinism
+   sub-rule, the contract for bench/ and examples/.  Findings print as
 
      file:line: [rule] message
 
@@ -14,11 +17,13 @@
    survives the allowlist.  Allowlist entries that suppress nothing are
    reported as stale so the list only ever shrinks. *)
 
-let usage = "catenet-lint [--allow FILE] [--no-mli] <file.ml|file.cmt> ..."
+let usage =
+  "catenet-lint [--allow FILE] [--no-mli] [--rng-only] <file.ml|file.cmt> ..."
 
 let () =
   let allow_file = ref None in
   let check_mli = ref true in
+  let rng_only = ref false in
   let ml_files = ref [] in
   let cmt_files = ref [] in
   let anon path =
@@ -33,7 +38,10 @@ let () =
     [ ("--allow", Arg.String (fun f -> allow_file := Some f),
        "FILE allowlist of deliberate exceptions");
       ("--no-mli", Arg.Clear check_mli,
-       " skip the missing-interface rule (fixture runs)") ]
+       " skip the missing-interface rule (fixture runs)");
+      ("--rng-only", Arg.Set rng_only,
+       " run only the seeded-RNG determinism sub-rule (bench/ and examples/ \
+        may read the wall clock, but must seed every simulated random draw)") ]
     anon usage;
   let ml_files = List.rev !ml_files and cmt_files = List.rev !cmt_files in
   if ml_files = [] && cmt_files = [] then begin
@@ -68,10 +76,26 @@ let () =
             None)
       ml_files
   in
-  let ctx = Lint_source.run ~check_mli_rule:!check_mli parsed in
-  List.iter
-    (Lint_typed.check_cmt ~fastpath_spans:ctx.Lint_source.fastpath_spans)
-    cmt_files;
+  if !rng_only then
+    List.iter
+      (fun fi ->
+        Lint_determinism.check_file ~rng_only:true fi.Lint_source.fi_path
+          fi.Lint_source.fi_structure)
+      parsed
+  else begin
+    let ctx = Lint_source.run ~check_mli_rule:!check_mli parsed in
+    List.iter
+      (fun fi ->
+        Lint_determinism.check_file ~rng_only:false fi.Lint_source.fi_path
+          fi.Lint_source.fi_structure;
+        Lint_transitions.check_file fi.Lint_source.fi_path
+          fi.Lint_source.fi_structure)
+      parsed;
+    List.iter
+      (Lint_typed.check_cmt ~fastpath_spans:ctx.Lint_source.fastpath_spans)
+      cmt_files;
+    List.iter Lint_seqcmp.check_cmt cmt_files
+  end;
   let entries =
     match !allow_file with
     | None -> []

@@ -1,0 +1,96 @@
+(* Determinism rule of catenet-lint (source level).
+
+   The replay story — E16's bit-for-bit chaos replay, the seeded
+   adversarial fuzzers, the BENCH digests — assumes a simulation is a
+   pure function of its seed.  This pass bans the ambient inputs that
+   silently break that:
+
+     - wall clock: [Unix.gettimeofday], [Unix.time], [Sys.time].
+       Simulated time comes from [Engine.now]; reading the host clock
+       inside [lib/] makes behavior depend on the machine running it.
+     - ambient randomness: [Random.self_init] (seeds from the
+       environment) and the global-state [Random.int]/[float]/... API.
+       Every stochastic element must draw from an explicitly seeded
+       [Stdext.Rng].
+     - representation hashing: [Hashtbl.hash]/[seeded_hash] on arbitrary
+       values ties behavior to heap layout; [Hashtbl.randomize] makes
+       iteration order per-process.
+     - unordered iteration: [Hashtbl.iter]/[fold]/[to_seq] visit
+       bindings in unspecified order.  A site whose observable result
+       is iteration-order independent (a commutative fold, or a
+       collect-then-sort) declares so with [@determinism.commutative];
+       anything feeding event ordering or serialized output must sort
+       (see [Stdext.Det]).
+
+   [~rng_only:true] (the [--rng-only] driver flag) keeps just the
+   seeded-RNG sub-rule: [bench/] and [examples/] may legitimately read
+   the wall clock to measure host throughput, but even there every
+   simulated random draw must be seeded. *)
+
+open Parsetree
+open Lint_common
+
+let ambient_random =
+  [ "int"; "int32"; "int64"; "nativeint"; "bits"; "bits32"; "bits64";
+    "float"; "bool"; "char"; "init"; "full_init" ]
+
+let unordered_iteration = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let check_ident ~rng_only loc parts =
+  match parts with
+  | [ "Random"; "self_init" ] ->
+      report_loc ~rule:"determinism" loc
+        "Random.self_init seeds from the environment; every generator must \
+         be explicitly seeded (Stdext.Rng.create)"
+  | [ "Random"; fn ] when List.mem fn ambient_random ->
+      report_loc ~rule:"determinism" loc
+        (Printf.sprintf
+           "ambient Random.%s uses hidden global state; draw from an \
+            explicitly seeded Stdext.Rng instead"
+           fn)
+  | _ when rng_only -> ()
+  | [ "Unix"; ("gettimeofday" | "time" | "localtime" | "gmtime") ]
+  | [ "Sys"; "time" ] ->
+      report_loc ~rule:"determinism" loc
+        (Printf.sprintf
+           "wall-clock %s breaks replay determinism; simulated time comes \
+            from Engine.now"
+           (String.concat "." parts))
+  | [ "Hashtbl"; (("hash" | "seeded_hash" | "hash_param") as fn) ] ->
+      report_loc ~rule:"determinism" loc
+        (Printf.sprintf
+           "Hashtbl.%s on arbitrary values depends on heap representation; \
+            hash a declared wire layout or explicit fields instead"
+           fn)
+  | [ "Hashtbl"; "randomize" ] ->
+      report_loc ~rule:"determinism" loc
+        "Hashtbl.randomize makes iteration order differ per process"
+  | _ -> ()
+
+let check_file ~rng_only path structure =
+  ignore path;
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.pexp_desc with
+          | Pexp_ident lid -> check_ident ~rng_only e.pexp_loc (flatten_lid lid.txt)
+          | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, _)
+            when not rng_only -> (
+              match flatten_lid lid.txt with
+              | [ "Hashtbl"; fn ] when List.mem fn unordered_iteration ->
+                  if not (has_attr "determinism.commutative" e.pexp_attributes)
+                  then
+                    report_loc ~rule:"determinism" e.pexp_loc
+                      (Printf.sprintf
+                         "Hashtbl.%s visits bindings in unspecified order; \
+                          sort the bindings (Stdext.Det) or mark the call \
+                          [@determinism.commutative] if the result is \
+                          order-independent"
+                         fn)
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.structure it structure

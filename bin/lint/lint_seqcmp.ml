@@ -1,0 +1,139 @@
+(* Wrap-safe arithmetic rule of catenet-lint (typed, .cmt).
+
+   TCP sequence numbers live in a 32-bit circular space: [a < b] is
+   meaningless near the wrap, which is exactly where a long transfer
+   ends up.  All comparisons and distances must go through the
+   wrap-aware [Seq_num] operations ([lt]/[le]/[gt]/[ge]/[diff]/
+   [in_window]); this pass makes a raw [<]/[<=]/[>]/[>=]/[-] whose
+   operand is a TCP sequence value a hard error everywhere outside
+   [lib/tcp/seq_num.ml] itself.  Equality is exempt: [=] on sequence
+   numbers is wrap-safe.
+
+   An operand counts as a sequence value when it is
+
+     - a record field access whose label is one of the TCB sequence
+       fields ([snd_una], [rcv_nxt], ...),
+     - a [seq]/[ack_n] access on a [Tcp_wire] header record, or
+     - typed [Seq_num.t] directly.
+
+   The check is shallow (direct operands only): a function result such
+   as [off_of_seq c c.snd_una] is an int distance already converted via
+   [Seq_num.diff], and must not taint the arithmetic around it.
+
+   The same confusion exists for time: [Engine.now] is an absolute
+   microsecond timestamp, durations are plain ints, and comparing one
+   against a bare integer literal mixes the two (an absolute-time
+   threshold that silently depends on when the clock started).  Bind
+   the timestamps and compare elapsed durations instead:
+   [now - t.last_seen > timeout_us].
+
+   [@seqcmp.exempt] on an expression waives the rule for that node. *)
+
+open Typedtree
+open Lint_common
+
+let compare_ops = [ "Stdlib.<"; "Stdlib.<="; "Stdlib.>"; "Stdlib.>=" ]
+let minus_op = "Stdlib.-"
+
+let seq_labels =
+  [ "snd_una"; "snd_nxt"; "snd_max"; "snd_wl1"; "snd_wl2"; "rcv_nxt";
+    "irs"; "iss"; "recover"; "last_ooo_seq" ]
+
+let wire_seq_labels = [ "seq"; "ack_n"; "ack" ]
+
+let head_type_parts ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (split_path_name (Path.name p))
+  | _ -> None
+
+let is_seq_num_type ty =
+  match head_type_parts ty with
+  | Some parts -> (
+      match List.rev parts with
+      | "t" :: "Seq_num" :: _ -> true
+      | _ -> false)
+  | None -> false
+
+let is_tcp_wire_record ty =
+  match head_type_parts ty with
+  | Some parts -> List.mem "Tcp_wire" parts
+  | None -> false
+
+let tainted e =
+  match e.exp_desc with
+  | Texp_field (_, _, lbl) ->
+      List.mem lbl.Types.lbl_name seq_labels
+      || (List.mem lbl.Types.lbl_name wire_seq_labels
+         && is_tcp_wire_record lbl.Types.lbl_res)
+  | _ -> is_seq_num_type e.exp_type
+
+let is_engine_now e =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+      match List.rev (split_path_name (Path.name p)) with
+      | "now" :: "Engine" :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let is_int_literal e =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_int _) -> true
+  | _ -> false
+
+let check_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> () (* the cmt rule in Lint_typed already reported it *)
+  | infos -> (
+      match infos.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation str ->
+          let src =
+            Option.value ~default:path infos.Cmt_format.cmt_sourcefile
+          in
+          if Filename.basename src = "seq_num.ml" then ()
+          else begin
+            let report_at (loc : Location.t) msg =
+              report ~file:src ~line:loc.loc_start.pos_lnum ~rule:"seqcmp" msg
+            in
+            let iter =
+              { Tast_iterator.default_iterator with
+                expr =
+                  (fun sub e ->
+                    (if has_attr "seqcmp.exempt" e.exp_attributes then ()
+                     else
+                       match e.exp_desc with
+                       | Texp_apply
+                           ({ exp_desc = Texp_ident (p, _, _); _ },
+                            (_, Some a) :: (_, Some b) :: _) ->
+                           let op = Path.name p in
+                           let op_name =
+                             last_exn (split_path_name op)
+                           in
+                           if
+                             (List.mem op compare_ops || op = minus_op)
+                             && (tainted a || tainted b)
+                           then
+                             report_at e.exp_loc
+                               (Printf.sprintf
+                                  "raw %s on a TCP sequence value; sequence \
+                                   space is circular — use Seq_num.%s"
+                                  op_name
+                                  (if op = minus_op then "diff"
+                                   else "lt/le/gt/ge"))
+                           else if
+                             List.mem op compare_ops
+                             && ((is_engine_now a && is_int_literal b)
+                                || (is_int_literal a && is_engine_now b))
+                           then
+                             report_at e.exp_loc
+                               (Printf.sprintf
+                                  "comparing Engine.now against a bare \
+                                   integer mixes an absolute timestamp with \
+                                   a duration; compare elapsed time (now - \
+                                   t0) against the threshold instead")
+                       | _ -> ());
+                    Tast_iterator.default_iterator.expr sub e);
+              }
+            in
+            iter.Tast_iterator.structure iter str
+          end
+      | _ -> ())

@@ -1,0 +1,304 @@
+(* State-machine conformance rule of catenet-lint (source level).
+
+   Mirrors the wire-layout approach: a module owning a protocol state
+   machine declares its diagram as data,
+
+     let st_transitions = [ (* state, event, state' *)
+       ("Syn_sent", "SYN-ACK received", "Established");
+       ("*",        "abort",            "Closed");
+       ...
+     ]
+
+   for a mutable record field [st] (table name = [<field>_transitions]).
+   The pass then finds every assignment [<expr>.<field> <- Ctor] and
+   checks it against the table:
+
+     - the source state(s) come from the innermost enclosing
+       [match <expr>.<field> with] arm (constructor patterns, including
+       or-patterns), or from an explicit
+       [@transitions.from "StateA,StateB"] attribute on the assignment
+       when there is no such context (helper functions called from
+       several states);
+     - an assignment whose source states cannot be narrowed needs a
+       [("*", _, target)] row;
+     - every (from, to) pair implied by an assignment must be a declared
+       edge — and every declared edge must be implemented by at least
+       one assignment, so the diagram we claim (RFC 793+5961 for TCP,
+       the RIB entry lifecycle for DV) is checked against the code in
+       both directions on every lint run.
+
+   State names in the table are validated against the variant
+   constructors declared in the same file; "*" is only legal as a
+   source.  [tcp.ml] and [dv.ml] are required to declare a table. *)
+
+open Parsetree
+open Lint_common
+
+type row = {
+  r_from : string;
+  r_event : string;
+  r_to : string;
+  r_loc : Location.t;
+  mutable r_used : bool;
+}
+
+type table = { t_field : string; t_loc : Location.t; t_rows : row list }
+
+let required_basenames = [ "tcp.ml"; "dv.ml" ]
+
+(* -- extraction ---------------------------------------------------- *)
+
+let rec unconstraint e =
+  match e.pexp_desc with Pexp_constraint (e, _) -> unconstraint e | _ -> e
+
+let rec list_elems e =
+  match (unconstraint e).pexp_desc with
+  | Pexp_construct
+      ({ txt = Longident.Lident "::"; _ },
+       Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ }) ->
+      hd :: list_elems tl
+  | _ -> []
+
+let extract_tables structure =
+  let tables = ref [] in
+  let it =
+    { Ast_iterator.default_iterator with
+      value_binding =
+        (fun sub vb ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var n when Filename.check_suffix n.txt "_transitions" ->
+              let field =
+                String.sub n.txt 0 (String.length n.txt - String.length "_transitions")
+              in
+              let rows =
+                List.filter_map
+                  (fun e ->
+                    match (unconstraint e).pexp_desc with
+                    | Pexp_tuple [ f; ev; t ] -> (
+                        match
+                          (string_constant f, string_constant ev,
+                           string_constant t)
+                        with
+                        | Some r_from, Some r_event, Some r_to ->
+                            Some
+                              { r_from; r_event; r_to; r_loc = e.pexp_loc;
+                                r_used = false }
+                        | _ -> None)
+                    | _ -> None)
+                  (list_elems vb.pvb_expr)
+              in
+              if rows <> [] then
+                tables :=
+                  { t_field = field; t_loc = vb.pvb_loc; t_rows = rows }
+                  :: !tables
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding sub vb);
+    }
+  in
+  it.structure it structure;
+  List.rev !tables
+
+let variant_constructors structure =
+  let set = Hashtbl.create 32 in
+  let it =
+    { Ast_iterator.default_iterator with
+      type_declaration =
+        (fun sub td ->
+          (match td.ptype_kind with
+          | Ptype_variant cds ->
+              List.iter (fun cd -> Hashtbl.replace set cd.pcd_name.txt ()) cds
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration sub td);
+    }
+  in
+  it.structure it structure;
+  set
+
+(* -- source-state resolution --------------------------------------- *)
+
+(* [Some states] if every alternative of the pattern names a
+   constructor; [None] for catch-alls (the context narrows nothing). *)
+let rec pat_states p =
+  match p.ppat_desc with
+  | Ppat_construct (lid, _) -> Some [ last_exn (flatten_lid lid.txt) ]
+  | Ppat_or (a, b) -> (
+      match (pat_states a, pat_states b) with
+      | Some x, Some y -> Some (x @ y)
+      | _ -> None)
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pat_states p
+  | _ -> None
+
+let scrutinee_field e =
+  match (unconstraint e).pexp_desc with
+  | Pexp_field (_, lid) -> Some (last_exn (flatten_lid lid.txt))
+  | _ -> None
+
+let from_attribute (attrs : attributes) =
+  List.find_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "transitions.from" then None
+      else
+        match a.attr_payload with
+        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+            match string_constant e with
+            | Some s ->
+                Some
+                  (List.filter
+                     (fun x -> x <> "")
+                     (List.map String.trim (String.split_on_char ',' s)))
+            | None -> None)
+        | _ -> None)
+    attrs
+
+(* -- the walk ------------------------------------------------------- *)
+
+let check_file path structure =
+  let base = Filename.basename path in
+  match extract_tables structure with
+  | [] ->
+      if List.mem base required_basenames then
+        report ~file:path ~line:1 ~rule:"transitions"
+          "state-machine module declares no transitions table (expected \
+           `let <field>_transitions = [ (from, event, to); ... ]`)"
+  | tables ->
+      let ctors = variant_constructors structure in
+      (* table sanity: states must be declared constructors; "*" is a
+         source-only wildcard *)
+      List.iter
+        (fun t ->
+          List.iter
+            (fun r ->
+              if r.r_from <> "*" && not (Hashtbl.mem ctors r.r_from) then
+                report_loc ~rule:"transitions" r.r_loc
+                  (Printf.sprintf
+                     "%s_transitions: unknown source state %s (no such \
+                      constructor in this file)"
+                     t.t_field r.r_from);
+              if r.r_to = "*" then
+                report_loc ~rule:"transitions" r.r_loc
+                  (Printf.sprintf
+                     "%s_transitions: \"*\" is not a valid target state"
+                     t.t_field)
+              else if not (Hashtbl.mem ctors r.r_to) then
+                report_loc ~rule:"transitions" r.r_loc
+                  (Printf.sprintf
+                     "%s_transitions: unknown target state %s (no such \
+                      constructor in this file)"
+                     t.t_field r.r_to))
+            t.t_rows)
+        tables;
+      let table_for field =
+        List.find_opt (fun t -> t.t_field = field) tables
+      in
+      let check_assignment loc table ~froms ~target =
+        let edges from =
+          List.filter
+            (fun r ->
+              (r.r_from = from || r.r_from = "*") && r.r_to = target)
+            table.t_rows
+        in
+        match froms with
+        | None -> (
+            match
+              List.filter
+                (fun r -> r.r_from = "*" && r.r_to = target)
+                table.t_rows
+            with
+            | [] ->
+                report_loc ~rule:"transitions" loc
+                  (Printf.sprintf
+                     "assignment of %s to field %s has no enclosing match \
+                      on the field and no [@transitions.from]; annotate the \
+                      source states or declare a (\"*\", _, %s) edge"
+                     target table.t_field target)
+            | rows -> List.iter (fun r -> r.r_used <- true) rows)
+        | Some froms ->
+            List.iter
+              (fun from ->
+                match edges from with
+                | [] ->
+                    report_loc ~rule:"transitions" loc
+                      (Printf.sprintf
+                         "undeclared transition %s -> %s for field %s (not \
+                          in %s_transitions)"
+                         from target table.t_field table.t_field)
+                | rows -> List.iter (fun r -> r.r_used <- true) rows)
+              froms
+      in
+      (* env: field name -> possible source states from the innermost
+         enclosing match on that field *)
+      let rec walk env e =
+        match e.pexp_desc with
+        | Pexp_match (scrut, cases) -> (
+            walk env scrut;
+            match scrutinee_field scrut with
+            | Some f when table_for f <> None ->
+                List.iter
+                  (fun c ->
+                    Option.iter (walk env) c.pc_guard;
+                    let env' =
+                      match pat_states c.pc_lhs with
+                      | Some states -> (f, states) :: env
+                      | None -> List.remove_assoc f env
+                    in
+                    walk env' c.pc_rhs)
+                  cases
+            | _ ->
+                List.iter
+                  (fun c ->
+                    Option.iter (walk env) c.pc_guard;
+                    walk env c.pc_rhs)
+                  cases)
+        | Pexp_setfield (lhs, lid, rhs) -> (
+            walk env lhs;
+            walk env rhs;
+            let field = last_exn (flatten_lid lid.txt) in
+            match table_for field with
+            | None -> ()
+            | Some table -> (
+                (* the attribute may parse as attached to the whole
+                   assignment or to its right-hand side *)
+                let froms =
+                  match
+                    ( from_attribute e.pexp_attributes,
+                      from_attribute rhs.pexp_attributes )
+                  with
+                  | Some l, _ | None, Some l -> Some l
+                  | None, None -> List.assoc_opt field env
+                in
+                match (unconstraint rhs).pexp_desc with
+                | Pexp_construct (clid, _) ->
+                    let target = last_exn (flatten_lid clid.txt) in
+                    check_assignment e.pexp_loc table ~froms ~target
+                | _ ->
+                    report_loc ~rule:"transitions" e.pexp_loc
+                      (Printf.sprintf
+                         "assignment to state field %s is not a bare \
+                          constructor; the conformance pass cannot check it"
+                         field)))
+        | _ ->
+            let it =
+              { Ast_iterator.default_iterator with
+                expr = (fun _sub child -> walk env child);
+              }
+            in
+            Ast_iterator.default_iterator.expr it e
+      in
+      let top =
+        { Ast_iterator.default_iterator with
+          expr = (fun _sub e -> walk [] e);
+        }
+      in
+      top.structure top structure;
+      List.iter
+        (fun t ->
+          List.iter
+            (fun r ->
+              if not r.r_used then
+                report_loc ~rule:"transitions" r.r_loc
+                  (Printf.sprintf
+                     "declared transition %s -[%s]-> %s is never implemented \
+                      by an assignment to field %s"
+                     r.r_from r.r_event r.r_to t.t_field))
+            t.t_rows)
+        tables

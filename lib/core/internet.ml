@@ -471,6 +471,11 @@ let metrics_json t =
         | None -> None)
       t.kinds
   in
+  (* Serialized output is keyed in sorted order, not topology build
+     order — the determinism contract for every JSON emitter. *)
+  let ledgers =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) ledgers
+  in
   match (Trace.Metrics.to_json m, ledgers) with
   | json, [] -> json
   | Trace.Json.Obj fields, l ->

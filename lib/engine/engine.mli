@@ -11,7 +11,15 @@ val create : unit -> t
 (** A fresh engine with the clock at 0. *)
 
 val now : t -> int
-(** Current virtual time in microseconds. *)
+(** Current virtual time in microseconds.
+
+    Convention, enforced by the catenet-lint [seqcmp] time rule: values
+    from [now] are {e absolute timestamps}; integer literals in protocol
+    code are {e durations}.  Never compare a timestamp against a bare
+    literal — subtract two timestamps to get a duration first
+    ([now t - t0 > timeout_us]), or add a duration to a timestamp to get
+    a deadline.  Mixing the two classes silently breaks when a scenario
+    starts the clock at a nonzero epoch. *)
 
 val us : int -> int
 (** Identity on microseconds; for call-site readability. *)

@@ -200,6 +200,13 @@ let record_fast t (h : Ipv4.header) ~frame =
 
 (* -- queries --------------------------------------------------------- *)
 
+let pp_flow fmt f =
+  Format.fprintf fmt "%a:%d -> %a:%d %a%s" Addr.pp f.src f.src_port Addr.pp
+    f.dst f.dst_port Ipv4.Proto.pp f.proto
+    (if f.portless then " (portless)" else "")
+
+let flow_to_string f = Format.asprintf "%a" pp_flow f
+
 (* The ledger hands out copies so callers cannot alias live counters. *)
 let copy u = { packets = u.packets; bytes = u.bytes }
 
@@ -226,7 +233,9 @@ let flows ?limit t =
   let all =
     match t.engine with
     | Exact_table tbl ->
-        Hashtbl.fold (fun f u acc -> (f, copy u) :: acc) tbl []
+        (* collect-then-sort below; the fold order never escapes *)
+        (Hashtbl.fold (fun f u acc -> (f, copy u) :: acc) tbl []
+        [@determinism.commutative])
     | Sketched e ->
         let acc = ref [] in
         Heavy_hitters.iter e.hh (fun i ->
@@ -239,8 +248,19 @@ let flows ?limit t =
             acc := (f, hh_usage e.sk e.hh i) :: !acc);
         !acc
   in
+  (* Total order: bytes desc, then packets desc, then the rendered flow
+     identity — equal-sized flows used to tie-break on hash-table
+     iteration order, which leaked into to_json and the BENCH files. *)
   let sorted =
-    List.sort (fun (_, a) (_, b) -> Int.compare b.bytes a.bytes) all
+    List.sort
+      (fun (f1, a) (f2, b) ->
+        match Int.compare b.bytes a.bytes with
+        | 0 -> (
+            match Int.compare b.packets a.packets with
+            | 0 -> String.compare (flow_to_string f1) (flow_to_string f2)
+            | c -> c)
+        | c -> c)
+      all
   in
   match limit with None -> sorted | Some n -> take n sorted
 
@@ -293,13 +313,6 @@ let tracked_count t =
   match t.engine with
   | Exact_table tbl -> Hashtbl.length tbl
   | Sketched e -> Heavy_hitters.size e.hh
-
-let pp_flow fmt f =
-  Format.fprintf fmt "%a:%d -> %a:%d %a%s" Addr.pp f.src f.src_port Addr.pp
-    f.dst f.dst_port Ipv4.Proto.pp f.proto
-    (if f.portless then " (portless)" else "")
-
-let flow_to_string f = Format.asprintf "%a" pp_flow f
 
 let mode_to_string = function
   | Exact -> "exact"

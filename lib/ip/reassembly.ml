@@ -108,5 +108,7 @@ let pending t = Hashtbl.length t.buffers
 let expired t = t.expired
 
 let flush t =
-  Hashtbl.iter (fun _ b -> Engine.Timer.cancel b.timer) t.buffers;
+  (* Order-independent: cancelling independent timers commutes. *)
+  (Hashtbl.iter (fun _ b -> Engine.Timer.cancel b.timer) t.buffers
+  [@determinism.commutative]);
   Hashtbl.reset t.buffers

@@ -277,7 +277,9 @@ let client_recv t ~src ~src_port buf =
 let flush t =
   Cache.flush t.cache;
   t.stats.flushes <- t.stats.flushes + 1;
-  Hashtbl.iter
+  (* In key order: the Local continuations run caller code that can
+     schedule events, so the teardown order must be canonical. *)
+  Stdext.Det.sorted_iter ~compare:Int.compare
     (fun _ fl ->
       fl.f_done <- true;
       (match fl.f_timer with

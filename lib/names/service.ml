@@ -167,8 +167,10 @@ let on_probe_reply t buf =
   end
 
 let probe_round t =
-  (* Last round's unanswered probes are this round's strikes. *)
-  Hashtbl.iter
+  (* Last round's unanswered probes are this round's strikes.  In seq
+     order: [mark_down] emits a trace event and flips failover state
+     the next lookup observes, so the strike order must be canonical. *)
+  Stdext.Det.sorted_iter ~compare:Int.compare
     (fun _ r ->
       t.stats.probe_misses <- t.stats.probe_misses + 1;
       r.r_strikes <- r.r_strikes + 1;
@@ -178,7 +180,9 @@ let probe_round t =
   match t.probe_sock with
   | None -> ()
   | Some sock ->
-      Hashtbl.iter
+      (* In service order: probe emission allocates [t.seq] numbers and
+         sends datagrams, both of which reach the wire. *)
+      Stdext.Det.sorted_iter ~compare:Int.compare
         (fun _ arr ->
           Array.iter
             (fun r ->

@@ -29,12 +29,33 @@ type stats = {
 
 type neighbor = { n_iface : Netsim.iface; n_addr : Addr.t }
 
+(* A RIB entry's lifecycle is a two-state machine: [Reachable] (metric
+   below infinity, installed/advertised normally) or [Poisoned at]
+   (advertised at infinity until GC removes it, [at] = when it died).
+   The invariant [metric >= infinity_metric <-> Poisoned] is maintained
+   at every transition site. *)
+type life = Reachable | Poisoned of int (* Engine.now at poisoning *)
+
+(* The lifecycle declared as data, machine-checked by the catenet-lint
+   transitions pass: every assignment to [life] must be a declared edge
+   and every declared edge must have an implementing assignment.  Entry
+   creation (record literals, always [Reachable]) is outside the
+   diagram. *)
+let life_transitions =
+  [ (* state, event, state' *)
+    ("Reachable", "poisoned: expiry / carrier loss / withdraw / lost connected",
+     "Poisoned");
+    ("Poisoned", "revived: next-hop update, better route, re-inject, \
+                  connected restore", "Reachable");
+    ("Reachable", "refreshed: metric change from next hop, direct \
+                   attachment supersedes", "Reachable") ]
+
 type rib_entry = {
   prefix : Prefix.t;
   mutable metric : int;
   mutable via : neighbor option; (* None = connected or injected *)
   mutable last_heard : int;
-  mutable poisoned_at : int option;
+  mutable life : life;
   mutable injected : bool; (* external route from another protocol *)
 }
 
@@ -106,19 +127,20 @@ let install t e =
             metric = e.metric;
           }
 
+(* Advertisements go out sorted by prefix: entry order reaches the wire
+   (and neighbors' processing order), so it must be canonical, not
+   hash-table iteration order. *)
 let advertisement t ~to_iface =
-  let entries = ref [] in
-  Hashtbl.iter
-    (fun _ e ->
+  List.map
+    (fun (_, e) ->
       (* Split horizon with poisoned reverse. *)
       let metric =
         match e.via with
         | Some n when n.n_iface = to_iface -> Rt_msg.infinity_metric
         | Some _ | None -> e.metric
       in
-      entries := { Rt_msg.prefix = e.prefix; metric } :: !entries)
-    t.rib;
-  !entries
+      { Rt_msg.prefix = e.prefix; metric })
+    (Stdext.Det.sorted_bindings ~compare:Prefix.compare t.rib)
 
 let send_update t =
   match t.sock with
@@ -148,26 +170,27 @@ let trigger t =
 (* Why a route was poisoned decides which counter it bumps: expiry and
    carrier loss are different failure modes and used to be conflated
    (carrier poisons inflated [routes_expired] on every poll).  The
-   [metric < infinity] guard makes poisoning idempotent per cause: once
-   an entry is at infinity, repeated poisons — e.g. the 500 ms carrier
-   poll re-observing a dead link, or the periodic expiry firing on an
-   already-poisoned entry — neither re-count nor refresh [poisoned_at]
-   (which would postpone GC forever). *)
+   match on [life] makes poisoning idempotent per cause: once an entry
+   is [Poisoned], repeated poisons — e.g. the 500 ms carrier poll
+   re-observing a dead link, or the periodic expiry firing on an
+   already-poisoned entry — neither re-count nor refresh the poison
+   timestamp (which would postpone GC forever). *)
 type poison_cause = Expired | Carrier | Withdrawn | Lost_connected
 
 let poison t ~cause e =
-  if e.metric < Rt_msg.infinity_metric then begin
-    e.metric <- Rt_msg.infinity_metric;
-    e.poisoned_at <- Some (Engine.now t.eng);
-    (match cause with
-    | Expired -> t.stats.routes_expired <- t.stats.routes_expired + 1
-    | Carrier ->
-        t.stats.routes_carrier_poisoned <-
-          t.stats.routes_carrier_poisoned + 1
-    | Withdrawn | Lost_connected -> ());
-    install t e;
-    trigger t
-  end
+  match e.life with
+  | Poisoned _ -> ()
+  | Reachable ->
+      e.metric <- Rt_msg.infinity_metric;
+      e.life <- Poisoned (Engine.now t.eng);
+      (match cause with
+      | Expired -> t.stats.routes_expired <- t.stats.routes_expired + 1
+      | Carrier ->
+          t.stats.routes_carrier_poisoned <-
+            t.stats.routes_carrier_poisoned + 1
+      | Withdrawn | Lost_connected -> ());
+      install t e;
+      trigger t
 
 let handle_entry t (n : neighbor) (re : Rt_msg.dv_entry) =
   let now = Engine.now t.eng in
@@ -181,7 +204,7 @@ let handle_entry t (n : neighbor) (re : Rt_msg.dv_entry) =
             metric;
             via = Some n;
             last_heard = now;
-            poisoned_at = None;
+            life = Reachable;
             injected = false;
           }
         in
@@ -193,13 +216,16 @@ let handle_entry t (n : neighbor) (re : Rt_msg.dv_entry) =
       match e.via with
       | None -> () (* never displace a connected route *)
       | Some cur when neighbor_equal cur n ->
-          (* From our current next hop: always believe it. *)
+          (* From our current next hop: always believe it.  A poisoned
+             entry holds metric = infinity, so the change guard means
+             the Poisoned arm below is only ever entered from
+             Reachable. *)
           e.last_heard <- now;
           if metric <> e.metric then begin
             e.metric <- metric;
             if metric >= Rt_msg.infinity_metric then
-              e.poisoned_at <- Some now
-            else e.poisoned_at <- None;
+              e.life <- Poisoned now [@transitions.from "Reachable"]
+            else e.life <- Reachable [@transitions.from "Reachable,Poisoned"];
             install t e;
             trigger t
           end
@@ -208,7 +234,7 @@ let handle_entry t (n : neighbor) (re : Rt_msg.dv_entry) =
             e.via <- Some n;
             e.metric <- metric;
             e.last_heard <- now;
-            e.poisoned_at <- None;
+            e.life <- Reachable [@transitions.from "Reachable,Poisoned"];
             install t e;
             trigger t
           end)
@@ -251,17 +277,21 @@ let handle_message t ~src buf =
 let expire_routes t =
   let now = Engine.now t.eng in
   let stale = ref [] in
-  Hashtbl.iter
-    (fun prefix e ->
-      match e.poisoned_at with
-      | Some at -> if now - at > t.config.gc_us then stale := prefix :: !stale
-      | None -> (
-          match e.via with
-          | None -> () (* connected/injected: no refresh, no expiry *)
-          | Some _ ->
-              if now - e.last_heard > t.config.timeout_us then
-                poison t ~cause:Expired e))
-    t.rib;
+  (* Order-independent: each entry's poison/GC decision depends only on
+     that entry; [trigger] is debounced, stats are sums, and the kernel
+     updates touch disjoint prefixes. *)
+  (Hashtbl.iter
+     (fun prefix e ->
+       match e.life with
+       | Poisoned at ->
+           if now - at > t.config.gc_us then stale := prefix :: !stale
+       | Reachable -> (
+           match e.via with
+           | None -> () (* connected/injected: no refresh, no expiry *)
+           | Some _ ->
+               if now - e.last_heard > t.config.timeout_us then
+                 poison t ~cause:Expired e))
+     t.rib [@determinism.commutative]);
   List.iter
     (fun prefix ->
       Hashtbl.remove t.rib prefix;
@@ -275,13 +305,14 @@ let carrier_check t =
     (fun n ->
       let link = Netsim.iface_link net me n.n_iface in
       if not (Netsim.link_is_up net link) then
-        Hashtbl.iter
-          (fun _ e ->
-            match e.via with
-            | Some v when v.n_iface = n.n_iface ->
-                poison t ~cause:Carrier e
-            | Some _ | None -> ())
-          t.rib)
+        (* Order-independent: poisoning is per-entry and idempotent. *)
+        (Hashtbl.iter
+           (fun _ e ->
+             match e.via with
+             | Some v when v.n_iface = n.n_iface ->
+                 poison t ~cause:Carrier e
+             | Some _ | None -> ())
+           t.rib [@determinism.commutative]))
     t.neighbors
 
 (* Reconcile the RIB's connected entries with the kernel table.  Runs on
@@ -296,43 +327,47 @@ let sync_connected t =
       if r.next_hop = None && r.metric = 0 then
         Hashtbl.replace connected r.prefix ())
     (Ip.Route_table.entries (Ip.Stack.table t.ip));
-  Hashtbl.iter
-    (fun prefix () ->
-      match Hashtbl.find_opt t.rib prefix with
-      | Some e when e.via = None && not e.injected ->
-          if e.metric >= Rt_msg.infinity_metric then begin
-            (* The interface came back after a poison. *)
-            e.metric <- 1;
-            e.poisoned_at <- None;
-            trigger t
-          end
-      | Some e ->
-          (* Direct attachment supersedes a learned or injected path. *)
-          e.metric <- 1;
-          e.via <- None;
-          e.injected <- false;
-          e.last_heard <- max_int;
-          e.poisoned_at <- None;
-          trigger t
-      | None ->
-          Hashtbl.replace t.rib prefix
-            {
-              prefix;
-              metric = 1;
-              via = None;
-              last_heard = max_int;
-              poisoned_at = None;
-              injected = false;
-            };
-          trigger t)
-    connected;
-  Hashtbl.iter
-    (fun prefix e ->
-      if
-        e.via = None && (not e.injected)
-        && not (Hashtbl.mem connected prefix)
-      then poison t ~cause:Lost_connected e)
-    t.rib
+  (* Order-independent: each connected prefix updates only its own RIB
+     entry; [trigger] is debounced. *)
+  (Hashtbl.iter
+     (fun prefix () ->
+       match Hashtbl.find_opt t.rib prefix with
+       | Some e when e.via = None && not e.injected -> (
+           match e.life with
+           | Poisoned _ ->
+               (* The interface came back after a poison. *)
+               e.metric <- 1;
+               e.life <- Reachable;
+               trigger t
+           | Reachable -> ())
+       | Some e ->
+           (* Direct attachment supersedes a learned or injected path. *)
+           e.metric <- 1;
+           e.via <- None;
+           e.injected <- false;
+           e.last_heard <- max_int;
+           e.life <- Reachable [@transitions.from "Reachable,Poisoned"];
+           trigger t
+       | None ->
+           Hashtbl.replace t.rib prefix
+             {
+               prefix;
+               metric = 1;
+               via = None;
+               last_heard = max_int;
+               life = Reachable;
+               injected = false;
+             };
+           trigger t)
+     connected [@determinism.commutative]);
+  (* Order-independent: poisoning is per-entry and idempotent. *)
+  (Hashtbl.iter
+     (fun prefix e ->
+       if
+         e.via = None && (not e.injected)
+         && not (Hashtbl.mem connected prefix)
+       then poison t ~cause:Lost_connected e)
+     t.rib [@determinism.commutative])
 
 let inject t prefix ~metric =
   let metric = min metric (Rt_msg.infinity_metric - 1) in
@@ -340,7 +375,7 @@ let inject t prefix ~metric =
   | Some e when e.injected ->
       if e.metric <> metric then begin
         e.metric <- metric;
-        e.poisoned_at <- None;
+        e.life <- Reachable [@transitions.from "Reachable,Poisoned"];
         trigger t
       end
   | Some _ -> () (* never displace a natively learned route *)
@@ -351,7 +386,7 @@ let inject t prefix ~metric =
           metric;
           via = None;
           last_heard = max_int;
-          poisoned_at = None;
+          life = Reachable;
           injected = true;
         };
       trigger t
@@ -364,13 +399,15 @@ let withdraw t prefix =
   | Some e when e.injected -> poison t ~cause:Withdrawn e
   | Some _ | None -> ()
 
+(* Sorted by prefix: the list feeds redistribution and observers, and a
+   public query should not expose hash-table iteration order. *)
 let routes t =
-  Hashtbl.fold
-    (fun prefix e acc ->
+  List.filter_map
+    (fun (prefix, e) ->
       if (not e.injected) && e.metric < Rt_msg.infinity_metric then
-        (prefix, e.metric) :: acc
-      else acc)
-    t.rib []
+        Some (prefix, e.metric)
+      else None)
+    (Stdext.Det.sorted_bindings ~compare:Prefix.compare t.rib)
 
 (* Crash simulation: everything learned from the wire is soft state and
    dies with the process (fate-sharing); configuration — neighbors,

@@ -56,6 +56,11 @@ val reset : t -> unit
 
 val stats : t -> stats
 
+val life_transitions : (string * string * string) list
+(** The RIB-entry lifecycle (Reachable/Poisoned) as [(state, event,
+    state')] edges, machine-checked against the implementation by the
+    catenet-lint [transitions] pass. *)
+
 val rib_size : t -> int
 (** Prefixes currently known (including poisoned ones). *)
 

@@ -188,33 +188,45 @@ let spf t =
 let recompute t =
   let dist, first_hop = spf t in
   let table = Ip.Stack.table t.ip in
-  (* Gather best (metric, adjacency) per prefix across all origins. *)
-  let best : (Prefix.t, int * adjacency) Hashtbl.t = Hashtbl.create 32 in
-  Hashtbl.iter
-    (fun origin e ->
-      if not (Int32.equal origin t.id) then
-        match (Hashtbl.find_opt dist origin, Hashtbl.find_opt first_hop origin)
-        with
-        | Some d, Some hop ->
-            List.iter
-              (fun (p : Rt_msg.ls_prefix) ->
-                let metric = d + p.cost in
-                match Hashtbl.find_opt best p.prefix with
-                | Some (m, _) when m <= metric -> ()
-                | Some _ | None ->
-                    Hashtbl.replace best p.prefix (metric, hop))
-              e.lsa.Rt_msg.prefixes
-        | _ -> ())
-    t.lsdb;
+  (* Gather best (metric, adjacency) per prefix across all origins.
+     Ties on metric break on the lower origin id — equal-cost prefixes
+     advertised by two routers used to keep whichever origin the hash
+     table happened to visit first, a replay hazard.  With the total
+     (metric, origin) order the gathering is iteration-order
+     independent. *)
+  let best : (Prefix.t, int * Int32.t * adjacency) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (Hashtbl.iter
+     (fun origin e ->
+       if not (Int32.equal origin t.id) then
+         match (Hashtbl.find_opt dist origin, Hashtbl.find_opt first_hop origin)
+         with
+         | Some d, Some hop ->
+             List.iter
+               (fun (p : Rt_msg.ls_prefix) ->
+                 let metric = d + p.cost in
+                 match Hashtbl.find_opt best p.prefix with
+                 | Some (m, o, _)
+                   when m < metric
+                        || (m = metric && Int32.compare o origin <= 0) ->
+                     ()
+                 | Some _ | None ->
+                     Hashtbl.replace best p.prefix (metric, origin, hop))
+               e.lsa.Rt_msg.prefixes
+         | _ -> ())
+     t.lsdb [@determinism.commutative]);
   (* Remove routes we installed that are no longer computed. *)
   List.iter
     (fun p -> if not (Hashtbl.mem best p) then Ip.Route_table.remove table p)
     t.installed;
-  (* Install, never displacing connected routes. *)
+  (* Install in prefix order, never displacing connected routes: the
+     install order and the [installed]/[installed_metrics] lists (the
+     latter is public via [routes]) stay canonical. *)
   let installed = ref [] in
   let installed_metrics = ref [] in
-  Hashtbl.iter
-    (fun prefix (metric, hop) ->
+  List.iter
+    (fun (prefix, (metric, _origin, hop)) ->
       let is_connected =
         match Ip.Route_table.find table prefix with
         | Some r -> r.next_hop = None && r.metric = 0
@@ -234,9 +246,9 @@ let recompute t =
         installed := prefix :: !installed;
         installed_metrics := (prefix, metric) :: !installed_metrics
       end)
-    best;
-  t.installed <- !installed;
-  t.installed_metrics <- !installed_metrics
+    (Stdext.Det.sorted_bindings ~compare:Prefix.compare best);
+  t.installed <- List.rev !installed;
+  t.installed_metrics <- List.rev !installed_metrics
 
 let originate t =
   t.seq <- t.seq + 1;
@@ -275,8 +287,11 @@ let handle_hello t ~src rid =
       a.a_alive <- true;
       if newly_up || id_changed then begin
         originate t;
-        (* Give the new neighbor our view of the world. *)
-        Hashtbl.iter (fun _ e -> send_to t a (Rt_msg.Lsa e.lsa)) t.lsdb
+        (* Give the new neighbor our view of the world, in origin order:
+           these become wire messages, so their order must be canonical. *)
+        Stdext.Det.sorted_iter ~compare:Int32.compare
+          (fun _ e -> send_to t a (Rt_msg.Lsa e.lsa))
+          t.lsdb
       end
 
 let handle_lsa t ~iface (lsa : Rt_msg.lsa) =
@@ -321,15 +336,15 @@ let hello_tick t =
         changed := true
       end)
     t.adjacencies;
-  (* Age out stale LSAs. *)
+  (* Age out stale LSAs.  Order-independent: collect, then remove. *)
   let stale = ref [] in
-  Hashtbl.iter
-    (fun origin e ->
-      if
-        (not (Int32.equal origin t.id))
-        && now - e.received_at > t.config.max_age_us
-      then stale := origin :: !stale)
-    t.lsdb;
+  (Hashtbl.iter
+     (fun origin e ->
+       if
+         (not (Int32.equal origin t.id))
+         && now - e.received_at > t.config.max_age_us
+       then stale := origin :: !stale)
+     t.lsdb [@determinism.commutative]);
   if !stale <> [] then begin
     List.iter (Hashtbl.remove t.lsdb) !stale;
     changed := true

@@ -1,0 +1,21 @@
+(* Deterministic views over hash tables.
+
+   Hashtbl iteration order is unspecified, and the catenet-lint
+   determinism pass bans bare [Hashtbl.iter]/[fold] in lib/ for exactly
+   that reason: anything whose order reaches the wire, the event queue
+   or serialized output must iterate in a canonical order, or replay
+   stops being bit-for-bit.  These helpers are the sanctioned escape:
+   snapshot the bindings (the one fold below is order-independent by
+   construction — list cons then sort) and visit them sorted by key. *)
+
+let bindings h =
+  (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] [@determinism.commutative])
+
+let sorted_bindings ~compare:cmp h =
+  List.sort (fun (a, _) (b, _) -> cmp a b) (bindings h)
+
+let sorted_iter ~compare:cmp f h =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~compare:cmp h)
+
+let sorted_keys ~compare:cmp h =
+  List.map fst (sorted_bindings ~compare:cmp h)

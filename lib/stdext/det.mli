@@ -1,0 +1,31 @@
+(** Deterministic views over hash tables.
+
+    [Hashtbl.iter]/[fold] visit bindings in unspecified order; the
+    catenet-lint determinism pass bans them bare in [lib/] because an
+    iteration order that reaches the wire, the event queue or
+    serialized output breaks bit-for-bit replay.  Use these helpers at
+    such sites: they snapshot the bindings and visit them sorted by
+    key.  Sites whose observable result really is order-independent
+    (commutative folds, collect-then-sort, bulk timer cancellation)
+    instead annotate the call with [@determinism.commutative].
+
+    Cost: one list of the live bindings plus a sort — fine everywhere
+    off the packet fast path (periodic protocol timers, queries,
+    serialization), which is the only place these belong. *)
+
+val bindings : ('a, 'b) Hashtbl.t -> ('a * 'b) list
+(** All bindings, in unspecified order (but order-independent to
+    consume if the caller sorts or folds commutatively). *)
+
+val sorted_bindings :
+  compare:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> ('a * 'b) list
+(** All bindings sorted by key under [compare]. *)
+
+val sorted_iter :
+  compare:('a -> 'a -> int) -> ('a -> 'b -> unit) -> ('a, 'b) Hashtbl.t -> unit
+(** [sorted_iter ~compare f h] applies [f] to every binding in
+    ascending key order.  Unlike [Hashtbl.iter], [f] may add or remove
+    bindings in [h]: it runs over a snapshot. *)
+
+val sorted_keys : compare:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> 'a list
+(** The keys, sorted. *)

@@ -81,6 +81,37 @@ let pp_state fmt s =
     | Last_ack -> "LAST-ACK"
     | Time_wait -> "TIME-WAIT")
 
+(* The RFC 793 §3.2 edges this implementation exercises, declared as
+   data and machine-checked by the catenet-lint [transitions] pass:
+   every [c.st <- ...] must be a declared edge, and every declared edge
+   must have an implementing assignment.  States entered at connection
+   creation ([Listen] for passive opens, [Syn_sent]/[Syn_received] for
+   active and embryonic passive opens) are record literals, not
+   assignments, so they carry no rows; "*" is the any-state source for
+   the common teardown path. *)
+let st_transitions =
+  [ (* state, event, state' *)
+    ("Syn_sent", "acceptable SYN-ACK: active handshake completes",
+     "Established");
+    ("Syn_sent", "SYN without ACK crossed ours: simultaneous open",
+     "Syn_received");
+    ("Syn_received", "handshake-completing ACK", "Established");
+    ("Established", "application close or shutdown sends our FIN",
+     "Fin_wait_1");
+    ("Close_wait", "application close sends our FIN after the peer's",
+     "Last_ack");
+    ("Established", "FIN received from the peer", "Close_wait");
+    ("Syn_received", "FIN received before the handshake ACK", "Close_wait");
+    ("Fin_wait_1", "FIN received while ours is unacked: simultaneous close",
+     "Closing");
+    ("Fin_wait_1", "our FIN acknowledged", "Fin_wait_2");
+    ("Fin_wait_2", "FIN received from the peer", "Time_wait");
+    ("Closing", "our FIN acknowledged", "Time_wait");
+    ("Time_wait", "peer retransmitted its FIN: re-ack, restart 2MSL",
+     "Time_wait");
+    ("*", "abort, RST, 2MSL expiry, last ACK of ours acknowledged",
+     "Closed") ]
+
 type close_reason = Graceful | Reset | Timed_out | Refused
 
 let pp_close_reason fmt r =
@@ -807,7 +838,7 @@ let enter_fast_retransmit c =
 
 (* TIME-WAIT entry / restart. *)
 let enter_time_wait c =
-  c.st <- Time_wait;
+  (c.st <- Time_wait [@transitions.from "Fin_wait_2,Closing,Time_wait"]);
   cancel_timer c.rto_timer;
   c.rto_timer <- None;
   cancel_timer c.timewait_timer;
@@ -818,7 +849,7 @@ let enter_time_wait c =
 
 let mark_established c =
   c.tcp.gstats.established <- c.tcp.gstats.established + 1;
-  c.st <- Established;
+  (c.st <- Established [@transitions.from "Syn_sent,Syn_received"]);
   (match c.via_listener with
   | Some l when l.l_open -> l.l_accept c
   | Some _ | None -> ());
@@ -1164,7 +1195,7 @@ let process_syn_sent c (seg : Wire.t) =
     end
     else begin
       (* Simultaneous open. *)
-      c.st <- Syn_received;
+      (c.st <- Syn_received [@transitions.from "Syn_sent"]);
       emit_segment c
         ~flags:(Wire.flags ~syn:true ~ack:true ())
         ~seq:c.iss ~mss_opt:(Some c.cfg.mss) ~ws_opt:c.ws_send

@@ -65,6 +65,13 @@ type state =
 
 val pp_state : Format.formatter -> state -> unit
 
+val st_transitions : (string * string * string) list
+(** The RFC 793 transition diagram as data: [(state, event, state')]
+    edges, where ["*"] is the any-state source of the teardown path.
+    The catenet-lint [transitions] pass checks every state assignment in
+    the implementation against this table and flags declared edges with
+    no implementing assignment. *)
+
 type close_reason =
   | Graceful  (** Both FINs exchanged. *)
   | Reset  (** Peer sent RST. *)

@@ -74,21 +74,29 @@ let histogram t name =
 
 let observe h x = Stdext.Stats.Summary.add h x
 
+(* Collect-then-sort: the iteration order never escapes. *)
 let own_items t =
   let items = ref [] in
-  Hashtbl.iter (fun name c -> items := (name, Int !c) :: !items) t.counters;
-  Hashtbl.iter (fun name f -> items := (name, Float (f ())) :: !items)
-    t.gauges;
-  Hashtbl.iter
-    (fun name h -> items := (name, of_summary h) :: !items)
-    t.histograms;
+  (Hashtbl.iter (fun name c -> items := (name, Int !c) :: !items) t.counters
+  [@determinism.commutative]);
+  (Hashtbl.iter (fun name f -> items := (name, Float (f ())) :: !items)
+     t.gauges [@determinism.commutative]);
+  (Hashtbl.iter
+     (fun name h -> items := (name, of_summary h) :: !items)
+     t.histograms [@determinism.commutative]);
   List.sort (fun (a, _) (b, _) -> String.compare a b) !items
 
+(* Snapshots are fully key-sorted — sources and the items within each —
+   so serialized output is canonical regardless of registration order
+   or of the order a source's closure happens to build its list in. *)
 let snapshot t =
+  let sorted_items items =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) items
+  in
   let sources =
     List.sort
       (fun (a, _) (b, _) -> String.compare a b)
-      (List.map (fun (name, items) -> (name, items ())) t.sources)
+      (List.map (fun (name, items) -> (name, sorted_items (items ()))) t.sources)
   in
   match own_items t with [] -> sources | own -> sources @ [ ("self", own) ]
 

@@ -229,13 +229,20 @@ and clear_seg t seg reason ~skip =
     maybe seg.pb
   end
 
+(* Clearing a doomed segment emits Clear cells onto the network, so the
+   sweep must visit switches and table entries in canonical (node, then
+   (iface, vci)) order — event ordering is part of the replay
+   contract. *)
 let check_carriers t =
-  Hashtbl.iter
+  let entry_compare (i1, v1) (i2, v2) =
+    match Int.compare i1 i2 with 0 -> Int.compare v1 v2 | c -> c
+  in
+  Stdext.Det.sorted_iter ~compare:Int.compare
     (fun node sw ->
       if Netsim.node_is_up t.net node then begin
         let doomed = ref [] in
-        Hashtbl.iter
-          (fun (iface, _) seg ->
+        List.iter
+          (fun ((iface, _), seg) ->
             let link = Netsim.iface_link t.net node iface in
             let peer, _ = Netsim.peer t.net node iface in
             let reason =
@@ -247,8 +254,9 @@ let check_carriers t =
             match reason with
             | Some r -> doomed := (seg, r) :: !doomed
             | None -> ())
-          sw.sw_table;
-        List.iter (fun (seg, r) -> clear_seg t seg r ~skip:None) !doomed
+          (Stdext.Det.sorted_bindings ~compare:entry_compare sw.sw_table);
+        List.iter (fun (seg, r) -> clear_seg t seg r ~skip:None)
+          (List.rev !doomed)
       end)
     t.switches
 
@@ -554,5 +562,7 @@ let clear ep =
 
 let switch_state_count t node = Hashtbl.length (switch_of t node).sw_table
 
+(* A sum is commutative; iteration order cannot show. *)
 let total_switch_state t =
-  Hashtbl.fold (fun _ sw acc -> acc + Hashtbl.length sw.sw_table) t.switches 0
+  (Hashtbl.fold (fun _ sw acc -> acc + Hashtbl.length sw.sw_table) t.switches 0
+  [@determinism.commutative])

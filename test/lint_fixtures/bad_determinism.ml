@@ -1,0 +1,15 @@
+(* Deliberately broken: ambient nondeterminism of every flavor the
+   determinism pass bans.  (Local Unix stub: the real one is absent
+   under the bare ocamlc the fixture harness uses; the pass matches the
+   path syntactically.) *)
+module Unix = struct
+  let gettimeofday () = 0.0
+end
+
+let stamp () = Unix.gettimeofday ()
+let cpu_seconds () = Sys.time ()
+let seed () = Random.self_init ()
+let draw () = Random.int 10
+let layout_hash x = Hashtbl.hash x
+let sum h = Hashtbl.fold (fun _ v acc -> acc + v) h 0
+let dump h = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) h

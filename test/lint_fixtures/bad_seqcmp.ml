@@ -1,0 +1,13 @@
+(* Deliberately broken: raw comparisons and subtraction on circular TCP
+   sequence numbers, plus an absolute-timestamp/duration mixup.  (Local
+   Engine stub: the pass matches the [Engine.now] path in the cmt.) *)
+module Engine = struct
+  let now _eng = 0
+end
+
+type conn = { mutable snd_una : int; mutable rcv_nxt : int }
+
+let acked c ack = ack > c.snd_una
+let in_order c seq = seq <= c.rcv_nxt
+let in_flight c = c.snd_una - 1
+let deadline_passed eng = Engine.now eng > 5_000_000

@@ -1,0 +1,24 @@
+(* Deliberately broken: the declared diagram and the implementation
+   disagree in every direction the transitions pass checks. *)
+type st = Idle | Active | Draining | Closed
+
+let st_transitions =
+  [ (* state, event, state' *)
+    ("Idle", "start", "Active");
+    ("Active", "drain", "Draining");
+    ("Draining", "flushed", "Closed");
+    ("Ghost", "haunt", "Idle") ]
+
+type cell = { mutable st : st }
+
+let start c =
+  match c.st with
+  | Idle -> c.st <- Active
+  | Active | Draining | Closed -> ()
+
+let kill c = c.st <- Closed
+
+let resurrect c =
+  match c.st with
+  | Closed -> c.st <- Active
+  | Idle | Active | Draining -> ()
